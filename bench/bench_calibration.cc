@@ -1,0 +1,63 @@
+// Cost-model calibration: per-record costs of the real engine's hot
+// paths on THIS machine, shown against the simulator's profile
+// constants.  Absolute values differ from 2010-era JVMs; the *ratios*
+// (red-black fold vs merge+reduce) are what the figure shapes rely on.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simmr/calibrate.h"
+#include "simmr/profiles.h"
+
+using bmr::TextTable;
+using bmr::simmr::MeasureAggregationCosts;
+using bmr::simmr::MeasureSortCosts;
+using bmr::simmr::MicroCosts;
+
+int main() {
+  std::printf("== Simulator cost-model calibration (real engine) ==\n\n");
+
+  MicroCosts agg = MeasureAggregationCosts(/*records=*/400000,
+                                           /*distinct=*/20000, /*runs=*/8,
+                                           /*seed=*/1);
+  MicroCosts sort = MeasureSortCosts(/*records=*/300000, /*runs=*/8,
+                                     /*seed=*/2);
+
+  TextTable table({"workload", "merge us/rec", "grouped-reduce us/rec",
+                   "incremental us/rec", "finalize us/key",
+                   "fold/merge ratio"});
+  auto row = [&table](const MicroCosts& c) {
+    double barrier = c.merge_secs_per_record + c.grouped_reduce_secs_per_record;
+    table.AddRow(
+        {c.workload, TextTable::Num(c.merge_secs_per_record * 1e6, 3),
+         TextTable::Num(c.grouped_reduce_secs_per_record * 1e6, 3),
+         TextTable::Num(c.incremental_secs_per_record * 1e6, 3),
+         TextTable::Num(c.finalize_secs_per_key * 1e6, 3),
+         TextTable::Num(barrier > 0 ? c.incremental_secs_per_record / barrier
+                                    : 0,
+                        2)});
+  };
+  row(agg);
+  row(sort);
+  table.Print();
+
+  std::printf(
+      "\nInterpretation:\n"
+      " - 'sort' (unique keys, O(records) tree) folds several times\n"
+      "   slower per record than the streaming merge — the mechanism\n"
+      "   behind the Fig. 6(a) slowdown.  Profile uses %.1fx.\n"
+      " - 'aggregation' (Zipf keys) folds cheaply relative to the\n"
+      "   barrier's merge+reduce, so pipelining wins.  Profile uses\n"
+      "   %.1fx.\n",
+      4.1 / (1.1 + 0.25), 1.8 / (1.0 + 0.6));
+
+  auto wc = bmr::simmr::WordCountSim(3.0);
+  auto st = bmr::simmr::SortSim(3.0);
+  std::printf(
+      "\nProfile constants (us/record): wc merge=%.2f reduce=%.2f fold=%.2f;"
+      " sort merge=%.2f reduce=%.2f fold=%.2f\n",
+      wc.merge_cost_per_record * 1e6, wc.reduce_cost_per_record * 1e6,
+      wc.incremental_cost_per_record * 1e6, st.merge_cost_per_record * 1e6,
+      st.reduce_cost_per_record * 1e6,
+      st.incremental_cost_per_record * 1e6);
+  return 0;
+}

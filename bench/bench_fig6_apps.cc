@@ -1,0 +1,80 @@
+// Figure 6 (a)-(f): job completion times, with vs without barrier, for
+// all six evaluated applications, swept over input size / mapper count
+// on the simulated 16-node paper cluster.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simmr/hadoop_sim.h"
+#include "simmr/profiles.h"
+
+namespace {
+
+using bmr::SeriesPrinter;
+using bmr::cluster::PaperCluster;
+using bmr::simmr::SimJob;
+using bmr::simmr::SimulateJob;
+
+void SweepSizes(const char* title, SimJob (*make)(double, int),
+                int num_reducers) {
+  SeriesPrinter series(title, "input_GB",
+                       {"with_barrier_s", "without_barrier_s", "improv_%"});
+  for (double gb : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0}) {
+    SimJob job = make(gb, num_reducers);
+    job.barrierless = false;
+    double with = SimulateJob(PaperCluster(), job).completion_seconds;
+    job.barrierless = true;
+    double without = SimulateJob(PaperCluster(), job).completion_seconds;
+    series.AddPoint(gb, {with, without, (with - without) / with * 100});
+  }
+  series.Print();
+}
+
+void SweepMappers(const char* title, SimJob (*make)(int),
+                  std::initializer_list<int> mappers) {
+  SeriesPrinter series(title, "num_mappers",
+                       {"with_barrier_s", "without_barrier_s", "improv_%"});
+  for (int m : mappers) {
+    SimJob job = make(m);
+    job.barrierless = false;
+    double with = SimulateJob(PaperCluster(), job).completion_seconds;
+    job.barrierless = true;
+    double without = SimulateJob(PaperCluster(), job).completion_seconds;
+    series.AddPoint(m, {with, without, (with - without) / with * 100});
+  }
+  series.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 6: job completion times of the six case studies ==\n"
+      "Simulated 16-node cluster (15 slaves x 4 map + 4 reduce slots,\n"
+      "GbE, 64MB blocks), paper workloads.  Expected shapes: (a) Sort\n"
+      "slightly slower without barrier; (b)-(e) 15-25%% faster;\n"
+      "(f) Black-Scholes much faster, growing with mapper count.\n\n");
+
+  SweepSizes("Fig 6(a) Sort", bmr::simmr::SortSim, 60);
+  SweepSizes("Fig 6(b) WordCount", bmr::simmr::WordCountSim, 60);
+  SweepSizes("Fig 6(c) k-Nearest Neighbors (k=10)", bmr::simmr::KnnSim, 60);
+  SweepSizes("Fig 6(d) Last.fm unique listens", bmr::simmr::LastFmSim, 60);
+
+  {
+    SeriesPrinter series("Fig 6(e) Genetic algorithm (40 reducers)",
+                         "num_mappers",
+                         {"with_barrier_s", "without_barrier_s", "improv_%"});
+    for (int m : {25, 50, 75, 100, 150, 200, 250}) {
+      SimJob job = bmr::simmr::GeneticSim(m);
+      job.barrierless = false;
+      double with = SimulateJob(PaperCluster(), job).completion_seconds;
+      job.barrierless = true;
+      double without = SimulateJob(PaperCluster(), job).completion_seconds;
+      series.AddPoint(m, {with, without, (with - without) / with * 100});
+    }
+    series.Print();
+  }
+  SweepMappers("Fig 6(f) Black-Scholes (single reducer)",
+               bmr::simmr::BlackScholesSim,
+               {10, 25, 50, 75, 100, 150, 200, 300});
+  return 0;
+}

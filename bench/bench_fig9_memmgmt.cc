@@ -1,0 +1,68 @@
+// Figure 9: WordCount (16 GB) completion time vs number of reducers,
+// comparing memory-management schemes: with-barrier baseline,
+// barrier-less in-memory (OOMs below ~25 reducers), barrier-less
+// spill-and-merge (always completes, still beats the baseline), and
+// the BerkeleyDB-like KV store (cannot keep up with the record rate).
+#include <cstdio>
+
+#include "common/table.h"
+#include "simmr/hadoop_sim.h"
+#include "simmr/profiles.h"
+
+using bmr::TextTable;
+using bmr::cluster::PaperCluster;
+using bmr::core::StoreType;
+using bmr::simmr::SimJob;
+using bmr::simmr::SimResult;
+using bmr::simmr::SimulateJob;
+
+namespace {
+
+std::string RunCell(SimJob job) {
+  SimResult result = SimulateJob(PaperCluster(), job);
+  if (result.failed_oom) {
+    return "OOM@" + TextTable::Num(result.failure_time, 0) + "s";
+  }
+  return TextTable::Num(result.completion_seconds, 0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 9: WordCount 16 GB — memory schemes vs #reducers ==\n"
+      "(reducer heap 1.4 GB; spill threshold 240 MB; KV store 30k ops/s)\n\n");
+  TextTable table({"reducers", "with_barrier_s", "in_memory_s",
+                   "spill_merge_s", "berkeleydb_s"});
+  for (int reducers : {5, 10, 15, 20, 25, 30, 40, 50, 60, 70}) {
+    SimJob base = bmr::simmr::WordCountSim(16.0, reducers);
+
+    SimJob barrier = base;
+    barrier.barrierless = false;
+
+    SimJob in_memory = base;
+    in_memory.barrierless = true;
+    in_memory.store.type = StoreType::kInMemory;
+    in_memory.store.heap_limit_bytes = 1400ull << 20;
+
+    SimJob spill = base;
+    spill.barrierless = true;
+    spill.store.type = StoreType::kSpillMerge;
+    spill.store.spill_threshold_bytes = 240ull << 20;
+
+    SimJob kv = base;
+    kv.barrierless = true;
+    kv.store.type = StoreType::kKvStore;
+    kv.store.kv_ops_per_sec = 30000;
+
+    table.AddRow({TextTable::Int(reducers), RunCell(barrier),
+                  RunCell(in_memory), RunCell(spill), RunCell(kv)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: in-memory fastest but OOMs at low reducer\n"
+      "counts; spill-merge slightly slower, always completes, beats the\n"
+      "barrier; BerkeleyDB cannot keep up with millions of small\n"
+      "records per reducer.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Iterative evolution: chain genetic-algorithm generations by feeding
+// each run's output (framed part files in the DFS) straight back in as
+// the next run's input — MapReduce-as-a-loop, the usage pattern of
+// Verma et al.'s "Scaling Genetic Algorithms using MapReduce" that the
+// paper's GA case study comes from.
+//
+//   $ ./evolve [generations]     (default 6)
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/genetic.h"
+#include "common/serde.h"
+#include "mr/engine.h"
+#include "workload/generators.h"
+
+using bmr::mr::JobResult;
+using bmr::mr::JobRunner;
+
+int main(int argc, char** argv) {
+  int generations = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  auto cluster =
+      bmr::mr::ClusterContext::Create(bmr::cluster::SmallCluster(4));
+  bmr::workload::PopulationGenOptions gen;
+  gen.population = 20000;
+  gen.seed = 3;
+  auto seed_files =
+      bmr::workload::GeneratePopulation(cluster.get(), "/gen0", gen);
+  if (!seed_files.ok()) return 1;
+
+  JobRunner runner(cluster.get());
+  std::vector<std::string> inputs = *seed_files;
+  std::printf("%-12s %-14s %-14s\n", "generation", "mean_fitness",
+              "best_fitness");
+  for (int g = 1; g <= generations; ++g) {
+    bmr::apps::AppOptions options;
+    options.input_files = inputs;
+    options.output_path = "/gen" + std::to_string(g);
+    options.num_reducers = 4;
+    options.barrierless = true;
+    options.extra.SetInt("ga.window", 64);
+    options.extra.SetInt("ga.seed", g);
+    if (g > 1) options.extra.SetBool("ga.kv_input", true);
+
+    JobResult result = runner.Run(bmr::apps::MakeGeneticJob(options));
+    if (!result.ok()) {
+      std::fprintf(stderr, "generation %d failed: %s\n", g,
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    if (!output.ok()) return 1;
+
+    double total = 0;
+    int64_t best = 0;
+    for (const auto& r : *output) {
+      int64_t fitness = 0;
+      bmr::DecodeI64(bmr::Slice(r.value), &fitness);
+      total += static_cast<double>(fitness);
+      best = std::max(best, fitness);
+    }
+    std::printf("%-12d %-14.2f %-14lld\n", g, total / output->size(),
+                (long long)best);
+
+    // Next generation reads this generation's part files directly.
+    inputs = result.output_files;
+  }
+  std::printf("\nRandom 32-bit genomes start at mean fitness ~16 (of 32);\n"
+              "tournament selection pushes the population toward the\n"
+              "all-ones optimum generation over generation.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Incremental (memoized) WordCount across daily batches — the paper's
+// §8 future-work item made concrete: because barrier-less reducers
+// keep explicit, mergeable partial results, yesterday's partials seed
+// today's run and only the new day's input is mapped.
+//
+//   $ ./incremental_wordcount
+#include <cstdio>
+
+#include "apps/wordcount.h"
+#include "core/job_session.h"
+#include "mr/engine.h"
+#include "workload/generators.h"
+
+using bmr::mr::ClusterContext;
+using bmr::mr::JobResult;
+using bmr::mr::JobRunner;
+
+int main() {
+  auto cluster = ClusterContext::Create(bmr::cluster::SmallCluster(4));
+  JobRunner runner(cluster.get());
+  bmr::core::JobSession session;
+
+  uint64_t cumulative_input = 0;
+  for (int day = 1; day <= 3; ++day) {
+    // A new day's worth of text arrives.
+    bmr::workload::TextGenOptions gen;
+    gen.total_bytes = 1 << 20;
+    gen.vocabulary = 4000;
+    gen.seed = 40 + day;
+    auto files = bmr::workload::GenerateZipfText(
+        cluster.get(), "/text/day" + std::to_string(day), gen);
+    if (!files.ok()) return 1;
+
+    bmr::apps::AppOptions options;
+    options.input_files = *files;  // ONLY today's files
+    options.output_path = "/counts/day" + std::to_string(day);
+    options.num_reducers = 4;
+    options.barrierless = true;
+    bmr::mr::JobSpec spec = bmr::apps::MakeWordCountJob(options);
+    spec.session = &session;  // seed from yesterday, snapshot for tomorrow
+
+    JobResult result = runner.Run(spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "day %d failed: %s\n", day,
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    uint64_t mapped = result.counters.Get(bmr::mr::kCtrMapInputRecords);
+    cumulative_input += mapped;
+
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    if (!output.ok()) return 1;
+    int64_t total = 0;
+    for (const auto& r : *output) {
+      total += bmr::apps::DecodeCount(bmr::Slice(r.value));
+    }
+    std::printf(
+        "day %d: mapped %llu new lines (cumulative %llu), output covers "
+        "%zu words / %lld occurrences, %llu memoized partials carried\n",
+        day, (unsigned long long)mapped,
+        (unsigned long long)cumulative_input, output->size(),
+        (long long)total, (unsigned long long)session.TotalPartials());
+  }
+  std::printf(
+      "\nEach day's job read only that day's input; the output is always\n"
+      "the full cumulative count (asserted against from-scratch runs by\n"
+      "the test suite).  A with-barrier job cannot do this: its reduce\n"
+      "state lives implicitly in the sorted stream.\n");
+  return 0;
+}

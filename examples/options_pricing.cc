@@ -1,0 +1,70 @@
+// Monte Carlo option pricing — the Single Reducer Aggregation class
+// where breaking the barrier helps the most (up to 87% in the paper).
+//
+//   $ ./options_pricing [iterations_per_mapper]   (default 50000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/blackscholes.h"
+#include "mr/engine.h"
+#include "workload/generators.h"
+
+using bmr::mr::ClusterContext;
+using bmr::mr::JobRunner;
+
+int main(int argc, char** argv) {
+  uint64_t iterations = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+
+  auto cluster =
+      ClusterContext::Create(bmr::cluster::SmallCluster(4, 2, 2));
+
+  bmr::workload::BlackScholesGenOptions gen;
+  gen.num_mappers = 8;
+  gen.iterations_per_mapper = iterations;
+  gen.seed = 11;
+  auto files =
+      bmr::workload::GenerateBlackScholesUnits(cluster.get(), "/bs", gen);
+  if (!files.ok()) {
+    std::fprintf(stderr, "%s\n", files.status().ToString().c_str());
+    return 1;
+  }
+
+  // Price a slightly out-of-the-money call.
+  bmr::apps::AppOptions options;
+  options.input_files = *files;
+  options.output_path = "/out/pricing";
+  options.barrierless = true;
+  options.extra.SetDouble("bs.spot", 100);
+  options.extra.SetDouble("bs.strike", 105);
+  options.extra.SetDouble("bs.rate", 0.05);
+  options.extra.SetDouble("bs.volatility", 0.25);
+  options.extra.SetDouble("bs.maturity", 0.5);
+
+  JobRunner runner(cluster.get());
+  auto result = runner.Run(bmr::apps::MakeBlackScholesJob(options));
+  if (!result.ok()) {
+    std::fprintf(stderr, "job failed: %s\n",
+                 result.status.ToString().c_str());
+    return 1;
+  }
+  auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+  if (!output.ok() || output->empty()) return 1;
+
+  bmr::apps::BsSummary summary;
+  if (!bmr::apps::DecodeBsSummary(bmr::Slice((*output)[0].value), &summary)) {
+    return 1;
+  }
+  double closed = bmr::apps::BlackScholesCallPrice(100, 105, 0.05, 0.25, 0.5);
+  double stderr_est =
+      summary.stddev / std::sqrt(static_cast<double>(summary.count));
+  std::printf("Monte Carlo call price : %.4f +- %.4f  (%lld paths, %.2fs)\n",
+              summary.mean, 1.96 * stderr_est, (long long)summary.count,
+              result.elapsed_seconds);
+  std::printf("closed-form price      : %.4f\n", closed);
+  std::printf("payoff std deviation   : %.4f\n", summary.stddev);
+  std::printf("\nThe single reducer keeps only two running sums (O(1)\n"
+              "memory) and folds samples as mappers stream them in — no\n"
+              "barrier, no sort, no buffering of %lld records.\n",
+              (long long)summary.count);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared application plumbing: every case-study app builds a JobSpec
+// from these options, in either execution mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/partial_store.h"
+#include "mr/job.h"
+
+namespace bmr::apps {
+
+struct AppOptions {
+  std::vector<std::string> input_files;
+  std::string output_path = "/out";
+  int num_reducers = 4;
+  /// setIncrementalReduction(true) — the paper's one-flag switch.
+  bool barrierless = false;
+  core::StoreConfig store;
+  /// App-specific tunables (grep.pattern, knn.k, ga.window, ...).
+  Config extra;
+};
+
+/// Fill the generic JobSpec fields from options.
+inline mr::JobSpec BaseJob(const std::string& name, const AppOptions& options) {
+  mr::JobSpec spec;
+  spec.name = name;
+  spec.input_files = options.input_files;
+  spec.output_path = options.output_path;
+  spec.num_reducers = options.num_reducers;
+  spec.barrierless = options.barrierless;
+  spec.store = options.store;
+  spec.config = options.extra;
+  return spec;
+}
+
+}  // namespace bmr::apps

@@ -1,0 +1,185 @@
+#include "apps/blackscholes.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/incremental.h"
+#include "mr/api.h"
+
+namespace bmr::apps {
+
+namespace {
+
+constexpr const char* kBsKey = "bs";
+
+struct BsParams {
+  double spot = 100.0;
+  double strike = 100.0;
+  double rate = 0.05;
+  double volatility = 0.2;
+  double maturity = 1.0;
+
+  static BsParams From(const Config& config) {
+    BsParams p;
+    p.spot = config.GetDouble("bs.spot", p.spot);
+    p.strike = config.GetDouble("bs.strike", p.strike);
+    p.rate = config.GetDouble("bs.rate", p.rate);
+    p.volatility = config.GetDouble("bs.volatility", p.volatility);
+    p.maturity = config.GetDouble("bs.maturity", p.maturity);
+    return p;
+  }
+};
+
+/// Running sums partial: [sum, sum_sq, count].
+std::string EncodeSums(double sum, double sum_sq, int64_t count) {
+  ByteBuffer buf(24);
+  Encoder enc(&buf);
+  enc.PutDouble(sum);
+  enc.PutDouble(sum_sq);
+  enc.PutSignedVarint64(count);
+  return buf.ToString();
+}
+
+bool DecodeSums(Slice value, double* sum, double* sum_sq, int64_t* count) {
+  Decoder dec(value);
+  return dec.GetDouble(sum) && dec.GetDouble(sum_sq) &&
+         dec.GetSignedVarint64(count);
+}
+
+std::string EncodeSample(double x) {
+  // The paper's mapper emits the value and its square.
+  ByteBuffer buf(16);
+  Encoder enc(&buf);
+  enc.PutDouble(x);
+  enc.PutDouble(x * x);
+  return buf.ToString();
+}
+
+class BsMapper final : public mr::Mapper {
+ public:
+  void Map(Slice /*key*/, Slice value, mr::MapContext* ctx) override {
+    // Work unit line: "<seed> <iterations>".
+    std::string_view line = value.view();
+    size_t space = line.find(' ');
+    if (space == std::string_view::npos) return;
+    uint64_t seed = 0;
+    int64_t iterations = 0;
+    std::from_chars(line.data(), line.data() + space, seed);
+    std::from_chars(line.data() + space + 1, line.data() + line.size(),
+                    iterations);
+    BsParams p = BsParams::From(ctx->config());
+    Pcg32 rng(seed);
+    double drift =
+        (p.rate - 0.5 * p.volatility * p.volatility) * p.maturity;
+    double diffusion = p.volatility * std::sqrt(p.maturity);
+    double discount = std::exp(-p.rate * p.maturity);
+    for (int64_t i = 0; i < iterations; ++i) {
+      double z = rng.NextGaussian();
+      double terminal = p.spot * std::exp(drift + diffusion * z);
+      double payoff = discount * std::max(terminal - p.strike, 0.0);
+      std::string sample = EncodeSample(payoff);
+      ctx->Emit(Slice(kBsKey), Slice(sample));
+    }
+  }
+};
+
+void EmitSummary(double sum, double sum_sq, int64_t count,
+                 mr::ReduceEmitter* out) {
+  if (count == 0) return;
+  double mean = sum / count;
+  double variance = sum_sq / count - mean * mean;
+  if (variance < 0) variance = 0;
+  ByteBuffer buf(24);
+  Encoder enc(&buf);
+  enc.PutDouble(mean);
+  enc.PutDouble(std::sqrt(variance));
+  enc.PutSignedVarint64(count);
+  out->Emit(Slice(kBsKey), buf.AsSlice());
+}
+
+class BsReducer final : public mr::Reducer {
+ public:
+  void Reduce(Slice /*key*/, mr::ValuesIterator* values,
+              mr::ReduceContext* ctx) override {
+    double sum = 0, sum_sq = 0;
+    int64_t count = 0;
+    Slice value;
+    while (values->Next(&value)) {
+      Decoder dec(value);
+      double x = 0, x2 = 0;
+      if (dec.GetDouble(&x) && dec.GetDouble(&x2)) {
+        sum += x;
+        sum_sq += x2;
+        ++count;
+      }
+    }
+    EmitSummary(sum, sum_sq, count, ctx);
+  }
+};
+
+class BsIncremental final : public core::IncrementalReducer {
+ public:
+  std::string InitPartial(Slice /*key*/) override {
+    return EncodeSums(0, 0, 0);
+  }
+
+  void Update(Slice /*key*/, Slice value, std::string* partial,
+              mr::ReduceEmitter* /*out*/) override {
+    double sum, sum_sq;
+    int64_t count;
+    if (!DecodeSums(Slice(*partial), &sum, &sum_sq, &count)) return;
+    Decoder dec(value);
+    double x = 0, x2 = 0;
+    if (dec.GetDouble(&x) && dec.GetDouble(&x2)) {
+      *partial = EncodeSums(sum + x, sum_sq + x2, count + 1);
+    }
+  }
+
+  std::string MergePartials(Slice /*key*/, Slice a, Slice b) override {
+    double sa, qa, sb, qb;
+    int64_t ca, cb;
+    if (!DecodeSums(a, &sa, &qa, &ca)) return b.ToString();
+    if (!DecodeSums(b, &sb, &qb, &cb)) return a.ToString();
+    return EncodeSums(sa + sb, qa + qb, ca + cb);
+  }
+
+  void Finish(Slice /*key*/, Slice partial, mr::ReduceEmitter* out) override {
+    double sum, sum_sq;
+    int64_t count;
+    if (DecodeSums(partial, &sum, &sum_sq, &count)) {
+      EmitSummary(sum, sum_sq, count, out);
+    }
+  }
+};
+
+}  // namespace
+
+double BlackScholesCallPrice(double spot, double strike, double rate,
+                             double volatility, double maturity) {
+  double d1 = (std::log(spot / strike) +
+               (rate + 0.5 * volatility * volatility) * maturity) /
+              (volatility * std::sqrt(maturity));
+  double d2 = d1 - volatility * std::sqrt(maturity);
+  auto norm_cdf = [](double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); };
+  return spot * norm_cdf(d1) -
+         strike * std::exp(-rate * maturity) * norm_cdf(d2);
+}
+
+bool DecodeBsSummary(Slice value, BsSummary* summary) {
+  Decoder dec(value);
+  return dec.GetDouble(&summary->mean) && dec.GetDouble(&summary->stddev) &&
+         dec.GetSignedVarint64(&summary->count);
+}
+
+mr::JobSpec MakeBlackScholesJob(const AppOptions& options) {
+  mr::JobSpec spec = BaseJob("blackscholes", options);
+  spec.num_reducers = 1;  // single-reducer aggregation by definition
+  spec.mapper = [] { return std::make_unique<BsMapper>(); };
+  spec.reducer = [] { return std::make_unique<BsReducer>(); };
+  spec.incremental = [] { return std::make_unique<BsIncremental>(); };
+  return spec;
+}
+
+}  // namespace bmr::apps

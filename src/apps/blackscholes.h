@@ -1,0 +1,32 @@
+// Black-Scholes Monte Carlo option pricing — the Single reducer
+// aggregation class (§4.7, §6.1.6).
+//
+// Each map work unit runs N Monte Carlo iterations of the option
+// payoff; for every sampled value x it emits x together with x², so a
+// single reducer can fold mean and standard deviation from running
+// sums in O(1) memory:   σ = sqrt( E[x²] − E[x]² ).
+#pragma once
+
+#include "apps/app.h"
+
+namespace bmr::apps {
+
+/// Option parameters (defaults: the canonical S=100, K=100, r=5%,
+/// σ=20%, T=1y European call).  Configure via options.extra:
+/// "bs.spot", "bs.strike", "bs.rate", "bs.volatility", "bs.maturity".
+mr::JobSpec MakeBlackScholesJob(const AppOptions& options);
+
+/// Closed-form Black-Scholes call price, for validating the Monte
+/// Carlo estimate in tests.
+double BlackScholesCallPrice(double spot, double strike, double rate,
+                             double volatility, double maturity);
+
+/// Reducer output: value = [mean, stddev, count] (two doubles + varint).
+struct BsSummary {
+  double mean = 0;
+  double stddev = 0;
+  int64_t count = 0;
+};
+bool DecodeBsSummary(Slice value, BsSummary* summary);
+
+}  // namespace bmr::apps

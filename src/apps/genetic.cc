@@ -1,0 +1,150 @@
+#include "apps/genetic.h"
+
+#include <charconv>
+#include <deque>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/incremental.h"
+#include "mr/api.h"
+
+namespace bmr::apps {
+
+int64_t GaFitness(uint32_t genome) { return __builtin_popcount(genome); }
+
+namespace {
+
+uint32_t ParseU32(Slice s) {
+  uint32_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+class GaMapper final : public mr::Mapper {
+ public:
+  void Map(Slice /*key*/, Slice value, mr::MapContext* ctx) override {
+    uint32_t genome = ParseU32(value);
+    std::string key = EncodeOrderedI64(static_cast<int64_t>(genome));
+    std::string fitness = EncodeI64(GaFitness(genome));
+    ctx->Emit(Slice(key), Slice(fitness));
+  }
+};
+
+/// The windowed selection + crossover shared by both modes.  Emits
+/// exactly one offspring per consumed individual, so output cardinality
+/// equals input cardinality — the invariant the tests check.
+class GaWindow {
+ public:
+  GaWindow(size_t window_size, uint64_t seed)
+      : window_size_(window_size), rng_(seed) {}
+
+  void Push(uint32_t genome, mr::ReduceEmitter* out) {
+    window_.push_back(genome);
+    if (window_.size() >= window_size_) Evolve(out);
+  }
+
+  void Flush(mr::ReduceEmitter* out) {
+    if (!window_.empty()) Evolve(out);
+  }
+
+ private:
+  uint32_t Tournament() {
+    // Binary tournament over the window.
+    uint32_t a = window_[rng_.NextBounded(static_cast<uint32_t>(window_.size()))];
+    uint32_t b = window_[rng_.NextBounded(static_cast<uint32_t>(window_.size()))];
+    return GaFitness(a) >= GaFitness(b) ? a : b;
+  }
+
+  void Evolve(mr::ReduceEmitter* out) {
+    size_t n = window_.size();
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t p1 = Tournament();
+      uint32_t p2 = Tournament();
+      uint32_t mask = rng_.NextU32();                  // uniform crossover
+      uint32_t child = (p1 & mask) | (p2 & ~mask);
+      child ^= 1u << rng_.NextBounded(32);             // point mutation
+      std::string key = EncodeOrderedI64(static_cast<int64_t>(child));
+      std::string fitness = EncodeI64(GaFitness(child));
+      out->Emit(Slice(key), Slice(fitness));
+    }
+    window_.clear();
+  }
+
+  size_t window_size_;
+  Pcg32 rng_;
+  std::deque<uint32_t> window_;
+};
+
+/// Mapper over a previous generation's framed output: key is already
+/// the ordered-encoded genome, value its fitness — re-evaluate and
+/// re-emit (generation chaining for iterative evolution).
+class GaKvMapper final : public mr::Mapper {
+ public:
+  void Map(Slice key, Slice /*value*/, mr::MapContext* ctx) override {
+    int64_t genome = 0;
+    if (!DecodeOrderedI64(key, &genome)) return;
+    std::string fitness =
+        EncodeI64(GaFitness(static_cast<uint32_t>(genome)));
+    ctx->Emit(key, Slice(fitness));
+  }
+};
+
+class GaReducer final : public mr::Reducer {
+ public:
+  void Setup(mr::ReduceContext* ctx) override {
+    window_ = std::make_unique<GaWindow>(
+        ctx->config().GetInt("ga.window", 16),
+        static_cast<uint64_t>(ctx->config().GetInt("ga.seed", 1)));
+  }
+  void Reduce(Slice key, mr::ValuesIterator* values,
+              mr::ReduceContext* ctx) override {
+    int64_t genome = 0;
+    DecodeOrderedI64(key, &genome);
+    Slice value;
+    while (values->Next(&value)) {
+      window_->Push(static_cast<uint32_t>(genome), ctx);
+    }
+  }
+  void Cleanup(mr::ReduceContext* ctx) override { window_->Flush(ctx); }
+
+ private:
+  std::unique_ptr<GaWindow> window_;
+};
+
+class GaIncremental final : public core::IncrementalReducer {
+ public:
+  void Setup(const Config& config) override {
+    window_ = std::make_unique<GaWindow>(
+        config.GetInt("ga.window", 16),
+        static_cast<uint64_t>(config.GetInt("ga.seed", 1)));
+  }
+  bool UsesStore() const override { return false; }
+  void Update(Slice key, Slice /*value*/, std::string* /*partial*/,
+              mr::ReduceEmitter* out) override {
+    int64_t genome = 0;
+    DecodeOrderedI64(key, &genome);
+    window_->Push(static_cast<uint32_t>(genome), out);
+  }
+  void Flush(mr::ReduceEmitter* out) override { window_->Flush(out); }
+
+ private:
+  std::unique_ptr<GaWindow> window_;
+};
+
+}  // namespace
+
+mr::JobSpec MakeGeneticJob(const AppOptions& options) {
+  mr::JobSpec spec = BaseJob("genetic", options);
+  if (options.extra.GetBool("ga.kv_input", false)) {
+    // Chained generation: input is a previous run's framed output.
+    spec.input_kind = mr::InputKind::kKvPairs;
+    spec.mapper = [] { return std::make_unique<GaKvMapper>(); };
+  } else {
+    spec.mapper = [] { return std::make_unique<GaMapper>(); };
+  }
+  spec.reducer = [] { return std::make_unique<GaReducer>(); };
+  spec.incremental = [] { return std::make_unique<GaIncremental>(); };
+  return spec;
+}
+
+}  // namespace bmr::apps

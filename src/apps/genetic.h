@@ -1,0 +1,30 @@
+// Genetic algorithm — the Cross-key operations class (§4.6, §6.1.5),
+// after Verma et al.'s "Scaling Genetic Algorithms using MapReduce".
+//
+// Map computes each individual's fitness and emits (individual,
+// fitness).  Reduce keeps a sliding window of the previous W
+// individuals; when the window fills it runs tournament selection and
+// uniform crossover over the window and emits the offspring.  State is
+// O(window_size) regardless of input size, and no per-key partial
+// results are needed — which is why the paper reports zero extra lines
+// of code to convert this app (Table 2).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.h"
+
+namespace bmr::apps {
+
+/// Options.extra keys: "ga.window" (int, default 16),
+/// "ga.seed" (uint64, default 1), and "ga.kv_input" (bool): treat the
+/// input as a previous generation's framed output instead of text —
+/// the chaining hook for multi-generation evolution (see
+/// examples/evolve.cc).
+mr::JobSpec MakeGeneticJob(const AppOptions& options);
+
+/// Fitness function (OneMax: count of set genome bits) shared with
+/// tests.
+int64_t GaFitness(uint32_t genome);
+
+}  // namespace bmr::apps

@@ -1,0 +1,56 @@
+#include "apps/grep.h"
+
+#include "core/incremental.h"
+#include "mr/api.h"
+
+namespace bmr::apps {
+
+namespace {
+
+class GrepMapper final : public mr::Mapper {
+ public:
+  void Setup(mr::MapContext* ctx) override {
+    pattern_ = ctx->config().GetString("grep.pattern");
+  }
+  void Map(Slice key, Slice value, mr::MapContext* ctx) override {
+    if (pattern_.empty()) return;
+    if (value.view().find(pattern_) != std::string_view::npos) {
+      ctx->Emit(key, value);
+    }
+  }
+
+ private:
+  std::string pattern_;
+};
+
+/// With barrier: the Identity Reducer.
+class GrepReducer final : public mr::Reducer {
+ public:
+  void Reduce(Slice key, mr::ValuesIterator* values,
+              mr::ReduceContext* ctx) override {
+    Slice value;
+    while (values->Next(&value)) ctx->Emit(key, value);
+  }
+};
+
+/// Without barrier: pass-through, no partial results (O(1) memory).
+class GrepIncremental final : public core::IncrementalReducer {
+ public:
+  bool UsesStore() const override { return false; }
+  void Update(Slice key, Slice value, std::string* /*partial*/,
+              mr::ReduceEmitter* out) override {
+    out->Emit(key, value);
+  }
+};
+
+}  // namespace
+
+mr::JobSpec MakeGrepJob(const AppOptions& options) {
+  mr::JobSpec spec = BaseJob("grep", options);
+  spec.mapper = [] { return std::make_unique<GrepMapper>(); };
+  spec.reducer = [] { return std::make_unique<GrepReducer>(); };
+  spec.incremental = [] { return std::make_unique<GrepIncremental>(); };
+  return spec;
+}
+
+}  // namespace bmr::apps

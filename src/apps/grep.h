@@ -1,0 +1,16 @@
+// Distributed Grep — the Identity Reduce class (§4.1).
+//
+// Map emits matching lines; Reduce merely writes them out.  No key
+// ordering is needed and no partial results are kept, so the barrier
+// and barrier-less programs are effectively identical — which is why
+// the paper omits Grep from the performance plots.
+#pragma once
+
+#include "apps/app.h"
+
+namespace bmr::apps {
+
+/// Options.extra keys: "grep.pattern" (substring to match, required).
+mr::JobSpec MakeGrepJob(const AppOptions& options);
+
+}  // namespace bmr::apps

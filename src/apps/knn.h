@@ -1,0 +1,39 @@
+// k-Nearest Neighbors — the Selection Reduce class (§4.4, §6.1.3).
+//
+// Input: experimental values (one per line).  The training set travels
+// in the job config (the distributed-cache analogue).  Distance is
+// |exp - train|.
+//
+// With barrier: the Map key is the tuple (exp_value, distance); a
+// secondary sort orders by distance within each exp_value group, so
+// Reduce just takes the first k values.  Without barrier: the key is
+// exp_value alone and the Reducer keeps a size-k ordered list per key
+// (the O(k·keys) partial result of Table 1), updating it as records
+// arrive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace bmr::apps {
+
+/// Options.extra keys: "knn.k" (int, default 10) and "knn.training"
+/// (comma-separated int64 list — use EncodeTrainingSet).
+mr::JobSpec MakeKnnJob(const AppOptions& options);
+
+std::string EncodeTrainingSet(const std::vector<int64_t>& training);
+std::vector<int64_t> DecodeTrainingSet(const std::string& encoded);
+
+/// Output record helpers: key = ordered-encoded exp value (8 bytes),
+/// value = ordered-encoded distance (8 bytes) + varint train value.
+struct KnnNeighbor {
+  int64_t distance = 0;
+  int64_t train_value = 0;
+};
+std::string EncodeNeighbor(const KnnNeighbor& n);
+bool DecodeNeighbor(Slice value, KnnNeighbor* n);
+
+}  // namespace bmr::apps

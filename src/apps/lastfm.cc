@@ -1,0 +1,101 @@
+#include "apps/lastfm.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/incremental.h"
+#include "mr/api.h"
+
+namespace bmr::apps {
+
+namespace {
+
+class ListenMapper final : public mr::Mapper {
+ public:
+  void Map(Slice /*key*/, Slice value, mr::MapContext* ctx) override {
+    std::string_view line = value.view();
+    size_t space = line.find(' ');
+    if (space == std::string_view::npos) return;
+    Slice user(line.data(), space);
+    Slice track(line.data() + space + 1, line.size() - space - 1);
+    ctx->Emit(track, user);
+  }
+};
+
+/// With barrier: all listens for a track arrive together; a Set
+/// deduplicates, then the post-processing step counts it.
+class ListenReducer final : public mr::Reducer {
+ public:
+  void Reduce(Slice key, mr::ValuesIterator* values,
+              mr::ReduceContext* ctx) override {
+    std::set<std::string> users;
+    Slice value;
+    while (values->Next(&value)) users.insert(value.ToString());
+    std::string count = EncodeI64(static_cast<int64_t>(users.size()));
+    ctx->Emit(key, Slice(count));
+  }
+};
+
+/// Without barrier: the per-track user set *is* the partial result,
+/// serialized as sorted length-prefixed strings.
+class ListenIncremental final : public core::IncrementalReducer {
+ public:
+  void Update(Slice /*key*/, Slice value, std::string* partial,
+              mr::ReduceEmitter* /*out*/) override {
+    std::vector<std::string> users = Parse(Slice(*partial));
+    std::string user = value.ToString();
+    auto it = std::lower_bound(users.begin(), users.end(), user);
+    if (it == users.end() || *it != user) {
+      users.insert(it, std::move(user));
+      *partial = Serialize(users);
+    }
+  }
+
+  /// Set union across spill fragments.
+  std::string MergePartials(Slice /*key*/, Slice a, Slice b) override {
+    std::vector<std::string> ua = Parse(a);
+    std::vector<std::string> ub = Parse(b);
+    std::vector<std::string> merged;
+    merged.reserve(ua.size() + ub.size());
+    std::set_union(ua.begin(), ua.end(), ub.begin(), ub.end(),
+                   std::back_inserter(merged));
+    return Serialize(merged);
+  }
+
+  /// Post-processing: count the deduplicated set.
+  void Finish(Slice key, Slice partial, mr::ReduceEmitter* out) override {
+    std::string count =
+        EncodeI64(static_cast<int64_t>(Parse(partial).size()));
+    out->Emit(key, Slice(count));
+  }
+
+ private:
+  static std::vector<std::string> Parse(Slice partial) {
+    std::vector<std::string> out;
+    Decoder dec(partial);
+    std::string user;
+    while (!dec.empty() && dec.GetString(&user)) out.push_back(user);
+    return out;
+  }
+
+  static std::string Serialize(const std::vector<std::string>& users) {
+    ByteBuffer buf;
+    Encoder enc(&buf);
+    for (const auto& user : users) enc.PutString(user);
+    return buf.ToString();
+  }
+};
+
+}  // namespace
+
+mr::JobSpec MakeLastFmJob(const AppOptions& options) {
+  mr::JobSpec spec = BaseJob("lastfm", options);
+  spec.mapper = [] { return std::make_unique<ListenMapper>(); };
+  spec.reducer = [] { return std::make_unique<ListenReducer>(); };
+  spec.incremental = [] { return std::make_unique<ListenIncremental>(); };
+  return spec;
+}
+
+}  // namespace bmr::apps

@@ -1,0 +1,16 @@
+// Last.fm unique listens — the Post-reduction processing class
+// (§4.5, §6.1.4).
+//
+// Input lines are "userId trackId".  For each track, the number of
+// *unique* listeners is counted: values are first folded into a
+// duplicate-free set (the processing step), then the set is counted
+// (the post-processing step).  Partial results can reach O(records).
+#pragma once
+
+#include "apps/app.h"
+
+namespace bmr::apps {
+
+mr::JobSpec MakeLastFmJob(const AppOptions& options);
+
+}  // namespace bmr::apps

@@ -1,0 +1,38 @@
+#include "apps/registry.h"
+
+#include "apps/blackscholes.h"
+#include "apps/genetic.h"
+#include "apps/grep.h"
+#include "apps/knn.h"
+#include "apps/lastfm.h"
+#include "apps/sort.h"
+#include "apps/wordcount.h"
+
+namespace bmr::apps {
+
+const std::vector<AppCase>& AllApps() {
+  static const std::vector<AppCase> kApps = {
+      {"grep", "Distributed Grep", "Identity", false, "O(1)", MakeGrepJob},
+      {"sort", "Sort", "Sorting", true, "O(records)", MakeSortJob},
+      {"wordcount", "Word Count", "Aggregation", false, "O(keys)",
+       MakeWordCountJob},
+      {"knn", "k-Nearest Neighbors", "Selection", false, "O(k * keys)",
+       MakeKnnJob},
+      {"lastfm", "Last.fm unique listens", "Post-reduction processing", false,
+       "O(records)", MakeLastFmJob},
+      {"genetic", "Genetic Algorithms", "Cross-key operations", false,
+       "O(window_size)", MakeGeneticJob},
+      {"blackscholes", "Black Scholes", "Single Reducer Aggregation", false,
+       "O(1)", MakeBlackScholesJob},
+  };
+  return kApps;
+}
+
+const AppCase* FindApp(const std::string& name) {
+  for (const AppCase& app : AllApps()) {
+    if (app.name == name) return &app;
+  }
+  return nullptr;
+}
+
+}  // namespace bmr::apps

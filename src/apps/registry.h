@@ -1,0 +1,28 @@
+// Registry of the case-study applications with their Table 1 metadata
+// (Reduce classification, sort requirement, partial-result size class).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace bmr::apps {
+
+struct AppCase {
+  std::string name;            // "wordcount"
+  std::string application;     // Table 1's application label
+  std::string reduce_class;    // Table 1's classification
+  bool key_sort_required;      // Table 1 column 2
+  std::string partial_results; // Table 1 column 3 (memory complexity)
+  std::function<mr::JobSpec(const AppOptions&)> make_job;
+};
+
+/// All seven Reduce classes, in Table 1 order.
+const std::vector<AppCase>& AllApps();
+
+/// Lookup by name; nullptr if unknown.
+const AppCase* FindApp(const std::string& name);
+
+}  // namespace bmr::apps

@@ -1,0 +1,94 @@
+#include "apps/sort.h"
+
+#include <charconv>
+
+#include "common/serde.h"
+#include "core/incremental.h"
+#include "mr/api.h"
+
+namespace bmr::apps {
+
+namespace {
+
+int64_t ParseI64(Slice s) {
+  int64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+class SortMapper final : public mr::Mapper {
+ public:
+  void Map(Slice /*key*/, Slice value, mr::MapContext* ctx) override {
+    std::string key = EncodeOrderedI64(ParseI64(value));
+    ctx->Emit(Slice(key), Slice());
+  }
+};
+
+/// With barrier: Identity — the framework already sorted.
+class SortReducer final : public mr::Reducer {
+ public:
+  void Reduce(Slice key, mr::ValuesIterator* values,
+              mr::ReduceContext* ctx) override {
+    Slice value;
+    while (values->Next(&value)) ctx->Emit(key, value);
+  }
+};
+
+/// Without barrier: per-key duplicate count in the ordered store, keys
+/// re-emitted count times at the end in store order (§6.1.1).
+class SortIncremental final : public core::IncrementalReducer {
+ public:
+  std::string InitPartial(Slice /*key*/) override { return EncodeI64(0); }
+
+  void Update(Slice /*key*/, Slice /*value*/, std::string* partial,
+              mr::ReduceEmitter* /*out*/) override {
+    int64_t n = 0;
+    DecodeI64(Slice(*partial), &n);
+    *partial = EncodeI64(n + 1);
+  }
+
+  std::string MergePartials(Slice /*key*/, Slice a, Slice b) override {
+    int64_t x = 0, y = 0;
+    DecodeI64(a, &x);
+    DecodeI64(b, &y);
+    return EncodeI64(x + y);
+  }
+
+  void Finish(Slice key, Slice partial, mr::ReduceEmitter* out) override {
+    int64_t n = 0;
+    DecodeI64(partial, &n);
+    for (int64_t i = 0; i < n; ++i) out->Emit(key, Slice());
+  }
+};
+
+/// Linear range partitioner over the configured value range: makes
+/// part files globally ordered when concatenated in partition order.
+mr::PartitionFn RangePartitioner(int64_t min_value, int64_t max_value) {
+  return [min_value, max_value](Slice key, int parts) {
+    int64_t v = 0;
+    if (!DecodeOrderedI64(key, &v)) return 0;
+    if (v < min_value) v = min_value;
+    if (v > max_value) v = max_value;
+    double frac = max_value > min_value
+                      ? static_cast<double>(v - min_value) /
+                            (static_cast<double>(max_value - min_value) + 1)
+                      : 0.0;
+    int p = static_cast<int>(frac * parts);
+    return p >= parts ? parts - 1 : p;
+  };
+}
+
+}  // namespace
+
+mr::JobSpec MakeSortJob(const AppOptions& options) {
+  mr::JobSpec spec = BaseJob("sort", options);
+  spec.mapper = [] { return std::make_unique<SortMapper>(); };
+  spec.reducer = [] { return std::make_unique<SortReducer>(); };
+  spec.incremental = [] { return std::make_unique<SortIncremental>(); };
+  spec.partitioner =
+      RangePartitioner(options.extra.GetInt("sort.min", 0),
+                       options.extra.GetInt("sort.max", 1000000));
+  return spec;
+}
+
+}  // namespace bmr::apps

@@ -1,0 +1,93 @@
+#include "apps/wordcount.h"
+
+#include "common/serde.h"
+#include "core/incremental.h"
+#include "mr/api.h"
+
+namespace bmr::apps {
+
+std::string EncodeCount(int64_t count) { return EncodeI64(count); }
+
+int64_t DecodeCount(Slice value) {
+  int64_t v = 0;
+  DecodeI64(value, &v);
+  return v;
+}
+
+namespace {
+
+class WordCountMapper final : public mr::Mapper {
+ public:
+  void Map(Slice /*key*/, Slice value, mr::MapContext* ctx) override {
+    // Tokenize on single spaces (the generator's format); empty tokens
+    // are skipped so stray separators are harmless.
+    std::string_view line = value.view();
+    size_t pos = 0;
+    while (pos < line.size()) {
+      size_t space = line.find(' ', pos);
+      if (space == std::string_view::npos) space = line.size();
+      if (space > pos) {
+        ctx->Emit(Slice(line.data() + pos, space - pos), Slice(one_));
+      }
+      pos = space + 1;
+    }
+  }
+
+ private:
+  std::string one_ = EncodeCount(1);
+};
+
+class WordCountReducer final : public mr::Reducer {
+ public:
+  void Reduce(Slice key, mr::ValuesIterator* values,
+              mr::ReduceContext* ctx) override {
+    int64_t sum = 0;
+    Slice value;
+    while (values->Next(&value)) sum += DecodeCount(value);
+    std::string encoded = EncodeCount(sum);
+    ctx->Emit(key, Slice(encoded));
+  }
+};
+
+class WordCountCombiner final : public mr::Combiner {
+ public:
+  void Combine(Slice key, const std::vector<Slice>& values,
+               mr::MapEmitter* out) override {
+    int64_t sum = 0;
+    for (Slice v : values) sum += DecodeCount(v);
+    std::string encoded = EncodeCount(sum);
+    out->Emit(key, Slice(encoded));
+  }
+};
+
+/// Barrier-less: running count per word (Algorithm 2).
+class WordCountIncremental final : public core::IncrementalReducer {
+ public:
+  std::string InitPartial(Slice /*key*/) override { return EncodeCount(0); }
+
+  void Update(Slice /*key*/, Slice value, std::string* partial,
+              mr::ReduceEmitter* /*out*/) override {
+    *partial = EncodeCount(DecodeCount(Slice(*partial)) + DecodeCount(value));
+  }
+
+  /// Counts from different spill fragments simply add — the merge
+  /// function is the combiner, as §5.1 observes.
+  std::string MergePartials(Slice /*key*/, Slice a, Slice b) override {
+    return EncodeCount(DecodeCount(a) + DecodeCount(b));
+  }
+};
+
+}  // namespace
+
+mr::JobSpec MakeWordCountJob(const AppOptions& options) {
+  mr::JobSpec spec = BaseJob("wordcount", options);
+  spec.mapper = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer = [] { return std::make_unique<WordCountReducer>(); };
+  spec.incremental = [] { return std::make_unique<WordCountIncremental>(); };
+  if (options.extra.GetBool("wordcount.use_combiner", false)) {
+    spec.combiner = [] { return std::make_unique<WordCountCombiner>(); };
+  }
+  return spec;
+}
+
+}  // namespace bmr::apps

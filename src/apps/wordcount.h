@@ -1,0 +1,22 @@
+// WordCount — the Aggregation Reduce class (§3.2, §4.3).
+//
+// Map emits (word, 1).  With a barrier, Reduce receives all counts for
+// a word at once and sums them.  Without one, a running count per word
+// is kept as the partial result (O(keys) memory) — the TreeMap program
+// of Algorithm 2 / the paper's appendix.
+#pragma once
+
+#include "apps/app.h"
+
+namespace bmr::apps {
+
+/// Options.extra keys: "wordcount.use_combiner" (bool, default false —
+/// the paper's runs don't combine).
+mr::JobSpec MakeWordCountJob(const AppOptions& options);
+
+/// Value codec shared with tests/benches: counts travel as signed
+/// varints.
+std::string EncodeCount(int64_t count);
+int64_t DecodeCount(Slice value);
+
+}  // namespace bmr::apps

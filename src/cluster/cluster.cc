@@ -1,0 +1,47 @@
+#include "cluster/cluster.h"
+
+#include <cassert>
+
+namespace bmr::cluster {
+
+ClusterSpec PaperCluster() {
+  ClusterSpec spec;
+  spec.nodes.resize(16);
+  for (int i = 0; i < 16; ++i) {
+    spec.nodes[i].id = i;
+    spec.nodes[i].map_slots = 4;
+    spec.nodes[i].reduce_slots = 4;
+    spec.nodes[i].speed = 1.0;
+  }
+  spec.nodes[0].is_master = true;  // JobTracker + NameNode
+  spec.nodes[0].map_slots = 0;
+  spec.nodes[0].reduce_slots = 0;
+  return spec;
+}
+
+ClusterSpec SmallCluster(int slaves, int map_slots, int reduce_slots) {
+  assert(slaves >= 1);
+  ClusterSpec spec;
+  spec.nodes.resize(slaves + 1);
+  for (int i = 0; i <= slaves; ++i) {
+    spec.nodes[i].id = i;
+    spec.nodes[i].map_slots = map_slots;
+    spec.nodes[i].reduce_slots = reduce_slots;
+  }
+  spec.nodes[0].is_master = true;
+  spec.nodes[0].map_slots = 0;
+  spec.nodes[0].reduce_slots = 0;
+  spec.dfs_replication = slaves < 3 ? slaves : 3;
+  return spec;
+}
+
+void ApplyHeterogeneity(ClusterSpec* spec, double spread, uint64_t seed) {
+  assert(spread >= 0 && spread < 1.0);
+  Pcg32 rng(seed);
+  for (auto& node : spec->nodes) {
+    if (node.is_master) continue;
+    node.speed = 1.0 + spread * (2.0 * rng.NextDouble() - 1.0);
+  }
+}
+
+}  // namespace bmr::cluster

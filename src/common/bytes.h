@@ -1,0 +1,85 @@
+// Byte-string helpers: Slice (non-owning view with helpers beyond
+// std::string_view) and ByteBuffer (growable append-only buffer used by
+// the serde layer and by map-output segments).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bmr {
+
+/// Non-owning view over a run of bytes.  Thin wrapper over
+/// std::string_view adding consume-style parsing helpers.
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const char* data, size_t size) : view_(data, size) {}
+  Slice(std::string_view v) : view_(v) {}                    // NOLINT
+  Slice(const std::string& s) : view_(s) {}                  // NOLINT
+  Slice(const char* cstr) : view_(cstr) {}                   // NOLINT
+
+  const char* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+
+  char operator[](size_t i) const { return view_[i]; }
+
+  std::string_view view() const { return view_; }
+  std::string ToString() const { return std::string(view_); }
+
+  /// Drop the first n bytes from the front of the view.
+  void RemovePrefix(size_t n) { view_.remove_prefix(n); }
+
+  bool StartsWith(Slice prefix) const {
+    return view_.substr(0, prefix.size()) == prefix.view_;
+  }
+
+  int Compare(Slice other) const { return view_.compare(other.view_); }
+
+  bool operator==(const Slice& o) const { return view_ == o.view_; }
+  bool operator!=(const Slice& o) const { return view_ != o.view_; }
+  bool operator<(const Slice& o) const { return view_ < o.view_; }
+
+ private:
+  std::string_view view_;
+};
+
+/// Growable append-only byte buffer.  Cheaper bookkeeping than
+/// std::string for bulk record staging, and explicit about intent.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t reserve) { data_.reserve(reserve); }
+
+  void Append(const void* src, size_t n) {
+    const char* p = static_cast<const char*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+  void Append(Slice s) { Append(s.data(), s.size()); }
+  void PushByte(uint8_t b) { data_.push_back(static_cast<char>(b)); }
+
+  void Clear() { data_.clear(); }
+  void Reserve(size_t n) { data_.reserve(n); }
+
+  const char* data() const { return data_.data(); }
+  char* data() { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  size_t capacity() const { return data_.capacity(); }
+
+  Slice AsSlice() const { return Slice(data_.data(), data_.size()); }
+  std::string ToString() const { return std::string(data_.data(), data_.size()); }
+
+  void Resize(size_t n) { data_.resize(n); }
+
+  /// Steal the underlying storage, leaving this buffer empty.
+  std::vector<char> Release() { return std::move(data_); }
+
+ private:
+  std::vector<char> data_;
+};
+
+}  // namespace bmr

@@ -1,0 +1,53 @@
+// Non-cryptographic hashes used for partitioning and the KV store.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace bmr {
+
+/// FNV-1a 64-bit.  Stable across platforms; used by the default
+/// HashPartitioner so partition assignment is deterministic.
+inline uint64_t Fnv1a64(Slice s) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < s.size(); ++i) {
+    h ^= static_cast<uint8_t>(s[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// 64-bit avalanche mix (SplitMix64 finalizer).  Used to decorrelate
+/// sequential ids before modulo placement.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Murmur-inspired 64-bit string hash with a seed, for the KV store's
+/// bucket directory (distinct from the partitioner hash so that skew in
+/// one does not induce skew in the other).
+inline uint64_t SeededHash64(Slice s, uint64_t seed) {
+  uint64_t h = seed ^ (s.size() * 0xc6a4a7935bd1e995ull);
+  size_t i = 0;
+  while (i + 8 <= s.size()) {
+    uint64_t k;
+    __builtin_memcpy(&k, s.data() + i, 8);
+    k *= 0xc6a4a7935bd1e995ull;
+    k ^= k >> 47;
+    k *= 0xc6a4a7935bd1e995ull;
+    h ^= k;
+    h *= 0xc6a4a7935bd1e995ull;
+    i += 8;
+  }
+  while (i < s.size()) {
+    h ^= static_cast<uint64_t>(static_cast<uint8_t>(s[i])) << ((i % 8) * 8);
+    ++i;
+  }
+  return Mix64(h);
+}
+
+}  // namespace bmr

@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace bmr {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("BMR_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(env, "off") == 0) return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace log_internal {
+
+LogLevel CurrentLevel() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = InitLevelFromEnv();
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  static const char* names[] = {"D", "I", "W", "E"};
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n",
+               names[static_cast<int>(level)], base, line, msg.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace bmr

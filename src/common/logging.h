@@ -1,0 +1,50 @@
+// Minimal leveled logger.  Logging is off by default in tests/benches
+// (level = kWarn) and can be raised via BMR_LOG_LEVEL env or SetLevel().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bmr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_internal {
+
+LogLevel CurrentLevel();
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+/// Set the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+
+#define BMR_LOG(level)                                                   \
+  if (::bmr::LogLevel::level < ::bmr::log_internal::CurrentLevel()) {    \
+  } else                                                                 \
+    ::bmr::log_internal::LogMessage(::bmr::LogLevel::level, __FILE__,    \
+                                    __LINE__)                            \
+        .stream()
+
+#define BMR_DEBUG BMR_LOG(kDebug)
+#define BMR_INFO BMR_LOG(kInfo)
+#define BMR_WARN BMR_LOG(kWarn)
+#define BMR_ERROR BMR_LOG(kError)
+
+}  // namespace bmr

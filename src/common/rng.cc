@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bmr {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double exponent, uint64_t seed)
+    : n_(n), rng_(seed) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace bmr

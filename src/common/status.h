@@ -1,0 +1,150 @@
+// Lightweight error propagation used across all bmr modules.
+//
+// We deliberately avoid exceptions on hot paths (shuffle, reduce drivers):
+// a Status is returned and checked.  StatusOr<T> carries a value or an
+// error, similar in spirit to absl::StatusOr.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace bmr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,  // e.g. reducer heap overflow (the paper's OOM)
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kCancelled,
+  kUnimplemented,
+  kDataLoss,
+};
+
+/// Human-readable name for a StatusCode ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier.  An OK status stores no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK status to the caller.
+#define BMR_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::bmr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Assign the value of a StatusOr expression or propagate its error.
+#define BMR_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto BMR_CONCAT_(_so_, __LINE__) = (expr);   \
+  if (!BMR_CONCAT_(_so_, __LINE__).ok())       \
+    return BMR_CONCAT_(_so_, __LINE__).status(); \
+  lhs = std::move(BMR_CONCAT_(_so_, __LINE__)).value()
+
+#define BMR_CONCAT_INNER_(a, b) a##b
+#define BMR_CONCAT_(a, b) BMR_CONCAT_INNER_(a, b)
+
+}  // namespace bmr

@@ -1,0 +1,92 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace bmr {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TextTable::Pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+SeriesPrinter::SeriesPrinter(std::string title, std::string x_label,
+                             std::vector<std::string> series_names)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      names_(std::move(series_names)) {}
+
+void SeriesPrinter::AddPoint(double x, std::vector<double> ys) {
+  ys.resize(names_.size());
+  points_.emplace_back(x, std::move(ys));
+}
+
+void SeriesPrinter::Print() const {
+  std::printf("# %s\n", title_.c_str());
+  TextTable table([&] {
+    std::vector<std::string> h;
+    h.push_back(x_label_);
+    for (const auto& n : names_) h.push_back(n);
+    return h;
+  }());
+  for (const auto& [x, ys] : points_) {
+    std::vector<std::string> row;
+    row.push_back(TextTable::Num(x, 2));
+    for (double y : ys) row.push_back(TextTable::Num(y, 2));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace bmr

@@ -1,0 +1,49 @@
+// ASCII table / series printer used by every bench binary so that the
+// regenerated paper tables and figure series all share one format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bmr {
+
+/// Column-aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+  static std::string Pct(double v, int precision = 1);
+
+  /// Render with a separator line under the header.
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an (x, series...) line chart as rows, gnuplot-style data
+/// block, so the bench output both reads as a table and can be piped
+/// into a plotting tool.
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string title, std::string x_label,
+                std::vector<std::string> series_names);
+
+  void AddPoint(double x, std::vector<double> ys);
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+}  // namespace bmr

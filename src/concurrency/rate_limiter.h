@@ -1,0 +1,52 @@
+// Token-bucket rate limiter.  The real engine uses it to emulate
+// bounded-throughput components (the BerkeleyDB-like KV store's insert
+// rate) without a real disk; the cost is charged as virtual time, never
+// as a wall-clock sleep, so benches stay fast and deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace bmr {
+
+/// Deterministic virtual-time token bucket: Acquire(n) returns the
+/// virtual time at which n tokens become available, advancing internal
+/// state.  No blocking, no wall clock.
+class VirtualRateLimiter {
+ public:
+  /// rate: tokens per second; burst: bucket capacity in tokens.
+  VirtualRateLimiter(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst), last_time_(0) {}
+
+  /// Request n tokens at virtual time `now`.  Returns the virtual time
+  /// at which the request is satisfied (>= now).
+  double Acquire(double now, double n) {
+    Refill(now);
+    if (tokens_ >= n) {
+      tokens_ -= n;
+      return now;
+    }
+    double deficit = n - tokens_;
+    tokens_ = 0;
+    double ready = last_time_ + deficit / rate_;
+    last_time_ = ready;
+    return ready;
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  void Refill(double now) {
+    if (now > last_time_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_time_) * rate_);
+      last_time_ = now;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_time_;
+};
+
+}  // namespace bmr

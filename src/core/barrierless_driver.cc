@@ -1,0 +1,83 @@
+#include "core/barrierless_driver.h"
+
+namespace bmr::core {
+
+BarrierlessDriver::BarrierlessDriver(IncrementalReducer* reducer,
+                                     const StoreConfig& store_config,
+                                     const Config& job_config)
+    : reducer_(reducer) {
+  reducer_->Setup(job_config);
+  if (reducer_->UsesStore()) {
+    store_ = CreatePartialStore(store_config);
+  }
+}
+
+Status BarrierlessDriver::Consume(Slice key, Slice value,
+                                  mr::ReduceEmitter* out) {
+  if (finalized_) {
+    return Status::FailedPrecondition("Consume after Finalize");
+  }
+  ++records_consumed_;
+  if (!store_) {
+    // Identity / cross-key reducers: no per-key partial results.
+    reducer_->Update(key, value, /*partial=*/nullptr, out);
+    return Status::Ok();
+  }
+  if (!store_->Get(key, &partial_scratch_)) {
+    partial_scratch_ = reducer_->InitPartial(key);
+  }
+  reducer_->Update(key, value, &partial_scratch_, out);
+  return store_->Put(key, Slice(partial_scratch_));
+}
+
+Status BarrierlessDriver::Finalize(mr::ReduceEmitter* out) {
+  return FinalizeWithSnapshot(out, nullptr);
+}
+
+Status BarrierlessDriver::PreloadPartial(Slice key, Slice partial) {
+  if (finalized_) {
+    return Status::FailedPrecondition("PreloadPartial after Finalize");
+  }
+  if (records_consumed_ > 0) {
+    return Status::FailedPrecondition(
+        "PreloadPartial must precede the first Consume");
+  }
+  if (!store_) return Status::Ok();  // stateless reducers: nothing to seed
+  return store_->Put(key, partial);
+}
+
+Status BarrierlessDriver::EmitSnapshot(mr::ReduceEmitter* out) {
+  if (finalized_) return Status::FailedPrecondition("snapshot after Finalize");
+  if (!store_) return Status::Ok();  // stateless reducers emit eagerly
+  IncrementalReducer* reducer = reducer_;
+  return store_->ForEachCurrent(
+      [reducer](Slice key, Slice a, Slice b) {
+        return reducer->MergePartials(key, a, b);
+      },
+      [reducer, out](Slice key, Slice partial) {
+        reducer->Finish(key, partial, out);
+      });
+}
+
+Status BarrierlessDriver::FinalizeWithSnapshot(
+    mr::ReduceEmitter* out, std::vector<mr::Record>* snapshot) {
+  if (finalized_) return Status::Ok();
+  finalized_ = true;
+  if (store_) {
+    IncrementalReducer* reducer = reducer_;
+    BMR_RETURN_IF_ERROR(store_->ForEachMerged(
+        [reducer](Slice key, Slice a, Slice b) {
+          return reducer->MergePartials(key, a, b);
+        },
+        [reducer, out, snapshot](Slice key, Slice partial) {
+          if (snapshot != nullptr) {
+            snapshot->emplace_back(key.ToString(), partial.ToString());
+          }
+          reducer->Finish(key, partial, out);
+        }));
+  }
+  reducer_->Flush(out);
+  return Status::Ok();
+}
+
+}  // namespace bmr::core

@@ -1,0 +1,34 @@
+// In-memory partial-result store: the ordered-map (Java TreeMap)
+// baseline of Section 3.2.  Fast, but fails with RESOURCE_EXHAUSTED
+// when the estimated footprint crosses the heap cap — reproducing the
+// Fig. 5(a) out-of-memory job kill.
+#pragma once
+
+#include <map>
+
+#include "core/ordered_map.h"
+#include "core/partial_store.h"
+
+namespace bmr::core {
+
+class InMemoryStore final : public PartialStore {
+ public:
+  explicit InMemoryStore(const StoreConfig& config);
+
+  bool Get(Slice key, std::string* partial) override;
+  Status Put(Slice key, Slice partial) override;
+  uint64_t NumKeys() const override { return map_.size(); }
+  uint64_t MemoryBytes() const override { return memory_bytes_; }
+  Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
+  Status ForEachCurrent(const MergeFn& merge,
+                        const EmitFn& fn) const override;
+  const StoreStats& stats() const override { return stats_; }
+
+ private:
+  StoreConfig config_;
+  OrderedPartialMap map_;
+  uint64_t memory_bytes_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace bmr::core

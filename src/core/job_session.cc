@@ -1,0 +1,36 @@
+#include "core/job_session.h"
+
+namespace bmr::core {
+
+void JobSession::Save(int reducer, std::vector<mr::Record> partials) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partials_[reducer] = std::move(partials);
+}
+
+const std::vector<mr::Record>* JobSession::Get(int reducer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = partials_.find(reducer);
+  return it == partials_.end() ? nullptr : &it->second;
+}
+
+bool JobSession::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [r, v] : partials_) {
+    if (!v.empty()) return false;
+  }
+  return true;
+}
+
+uint64_t JobSession::TotalPartials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [r, v] : partials_) n += v.size();
+  return n;
+}
+
+void JobSession::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partials_.clear();
+}
+
+}  // namespace bmr::core

@@ -1,0 +1,30 @@
+// Ordered (key → partial) map with a pluggable comparator — the role
+// the paper's Java TreeMap (red-black tree) plays.  std::map is a
+// red-black tree in every mainstream stdlib, so the asymptotics match
+// the paper's analysis (O(log n) insert vs the framework's merge sort,
+// which is what makes barrier-less Sort slightly lose in Fig. 6(a)).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mr/types.h"
+
+namespace bmr::core {
+
+struct KeyLess {
+  mr::KeyCompareFn cmp;  // null => bytewise
+
+  bool operator()(const std::string& a, const std::string& b) const {
+    if (!cmp) return a < b;
+    return cmp(Slice(a), Slice(b)) < 0;
+  }
+};
+
+using OrderedPartialMap = std::map<std::string, std::string, KeyLess>;
+
+inline OrderedPartialMap MakeOrderedPartialMap(const mr::KeyCompareFn& cmp) {
+  return OrderedPartialMap(KeyLess{cmp});
+}
+
+}  // namespace bmr::core

@@ -1,0 +1,116 @@
+// Partial-result storage for barrier-less reducers (Section 5).
+//
+// Memory complexity of partial results ranges from O(1) to O(records)
+// depending on the Reduce class (Table 1); for large inputs the reducer
+// heap overflows, so storage is pluggable:
+//
+//   kInMemory   — ordered map, fails with RESOURCE_EXHAUSTED at the heap
+//                 cap (reproduces the Fig. 5(a) OOM).
+//   kSpillMerge — §5.1: on reaching a threshold, partial results are
+//                 sorted and moved to a local spill file; a final k-way
+//                 merge combines per-key fragments with the app's merge
+//                 function.
+//   kKvStore    — §5.2: a BerkeleyDB-like disk-spilling key/value store
+//                 with an LRU cache; every record costs a read-modify-
+//                 update cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "mr/types.h"
+
+namespace bmr::core {
+
+enum class StoreType { kInMemory, kSpillMerge, kKvStore };
+
+const char* StoreTypeName(StoreType type);
+
+struct StoreConfig {
+  StoreType type = StoreType::kInMemory;
+  /// Hard heap cap for partial results; exceeded => RESOURCE_EXHAUSTED
+  /// (the job is killed, as in Fig. 5(a)).  0 = unlimited.
+  uint64_t heap_limit_bytes = 0;
+  /// kSpillMerge: spill to disk when estimated memory reaches this.
+  uint64_t spill_threshold_bytes = 240ull << 20;  // paper's 240 MB
+  /// Directory for spill files / KV store logs ("" = std temp dir).
+  std::string scratch_dir;
+  /// kKvStore: LRU cache capacity in bytes.
+  uint64_t kv_cache_bytes = 64ull << 20;
+  /// kKvStore: modeled sustained ops/sec of the store (the paper
+  /// measured ~30k inserts/sec for BerkeleyDB JE).  Used for virtual-
+  /// time charging, not wall-clock throttling.
+  double kv_ops_per_sec = 30000.0;
+  /// Modeled local-disk sequential bandwidth for spill I/O charging.
+  double disk_bytes_per_sec = 80e6;
+  /// Key ordering used for final emission and spill sorting.
+  mr::KeyCompareFn key_cmp;  // defaults to bytewise when null
+};
+
+/// Estimated in-memory footprint of one (key, partial) entry.  Mirrors
+/// the JVM-era accounting the paper's heap plots reflect: payload plus
+/// a per-entry object/tree-node overhead.
+inline uint64_t EntryFootprint(size_t key_size, size_t value_size) {
+  constexpr uint64_t kPerEntryOverhead = 64;  // tree node + object headers
+  return key_size + value_size + kPerEntryOverhead;
+}
+
+/// Cumulative statistics a store exposes for benches and the simulator's
+/// cost calibration.
+struct StoreStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t spills = 0;           // spill-file flushes
+  uint64_t spilled_bytes = 0;
+  uint64_t disk_reads = 0;       // KV store cache misses
+  uint64_t disk_read_bytes = 0;
+  uint64_t peak_memory_bytes = 0;
+  /// Virtual seconds charged for modeled device costs (KV store ops,
+  /// spill I/O).  Added to the reducer's virtual runtime by simmr.
+  double charged_seconds = 0;
+};
+
+/// Per-key partial-result storage.  Single-threaded: each reduce task
+/// owns exactly one store (matching one store per Reducer in the paper).
+class PartialStore {
+ public:
+  virtual ~PartialStore() = default;
+
+  /// Fetch the current partial result for `key`; false if absent.
+  virtual bool Get(Slice key, std::string* partial) = 0;
+
+  /// Insert or replace the partial result for `key`.  May return
+  /// RESOURCE_EXHAUSTED (in-memory store at its heap cap) or I/O errors.
+  virtual Status Put(Slice key, Slice partial) = 0;
+
+  /// Number of keys currently tracked (including spilled ones).
+  virtual uint64_t NumKeys() const = 0;
+
+  /// Estimated bytes of partial results currently held in memory.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  /// Iterate every key in key order with its fully merged partial
+  /// result, invoking `fn(key, partial)`.  `merge` combines fragments
+  /// of the same key from different spills.  Destructive: the store is
+  /// drained.  Called exactly once, after the last Update.
+  using MergeFn = std::function<std::string(Slice key, Slice a, Slice b)>;
+  using EmitFn = std::function<void(Slice key, Slice partial)>;
+  virtual Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) = 0;
+
+  /// Non-destructive variant: iterate the *current* merged partials in
+  /// key order without draining the store, so folding can continue
+  /// afterwards.  Powers progressive (online) result snapshots.
+  virtual Status ForEachCurrent(const MergeFn& merge,
+                                const EmitFn& fn) const = 0;
+
+  virtual const StoreStats& stats() const = 0;
+};
+
+/// Factory over StoreConfig.
+std::unique_ptr<PartialStore> CreatePartialStore(const StoreConfig& config);
+
+}  // namespace bmr::core

@@ -1,0 +1,28 @@
+#include "core/scratch_dir.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace bmr::core {
+
+namespace {
+std::atomic<uint64_t> g_scratch_counter{0};
+}
+
+ScratchDir::ScratchDir(const std::string& base) {
+  namespace fs = std::filesystem;
+  fs::path root = base.empty() ? fs::temp_directory_path() : fs::path(base);
+  // Unique name from pid + global counter; no randomness needed.
+  uint64_t n = g_scratch_counter.fetch_add(1);
+  path_ = (root / ("bmr_scratch_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(n)))
+              .string();
+  fs::create_directories(path_);
+}
+
+ScratchDir::~ScratchDir() {
+  std::error_code ec;  // best-effort cleanup; ignore failures
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace bmr::core

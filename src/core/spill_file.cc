@@ -1,0 +1,130 @@
+#include "core/spill_file.h"
+
+#include "common/serde.h"
+
+namespace bmr::core {
+
+namespace {
+constexpr size_t kIoBufferBytes = 64 << 10;
+}
+
+SpillFileWriter::SpillFileWriter(std::string path) : path_(std::move(path)) {}
+
+SpillFileWriter::~SpillFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillFileWriter::Open() {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open spill file for write: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status SpillFileWriter::Append(Slice key, Slice value) {
+  ByteBuffer buf(key.size() + value.size() + 20);
+  Encoder enc(&buf);
+  enc.PutString(key);
+  enc.PutString(value);
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return Status::Internal("short write to spill file: " + path_);
+  }
+  bytes_written_ += buf.size();
+  ++records_written_;
+  return Status::Ok();
+}
+
+Status SpillFileWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::Internal("close failed: " + path_);
+  return Status::Ok();
+}
+
+SpillFileReader::SpillFileReader(std::string path) : path_(std::move(path)) {}
+
+SpillFileReader::~SpillFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillFileReader::Open() {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open spill file for read: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status SpillFileReader::FillBuffer(size_t need) {
+  // Compact consumed prefix, then top up to at least `need` available.
+  if (buffer_pos_ > 0) {
+    buffer_.erase(0, buffer_pos_);
+    buffer_pos_ = 0;
+  }
+  while (buffer_.size() < need && !eof_) {
+    size_t old = buffer_.size();
+    size_t chunk = std::max(need - old, kIoBufferBytes);
+    buffer_.resize(old + chunk);
+    size_t n = std::fread(buffer_.data() + old, 1, chunk, file_);
+    buffer_.resize(old + n);
+    bytes_read_ += n;
+    if (n < chunk) eof_ = true;
+  }
+  if (buffer_.size() < need) {
+    return Status::DataLoss("truncated spill file: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status SpillFileReader::ReadVarint(uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (buffer_pos_ >= buffer_.size()) {
+      BMR_RETURN_IF_ERROR(FillBuffer(1));
+    }
+    uint8_t byte = static_cast<uint8_t>(buffer_[buffer_pos_++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) {
+      *v = result;
+      return Status::Ok();
+    }
+  }
+  return Status::DataLoss("overlong varint in spill file");
+}
+
+Status SpillFileReader::ReadBytes(std::string* out, size_t n) {
+  if (buffer_.size() - buffer_pos_ < n) {
+    size_t deficit = n - (buffer_.size() - buffer_pos_);
+    BMR_RETURN_IF_ERROR(FillBuffer(buffer_.size() - buffer_pos_ + deficit));
+  }
+  out->assign(buffer_.data() + buffer_pos_, n);
+  buffer_pos_ += n;
+  return Status::Ok();
+}
+
+Status SpillFileReader::Next(std::string* key, std::string* value,
+                             bool* has_record) {
+  // End of file is only legitimate exactly at a record boundary.
+  if (buffer_pos_ >= buffer_.size() && eof_) {
+    *has_record = false;
+    return Status::Ok();
+  }
+  if (buffer_pos_ >= buffer_.size()) {
+    Status st = FillBuffer(1);
+    if (!st.ok() || (buffer_pos_ >= buffer_.size() && eof_)) {
+      *has_record = false;
+      return Status::Ok();
+    }
+  }
+  uint64_t klen, vlen;
+  BMR_RETURN_IF_ERROR(ReadVarint(&klen));
+  BMR_RETURN_IF_ERROR(ReadBytes(key, klen));
+  BMR_RETURN_IF_ERROR(ReadVarint(&vlen));
+  BMR_RETURN_IF_ERROR(ReadBytes(value, vlen));
+  *has_record = true;
+  return Status::Ok();
+}
+
+}  // namespace bmr::core

@@ -1,0 +1,68 @@
+// Sorted on-disk runs of (key, partial) pairs for the spill-and-merge
+// scheme.  Format: repeated [varint key_len][key][varint val_len][val].
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace bmr::core {
+
+class SpillFileWriter {
+ public:
+  explicit SpillFileWriter(std::string path);
+  ~SpillFileWriter();
+
+  SpillFileWriter(const SpillFileWriter&) = delete;
+  SpillFileWriter& operator=(const SpillFileWriter&) = delete;
+
+  Status Open();
+  Status Append(Slice key, Slice value);
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t records_written() const { return records_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t bytes_written_ = 0;
+  uint64_t records_written_ = 0;
+};
+
+/// Sequential reader with an internal buffer; one record look-ahead so
+/// it can act as a merge head.
+class SpillFileReader {
+ public:
+  explicit SpillFileReader(std::string path);
+  ~SpillFileReader();
+
+  SpillFileReader(const SpillFileReader&) = delete;
+  SpillFileReader& operator=(const SpillFileReader&) = delete;
+
+  Status Open();
+
+  /// Read the next record.  Returns OK+true via *has_record, or
+  /// OK+false at end of file, or an error on corruption.
+  Status Next(std::string* key, std::string* value, bool* has_record);
+
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  Status FillBuffer(size_t need);
+  Status ReadVarint(uint64_t* v);
+  Status ReadBytes(std::string* out, size_t n);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  bool eof_ = false;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace bmr::core

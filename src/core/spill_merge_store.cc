@@ -1,0 +1,180 @@
+#include "core/spill_merge_store.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace bmr::core {
+
+SpillMergeStore::SpillMergeStore(const StoreConfig& config)
+    : config_(config),
+      scratch_(config.scratch_dir),
+      memtable_(MakeOrderedPartialMap(config.key_cmp)) {}
+
+bool SpillMergeStore::Get(Slice key, std::string* partial) {
+  ++stats_.gets;
+  // Only the memtable is consulted: spilled fragments stay on disk and
+  // are reconciled in the merge phase.  A key that was spilled restarts
+  // from InitPartial, exactly as in the paper's scheme.
+  auto it = memtable_.find(key.ToString());
+  if (it == memtable_.end()) return false;
+  *partial = it->second;
+  return true;
+}
+
+Status SpillMergeStore::Put(Slice key, Slice partial) {
+  ++stats_.puts;
+  auto [it, inserted] = memtable_.try_emplace(key.ToString());
+  if (inserted) {
+    memory_bytes_ += EntryFootprint(key.size(), partial.size());
+    ++approx_keys_;
+    ++memtable_keys_;
+  } else {
+    memory_bytes_ += partial.size();
+    memory_bytes_ -= it->second.size();
+  }
+  it->second.assign(partial.data(), partial.size());
+  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, memory_bytes_);
+
+  if (config_.heap_limit_bytes != 0 &&
+      memory_bytes_ > config_.heap_limit_bytes) {
+    return Status::ResourceExhausted("spill store exceeded heap cap");
+  }
+  if (memory_bytes_ >= config_.spill_threshold_bytes && !memtable_.empty()) {
+    return SpillNow();
+  }
+  return Status::Ok();
+}
+
+Status SpillMergeStore::SpillNow() {
+  if (memtable_.empty()) return Status::Ok();
+  std::string path =
+      scratch_.FilePath("spill_" + std::to_string(spill_paths_.size()));
+  SpillFileWriter writer(path);
+  BMR_RETURN_IF_ERROR(writer.Open());
+  for (const auto& [key, partial] : memtable_) {
+    BMR_RETURN_IF_ERROR(writer.Append(Slice(key), Slice(partial)));
+  }
+  BMR_RETURN_IF_ERROR(writer.Close());
+  spill_paths_.push_back(path);
+  ++stats_.spills;
+  stats_.spilled_bytes += writer.bytes_written();
+  if (config_.disk_bytes_per_sec > 0) {
+    stats_.charged_seconds +=
+        writer.bytes_written() / config_.disk_bytes_per_sec;
+  }
+  memtable_.clear();
+  memory_bytes_ = 0;
+  memtable_keys_ = 0;
+  return Status::Ok();
+}
+
+uint64_t SpillMergeStore::NumKeys() const { return approx_keys_; }
+
+Status SpillMergeStore::ForEachMerged(const MergeFn& merge, const EmitFn& fn) {
+  BMR_RETURN_IF_ERROR(MergeScan(merge, fn));
+  memtable_.clear();
+  memory_bytes_ = 0;
+  memtable_keys_ = 0;
+  approx_keys_ = 0;
+  return Status::Ok();
+}
+
+Status SpillMergeStore::ForEachCurrent(const MergeFn& merge,
+                                       const EmitFn& fn) const {
+  // Logically const: the scan re-opens the spill files read-only and
+  // walks the memtable; only statistics counters move.
+  return const_cast<SpillMergeStore*>(this)->MergeScan(merge, fn);
+}
+
+Status SpillMergeStore::MergeScan(const MergeFn& merge, const EmitFn& fn) {
+  // Merge heads: every spill file plus the live memtable, all already
+  // in key order.  Standard loser-tree-free k-way merge over a heap.
+  struct Head {
+    std::string key;
+    std::string value;
+    size_t source;  // spill index, or spills.size() for the memtable
+  };
+  mr::KeyCompareFn cmp = config_.key_cmp;
+  auto key_less = [&cmp](const Slice a, const Slice b) {
+    return cmp ? cmp(a, b) < 0 : a.view() < b.view();
+  };
+  // Heap orders by (key asc, source asc) — source order keeps the merge
+  // fold deterministic (spill order, then memtable), matching the order
+  // in which the fragments were produced.
+  auto head_greater = [&key_less](const Head& a, const Head& b) {
+    if (key_less(Slice(a.key), Slice(b.key))) return false;
+    if (key_less(Slice(b.key), Slice(a.key))) return true;
+    return a.source > b.source;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(head_greater)> heap(
+      head_greater);
+
+  std::vector<std::unique_ptr<SpillFileReader>> readers;
+  readers.reserve(spill_paths_.size());
+  for (const auto& path : spill_paths_) {
+    readers.push_back(std::make_unique<SpillFileReader>(path));
+    BMR_RETURN_IF_ERROR(readers.back()->Open());
+  }
+  auto advance_reader = [&](size_t idx) -> Status {
+    Head h;
+    h.source = idx;
+    bool has;
+    BMR_RETURN_IF_ERROR(readers[idx]->Next(&h.key, &h.value, &has));
+    if (has) {
+      stats_.disk_read_bytes += h.key.size() + h.value.size();
+      ++stats_.disk_reads;
+      heap.push(std::move(h));
+    }
+    return Status::Ok();
+  };
+  for (size_t i = 0; i < readers.size(); ++i) {
+    BMR_RETURN_IF_ERROR(advance_reader(i));
+  }
+  auto memtable_it = memtable_.begin();
+  auto push_memtable_head = [&] {
+    if (memtable_it != memtable_.end()) {
+      heap.push(Head{memtable_it->first, memtable_it->second,
+                     spill_paths_.size()});
+      ++memtable_it;
+    }
+  };
+  push_memtable_head();
+
+  std::string current_key;
+  std::string current_partial;
+  bool have_current = false;
+  auto flush_current = [&] {
+    if (have_current) fn(Slice(current_key), Slice(current_partial));
+    have_current = false;
+  };
+
+  while (!heap.empty()) {
+    Head h = heap.top();
+    heap.pop();
+    if (h.source < readers.size()) {
+      BMR_RETURN_IF_ERROR(advance_reader(h.source));
+    } else {
+      push_memtable_head();
+    }
+    bool same_key = have_current && !key_less(Slice(current_key), Slice(h.key)) &&
+                    !key_less(Slice(h.key), Slice(current_key));
+    if (same_key) {
+      current_partial =
+          merge ? merge(Slice(h.key), Slice(current_partial), Slice(h.value))
+                : std::move(h.value);
+    } else {
+      flush_current();
+      current_key = std::move(h.key);
+      current_partial = std::move(h.value);
+      have_current = true;
+    }
+  }
+  flush_current();
+
+  if (config_.disk_bytes_per_sec > 0) {
+    stats_.charged_seconds += stats_.disk_read_bytes / config_.disk_bytes_per_sec;
+  }
+  return Status::Ok();
+}
+
+}  // namespace bmr::core

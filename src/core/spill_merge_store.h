@@ -1,0 +1,57 @@
+// Disk spill-and-merge partial-result store (Section 5.1).
+//
+// Partial results accumulate in an ordered memtable; when the estimated
+// footprint reaches the threshold, the whole memtable is written — in
+// key order — to a new local spill file and memory is released.  A key
+// may therefore have fragments in several spill files plus the live
+// memtable; the final pass k-way merges all runs and folds fragments of
+// equal keys together with the application's merge function (which the
+// paper notes is usually the same as its combiner).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/ordered_map.h"
+#include "core/partial_store.h"
+#include "core/scratch_dir.h"
+#include "core/spill_file.h"
+
+namespace bmr::core {
+
+class SpillMergeStore final : public PartialStore {
+ public:
+  explicit SpillMergeStore(const StoreConfig& config);
+
+  bool Get(Slice key, std::string* partial) override;
+  Status Put(Slice key, Slice partial) override;
+  uint64_t NumKeys() const override;
+  uint64_t MemoryBytes() const override { return memory_bytes_; }
+  Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
+  Status ForEachCurrent(const MergeFn& merge,
+                        const EmitFn& fn) const override;
+  const StoreStats& stats() const override { return stats_; }
+
+  /// Exposed for tests/benches: force a spill regardless of threshold.
+  Status SpillNow();
+
+  size_t num_spill_files() const { return spill_paths_.size(); }
+
+ private:
+  /// Shared k-way merge over spill files + memtable; leaves all state
+  /// intact (callers clear separately when draining).
+  Status MergeScan(const MergeFn& merge, const EmitFn& fn);
+
+  StoreConfig config_;
+  ScratchDir scratch_;
+  OrderedPartialMap memtable_;
+  uint64_t memory_bytes_ = 0;
+  /// Upper bound on distinct keys (over-counts keys split across
+  /// spills); exact count requires the merge pass.
+  uint64_t approx_keys_ = 0;
+  uint64_t memtable_keys_ = 0;
+  std::vector<std::string> spill_paths_;
+  StoreStats stats_;
+};
+
+}  // namespace bmr::core

@@ -1,0 +1,203 @@
+// Distributed file system substrate (HDFS stand-in).
+//
+// Files are split into fixed-size blocks.  A NameNode (on the master)
+// keeps path → block metadata and picks replica placements with the
+// write-local-first policy the paper highlights; DataNodes (one per
+// slave) store block bytes and serve ranged reads over the RPC fabric.
+// A DfsClient per node provides create/append/close, positional reads
+// and replica failover.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/rpc.h"
+
+namespace bmr::dfs {
+
+struct BlockLocation {
+  uint64_t block_id = 0;
+  uint64_t size = 0;
+  std::vector<int> replicas;  // data node ids, placement order
+};
+
+struct FileInfo {
+  std::string path;
+  uint64_t size = 0;
+  std::vector<BlockLocation> blocks;
+};
+
+/// NameNode: file namespace and block placement.  Lives behind RPC
+/// methods "nn.*" on the master node; the typed API below is what the
+/// client stubs call into after decoding.
+class NameNode {
+ public:
+  NameNode(int num_nodes, int replication, uint64_t block_bytes);
+
+  Status Create(const std::string& path);
+  /// Allocate the next block of `path`, placing `replication` replicas
+  /// starting at the writer's node (write-local policy).
+  StatusOr<BlockLocation> AddBlock(const std::string& path, int writer_node,
+                                   uint64_t size);
+  StatusOr<FileInfo> GetFileInfo(const std::string& path) const;
+  Status Delete(const std::string& path);
+  std::vector<std::string> ListFiles() const;
+  bool Exists(const std::string& path) const;
+
+  uint64_t block_bytes() const { return block_bytes_; }
+  int replication() const { return replication_; }
+
+  /// Exclude a node from future placements (it died).
+  void MarkDead(int node);
+
+  /// One block copy needed to restore the replication factor after a
+  /// node loss.
+  struct RepairAction {
+    std::string path;
+    size_t block_index = 0;
+    uint64_t block_id = 0;
+    int source = -1;  // a surviving replica
+    int target = -1;  // chosen live node
+  };
+
+  /// Plan re-replication for every block that lost a replica on `dead`,
+  /// reserving targets; call ConfirmRepair once the copy succeeded.
+  std::vector<RepairAction> PlanRepairs(int dead);
+
+  /// Record the new replica in the block's metadata (replacing the
+  /// dead node's entry).
+  Status ConfirmRepair(const RepairAction& action, int dead);
+
+ private:
+  int PickNextReplica(int exclude_first, const std::vector<int>& chosen);
+
+  mutable std::mutex mu_;
+  int num_nodes_;
+  int replication_;
+  uint64_t block_bytes_;
+  uint64_t next_block_id_ = 1;
+  int rr_cursor_ = 0;
+  std::vector<bool> dead_;
+  std::unordered_map<std::string, FileInfo> files_;
+};
+
+/// DataNode: in-memory block store for one simulated machine, plus the
+/// RPC service wrapper.
+class DataNode {
+ public:
+  explicit DataNode(int node_id) : node_id_(node_id) {}
+
+  Status PutBlock(uint64_t block_id, Slice data);
+  Status ReadBlock(uint64_t block_id, uint64_t offset, uint64_t len,
+                   ByteBuffer* out) const;
+  bool HasBlock(uint64_t block_id) const;
+  uint64_t stored_bytes() const;
+  size_t num_blocks() const;
+
+  int node_id() const { return node_id_; }
+
+ private:
+  int node_id_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::string> blocks_;
+  uint64_t stored_bytes_ = 0;
+};
+
+/// The whole DFS: NameNode + DataNodes wired onto an RpcFabric.
+/// Master node id 0 hosts the NameNode service.
+class Dfs {
+ public:
+  /// Registers nn.* on node 0 and dn.* on every node.
+  Dfs(net::RpcFabric* fabric, int replication, uint64_t block_bytes);
+
+  net::RpcFabric* fabric() { return fabric_; }
+  uint64_t block_bytes() const { return block_bytes_; }
+
+  /// Simulate a machine loss: drop its DataNode service and blocks and
+  /// exclude it from future placement.  Surviving replicas are then
+  /// re-replicated onto live nodes (HDFS-style repair), so a second
+  /// failure does not lose data.
+  void KillDataNode(int node);
+
+  /// Blocks copied by the last KillDataNode repair pass.
+  uint64_t blocks_re_replicated() const { return blocks_re_replicated_; }
+
+  // Direct (non-RPC) access for tests and for the master-side planner.
+  NameNode* name_node() { return name_node_.get(); }
+  DataNode* data_node(int node) { return data_nodes_[node].get(); }
+
+ private:
+  void RegisterNameNodeService();
+  void RegisterDataNodeService(int node);
+
+  net::RpcFabric* fabric_;
+  uint64_t block_bytes_;
+  std::unique_ptr<NameNode> name_node_;
+  std::vector<std::unique_ptr<DataNode>> data_nodes_;
+  std::vector<bool> node_dead_;
+  uint64_t blocks_re_replicated_ = 0;
+};
+
+/// Per-node client stub.  All traffic goes through the RPC fabric so it
+/// is metered like any other remote I/O.
+class DfsClient {
+ public:
+  DfsClient(Dfs* dfs, int node_id) : dfs_(dfs), node_id_(node_id) {}
+
+  /// Streaming writer; buffers into blocks and replicates on Close/roll.
+  class Writer {
+   public:
+    Writer(DfsClient* client, std::string path);
+    Status Append(Slice data);
+    Status Close();
+    uint64_t bytes_written() const { return bytes_written_; }
+
+   private:
+    Status FlushBlock();
+
+    DfsClient* client_;
+    std::string path_;
+    ByteBuffer buffer_;
+    uint64_t bytes_written_ = 0;
+    bool closed_ = false;
+  };
+
+  StatusOr<std::unique_ptr<Writer>> Create(const std::string& path);
+  StatusOr<FileInfo> GetFileInfo(const std::string& path);
+  Status Delete(const std::string& path);
+  bool Exists(const std::string& path);
+
+  /// All file paths starting with `prefix`, sorted ("" = everything).
+  StatusOr<std::vector<std::string>> ListFiles(const std::string& prefix);
+
+  /// Positional read of [offset, offset+len) into out (may return fewer
+  /// bytes at EOF).  Prefers a local replica; fails over across replicas.
+  Status Pread(const std::string& path, uint64_t offset, uint64_t len,
+               ByteBuffer* out);
+
+  /// Convenience: read a whole (small) file into a string.
+  StatusOr<std::string> ReadAll(const std::string& path);
+
+  /// Write a whole buffer as a new file.
+  Status WriteFile(const std::string& path, Slice contents);
+
+  int node_id() const { return node_id_; }
+  Dfs* dfs() { return dfs_; }
+
+ private:
+  friend class Writer;
+  Status WriteBlock(const std::string& path, Slice data);
+  Status ReadBlockRange(const BlockLocation& loc, uint64_t offset,
+                        uint64_t len, ByteBuffer* out);
+
+  Dfs* dfs_;
+  int node_id_;
+};
+
+}  // namespace bmr::dfs

@@ -1,0 +1,68 @@
+// User-facing Map / Reduce / Combine interfaces (the barrier-mode
+// programming model; the barrier-less model is core/incremental.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/config.h"
+#include "mr/emitter.h"
+#include "mr/types.h"
+
+namespace bmr::mr {
+
+/// Context handed to Map: an emitter plus job config and counters.
+class MapContext : public MapEmitter {
+ public:
+  virtual const Config& config() const = 0;
+  virtual Counters* counters() = 0;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Setup(MapContext* ctx) { (void)ctx; }
+  /// `key` is input-format defined (byte offset for text lines), and
+  /// `value` is the record body (the line).
+  virtual void Map(Slice key, Slice value, MapContext* ctx) = 0;
+  virtual void Cleanup(MapContext* ctx) { (void)ctx; }
+};
+
+/// Iteration over the values of one key group in barrier mode.
+class ValuesIterator {
+ public:
+  virtual ~ValuesIterator() = default;
+  virtual bool Next(Slice* value) = 0;
+};
+
+class ReduceContext : public ReduceEmitter {
+ public:
+  virtual const Config& config() const = 0;
+  virtual Counters* counters() = 0;
+};
+
+/// Barrier-mode Reducer: invoked once per key group with all values,
+/// after the shuffle barrier and merge sort (Figure 2).
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Setup(ReduceContext* ctx) { (void)ctx; }
+  virtual void Reduce(Slice key, ValuesIterator* values,
+                      ReduceContext* ctx) = 0;
+  virtual void Cleanup(ReduceContext* ctx) { (void)ctx; }
+};
+
+/// Map-side combiner: folds one key's buffered values before shuffle.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+  virtual void Combine(Slice key, const std::vector<Slice>& values,
+                       MapEmitter* out) = 0;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+using CombinerFactory = std::function<std::unique_ptr<Combiner>()>;
+
+}  // namespace bmr::mr

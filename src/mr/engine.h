@@ -1,0 +1,89 @@
+// The real execution engine: runs a JobSpec on the in-process cluster
+// (RPC fabric + DFS + per-node slots), in either with-barrier or
+// barrier-less mode, on real data.
+//
+// Structure mirrors Hadoop 0.20 as described in §3.1 of the paper:
+//   with barrier  — map tasks sort+store output locally; each reducer
+//                   runs one asynchronous fetch thread per mapper into
+//                   per-mapper buffers; when all are in (the barrier),
+//                   buffers are merge-sorted and Reduce runs per key
+//                   group.
+//   barrier-less  — fetch threads push records into a single FIFO
+//                   buffer; a separate thread runs the single-record
+//                   Reduce on them in arrival order via the
+//                   core::BarrierlessDriver (sort bypassed).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dfs/dfs.h"
+#include "mr/job.h"
+#include "mr/timeline.h"
+#include "mr/types.h"
+#include "net/rpc.h"
+
+namespace bmr::mr {
+
+/// Wires the substrates into one in-process cluster.
+struct ClusterContext {
+  cluster::ClusterSpec spec;
+  std::unique_ptr<net::RpcFabric> fabric;
+  std::unique_ptr<dfs::Dfs> dfs;
+  std::vector<std::unique_ptr<dfs::DfsClient>> clients;
+
+  static std::unique_ptr<ClusterContext> Create(cluster::ClusterSpec spec);
+
+  dfs::DfsClient* client(int node) { return clients[node].get(); }
+
+  /// Simulate a machine loss: DFS blocks gone, shuffle service gone.
+  void KillNode(int node);
+};
+
+/// One (elapsed-time, reducer, bytes) heap sample — Fig. 5's raw data.
+struct MemorySample {
+  double t = 0;
+  int reducer = 0;
+  uint64_t bytes = 0;
+};
+
+struct JobResult {
+  Status status;
+  double elapsed_seconds = 0;
+  double first_map_done = 0;
+  double last_map_done = 0;
+  Counters counters;
+  std::vector<TaskEvent> events;
+  std::vector<std::string> output_files;
+  std::vector<MemorySample> memory_samples;
+
+  bool ok() const { return status.ok(); }
+  /// True when the job died of partial-result heap overflow (Fig 5a).
+  bool failed_oom() const {
+    return status.code() == StatusCode::kResourceExhausted;
+  }
+};
+
+class JobRunner {
+ public:
+  explicit JobRunner(ClusterContext* cluster) : cluster_(cluster) {}
+
+  /// Execute the job to completion (or failure).  Blocking.
+  JobResult Run(const JobSpec& spec);
+
+  /// Read one output part file (test/bench helper).
+  static StatusOr<std::vector<Record>> ReadPartFile(
+      dfs::DfsClient* client, const std::string& path,
+      OutputFormat format = OutputFormat::kFramedBinary);
+
+  /// Read and concatenate all part files of a finished job.
+  static StatusOr<std::vector<Record>> ReadAllOutput(
+      dfs::DfsClient* client, const JobResult& result,
+      OutputFormat format = OutputFormat::kFramedBinary);
+
+ private:
+  ClusterContext* cluster_;
+};
+
+}  // namespace bmr::mr

@@ -1,0 +1,202 @@
+#include "mr/input.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace bmr::mr {
+
+namespace {
+constexpr uint64_t kReadChunkBytes = 256 << 10;
+}
+
+StatusOr<std::vector<std::string>> ExpandInputs(
+    dfs::DfsClient* client, const std::vector<std::string>& patterns) {
+  std::vector<std::string> files;
+  for (const auto& pattern : patterns) {
+    if (!pattern.empty() && pattern.back() == '*') {
+      std::string prefix = pattern.substr(0, pattern.size() - 1);
+      BMR_ASSIGN_OR_RETURN(std::vector<std::string> matched,
+                           client->ListFiles(prefix));
+      if (matched.empty()) {
+        return Status::NotFound("no files match " + pattern);
+      }
+      files.insert(files.end(), matched.begin(), matched.end());
+    } else {
+      files.push_back(pattern);
+    }
+  }
+  return files;
+}
+
+StatusOr<std::vector<InputSplit>> PlanSplits(
+    dfs::DfsClient* client, const std::vector<std::string>& files,
+    InputKind kind, uint64_t split_bytes) {
+  std::vector<InputSplit> splits;
+  for (const auto& file : files) {
+    BMR_ASSIGN_OR_RETURN(dfs::FileInfo info, client->GetFileInfo(file));
+    if (info.size == 0) continue;
+
+    if (kind == InputKind::kKvPairs) {
+      InputSplit split;
+      split.file = file;
+      split.offset = 0;
+      split.length = info.size;
+      if (!info.blocks.empty()) {
+        split.preferred_nodes = info.blocks.front().replicas;
+      }
+      splits.push_back(std::move(split));
+      continue;
+    }
+
+    uint64_t target = split_bytes == 0 ? client->dfs()->block_bytes()
+                                       : split_bytes;
+    uint64_t offset = 0;
+    while (offset < info.size) {
+      InputSplit split;
+      split.file = file;
+      split.offset = offset;
+      split.length = std::min<uint64_t>(target, info.size - offset);
+      // Locate the block containing the split start for locality.
+      uint64_t block_start = 0;
+      for (const auto& block : info.blocks) {
+        if (offset < block_start + block.size) {
+          split.preferred_nodes = block.replicas;
+          break;
+        }
+        block_start += block.size;
+      }
+      offset += split.length;
+      splits.push_back(std::move(split));
+    }
+  }
+  return splits;
+}
+
+// ----------------------------------------------------------- TextLineReader
+
+TextLineReader::TextLineReader(dfs::DfsClient* client, InputSplit split)
+    : client_(client), split_(std::move(split)) {}
+
+Status TextLineReader::Refill() {
+  if (read_pos_ >= file_size_) {
+    exhausted_ = true;
+    return Status::Ok();
+  }
+  uint64_t n = std::min<uint64_t>(kReadChunkBytes, file_size_ - read_pos_);
+  ByteBuffer chunk;
+  BMR_RETURN_IF_ERROR(client_->Pread(split_.file, read_pos_, n, &chunk));
+  if (chunk.empty()) {
+    exhausted_ = true;
+    return Status::Ok();
+  }
+  // Compact the consumed prefix before appending.
+  if (cursor_ > 0) {
+    logical_pos_ += cursor_;
+    buffer_.erase(0, cursor_);
+    cursor_ = 0;
+  }
+  buffer_.append(chunk.data(), chunk.size());
+  read_pos_ += chunk.size();
+  return Status::Ok();
+}
+
+Status TextLineReader::Next(Record* record, bool* has) {
+  if (!initialized_) {
+    initialized_ = true;
+    BMR_ASSIGN_OR_RETURN(dfs::FileInfo info, client_->GetFileInfo(split_.file));
+    file_size_ = info.size;
+    // Hadoop's LineRecordReader trick: a split starting past 0 begins
+    // scanning at offset-1 and discards everything through the first
+    // newline.  If byte offset-1 *is* a newline, nothing real is
+    // discarded and a line starting exactly at the boundary is kept.
+    read_pos_ = split_.offset > 0 ? split_.offset - 1 : 0;
+    logical_pos_ = read_pos_;
+    BMR_RETURN_IF_ERROR(Refill());
+    if (split_.offset > 0) {
+      // Skip the partial line owned by the previous split.
+      for (;;) {
+        size_t nl = buffer_.find('\n', cursor_);
+        if (nl != std::string::npos) {
+          cursor_ = nl + 1;
+          break;
+        }
+        cursor_ = buffer_.size();
+        if (exhausted_) break;
+        BMR_RETURN_IF_ERROR(Refill());
+      }
+    }
+  }
+
+  // A line belongs to this split iff it *starts* before offset+length.
+  uint64_t line_start = logical_pos_ + cursor_;
+  if (line_start >= split_.offset + split_.length ||
+      (exhausted_ && cursor_ >= buffer_.size())) {
+    *has = false;
+    return Status::Ok();
+  }
+
+  size_t nl;
+  for (;;) {
+    nl = buffer_.find('\n', cursor_);
+    if (nl != std::string::npos || exhausted_) break;
+    BMR_RETURN_IF_ERROR(Refill());
+  }
+  size_t line_end = nl == std::string::npos ? buffer_.size() : nl;
+  record->key = std::to_string(line_start);
+  record->value.assign(buffer_.data() + cursor_, line_end - cursor_);
+  cursor_ = nl == std::string::npos ? buffer_.size() : nl + 1;
+  *has = true;
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- KvPairReader
+
+KvPairReader::KvPairReader(dfs::DfsClient* client, InputSplit split)
+    : client_(client), split_(std::move(split)) {}
+
+Status KvPairReader::EnsureLoaded() {
+  if (loaded_) return Status::Ok();
+  loaded_ = true;
+  ByteBuffer buf;
+  buf.Reserve(split_.length);
+  BMR_RETURN_IF_ERROR(
+      client_->Pread(split_.file, split_.offset, split_.length, &buf));
+  data_ = buf.ToString();
+  return Status::Ok();
+}
+
+Status KvPairReader::Next(Record* record, bool* has) {
+  BMR_RETURN_IF_ERROR(EnsureLoaded());
+  if (cursor_ >= data_.size()) {
+    *has = false;
+    return Status::Ok();
+  }
+  Decoder dec(Slice(data_.data() + cursor_, data_.size() - cursor_));
+  size_t before = dec.remaining();
+  Slice key, value;
+  if (!dec.GetString(&key) || !dec.GetString(&value)) {
+    return Status::DataLoss("malformed kv record in " + split_.file);
+  }
+  record->key = key.ToString();
+  record->value = value.ToString();
+  cursor_ += before - dec.remaining();
+  *has = true;
+  return Status::Ok();
+}
+
+std::unique_ptr<RecordReader> MakeReader(dfs::DfsClient* client,
+                                         InputKind kind, InputSplit split) {
+  if (kind == InputKind::kTextLines) {
+    return std::make_unique<TextLineReader>(client, std::move(split));
+  }
+  return std::make_unique<KvPairReader>(client, std::move(split));
+}
+
+void AppendFramedRecord(ByteBuffer* out, Slice key, Slice value) {
+  Encoder enc(out);
+  enc.PutString(key);
+  enc.PutString(value);
+}
+
+}  // namespace bmr::mr

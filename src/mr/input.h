@@ -1,0 +1,93 @@
+// Input splits and record readers over the DFS.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dfs/dfs.h"
+#include "mr/job.h"
+#include "mr/types.h"
+
+namespace bmr::mr {
+
+/// One map task's slice of the input.
+struct InputSplit {
+  std::string file;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  /// Nodes holding a replica of the first block (for data-local
+  /// scheduling).
+  std::vector<int> preferred_nodes;
+};
+
+/// Expand input patterns: an entry ending in '*' matches every DFS
+/// file with that prefix (e.g. "/logs/*"); other entries pass through.
+StatusOr<std::vector<std::string>> ExpandInputs(
+    dfs::DfsClient* client, const std::vector<std::string>& patterns);
+
+/// Plan block-aligned splits over the input files.  Text inputs split
+/// at `split_bytes` boundaries (record straddling handled by the
+/// reader, Hadoop-style); kv-pair inputs get one split per file.
+StatusOr<std::vector<InputSplit>> PlanSplits(dfs::DfsClient* client,
+                                             const std::vector<std::string>& files,
+                                             InputKind kind,
+                                             uint64_t split_bytes);
+
+/// Sequential record iteration over one split.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+  /// OK + *has=false at end of split.
+  virtual Status Next(Record* record, bool* has) = 0;
+};
+
+/// Newline-delimited text.  Key = decimal byte offset of the line,
+/// value = line without the terminator.  A split starting past 0 skips
+/// its first partial line; the line straddling the split end belongs to
+/// this split (exactly Hadoop's TextInputFormat contract, so no line is
+/// read twice and none is lost).
+class TextLineReader final : public RecordReader {
+ public:
+  TextLineReader(dfs::DfsClient* client, InputSplit split);
+  Status Next(Record* record, bool* has) override;
+
+ private:
+  Status Refill();
+
+  dfs::DfsClient* client_;
+  InputSplit split_;
+  uint64_t file_size_ = 0;
+  bool initialized_ = false;
+  uint64_t read_pos_ = 0;    // next byte to fetch from DFS
+  uint64_t logical_pos_ = 0; // offset of buffer_[cursor_]
+  std::string buffer_;
+  size_t cursor_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Framed binary records: [varint klen][key][varint vlen][value]...
+class KvPairReader final : public RecordReader {
+ public:
+  KvPairReader(dfs::DfsClient* client, InputSplit split);
+  Status Next(Record* record, bool* has) override;
+
+ private:
+  Status EnsureLoaded();
+
+  dfs::DfsClient* client_;
+  InputSplit split_;
+  bool loaded_ = false;
+  std::string data_;
+  size_t cursor_ = 0;
+};
+
+std::unique_ptr<RecordReader> MakeReader(dfs::DfsClient* client,
+                                         InputKind kind, InputSplit split);
+
+/// Helper used by workload generators and tests: frame one record.
+void AppendFramedRecord(ByteBuffer* out, Slice key, Slice value);
+
+}  // namespace bmr::mr

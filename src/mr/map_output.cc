@@ -1,0 +1,173 @@
+#include "mr/map_output.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "mr/input.h"
+#include "mr/partition.h"
+
+namespace bmr::mr {
+
+MapOutputCollector::MapOutputCollector(int num_partitions,
+                                       PartitionFn partitioner)
+    : num_partitions_(num_partitions),
+      partitioner_(partitioner ? std::move(partitioner) : HashPartition),
+      buffers_(num_partitions) {}
+
+void MapOutputCollector::Emit(Slice key, Slice value) {
+  int p = partitioner_(key, num_partitions_);
+  buffers_[p].emplace_back(key.ToString(), value.ToString());
+}
+
+uint64_t MapOutputCollector::buffered_records() const {
+  uint64_t n = 0;
+  for (const auto& b : buffers_) n += b.size();
+  return n;
+}
+
+namespace {
+
+/// Applies the combiner to consecutive same-key runs of a sorted
+/// partition buffer.
+class CombineEmitter final : public MapEmitter {
+ public:
+  explicit CombineEmitter(std::vector<Record>* out) : out_(out) {}
+  void Emit(Slice key, Slice value) override {
+    out_->emplace_back(key.ToString(), value.ToString());
+  }
+
+ private:
+  std::vector<Record>* out_;
+};
+
+std::vector<Record> RunCombiner(std::vector<Record> sorted, Combiner* combiner,
+                                const KeyCompareFn& cmp, uint64_t* in,
+                                uint64_t* out_count) {
+  std::vector<Record> combined;
+  CombineEmitter emitter(&combined);
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i + 1;
+    while (j < sorted.size() &&
+           (cmp ? cmp(Slice(sorted[j].key), Slice(sorted[i].key)) == 0
+                : sorted[j].key == sorted[i].key)) {
+      ++j;
+    }
+    std::vector<Slice> values;
+    values.reserve(j - i);
+    for (size_t k = i; k < j; ++k) values.emplace_back(sorted[k].value);
+    *in += j - i;
+    combiner->Combine(Slice(sorted[i].key), values, &emitter);
+    i = j;
+  }
+  *out_count += combined.size();
+  return combined;
+}
+
+}  // namespace
+
+StatusOr<MapOutputCollector::Finished> MapOutputCollector::Finish(
+    bool sort, const KeyCompareFn& sort_cmp, Combiner* combiner) {
+  Finished result;
+  result.segments.resize(num_partitions_);
+  for (int p = 0; p < num_partitions_; ++p) {
+    std::vector<Record>& buf = buffers_[p];
+    if (sort) {
+      std::stable_sort(buf.begin(), buf.end(),
+                       [&sort_cmp](const Record& a, const Record& b) {
+                         return sort_cmp
+                                    ? sort_cmp(Slice(a.key), Slice(b.key)) < 0
+                                    : a.key < b.key;
+                       });
+    }
+    if (combiner != nullptr) {
+      if (!sort) {
+        return Status::FailedPrecondition(
+            "combiner requires map-side sort to group keys");
+      }
+      buf = RunCombiner(std::move(buf), combiner, sort_cmp,
+                        &result.combine_in, &result.combine_out);
+    }
+    ByteBuffer segment;
+    for (const Record& r : buf) {
+      AppendFramedRecord(&segment, Slice(r.key), Slice(r.value));
+    }
+    result.output_records += buf.size();
+    result.output_bytes += segment.size();
+    result.segments[p] = segment.ToString();
+    buf.clear();
+    buf.shrink_to_fit();
+  }
+  return result;
+}
+
+void MapOutputStore::Put(int map_task, int partition, std::string segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(map_task, partition);
+  auto it = segments_.find(key);
+  if (it != segments_.end()) {
+    stored_bytes_ -= it->second.size();  // re-run overwrites
+  }
+  stored_bytes_ += segment.size();
+  segments_[key] = std::move(segment);
+}
+
+StatusOr<std::string> MapOutputStore::Get(int map_task, int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find({map_task, partition});
+  if (it == segments_.end()) {
+    return Status::NotFound("no segment for map " + std::to_string(map_task) +
+                            " partition " + std::to_string(partition));
+  }
+  return it->second;
+}
+
+uint64_t MapOutputStore::stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stored_bytes_;
+}
+
+void RegisterShuffleService(net::RpcFabric* fabric, int node,
+                            MapOutputStore* store) {
+  fabric->Register(node, "shuffle.fetch",
+                   [store](Slice req, ByteBuffer* resp) {
+                     Decoder dec(req);
+                     uint64_t map_task, partition;
+                     if (!dec.GetVarint64(&map_task) ||
+                         !dec.GetVarint64(&partition)) {
+                       return Status::DataLoss("bad shuffle.fetch req");
+                     }
+                     auto segment = store->Get(static_cast<int>(map_task),
+                                               static_cast<int>(partition));
+                     if (!segment.ok()) return segment.status();
+                     resp->Append(Slice(*segment));
+                     return Status::Ok();
+                   });
+}
+
+Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
+                    int map_task, int partition, std::string* segment) {
+  ByteBuffer req;
+  Encoder enc(&req);
+  enc.PutVarint64(static_cast<uint64_t>(map_task));
+  enc.PutVarint64(static_cast<uint64_t>(partition));
+  ByteBuffer resp;
+  BMR_RETURN_IF_ERROR(
+      fabric->Call(at_node, from_node, "shuffle.fetch", req.AsSlice(), &resp));
+  *segment = resp.ToString();
+  return Status::Ok();
+}
+
+Status DecodeSegment(Slice segment, std::vector<Record>* out) {
+  Decoder dec(segment);
+  while (!dec.empty()) {
+    Slice key, value;
+    if (!dec.GetString(&key) || !dec.GetString(&value)) {
+      return Status::DataLoss("malformed shuffle segment");
+    }
+    out->emplace_back(key.ToString(), value.ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace bmr::mr

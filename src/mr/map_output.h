@@ -1,0 +1,80 @@
+// Map-side output handling: partition, (optionally) sort, (optionally)
+// combine, serialize into per-partition segments, and the per-node
+// segment store that the shuffle fetches from over RPC.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "mr/api.h"
+#include "mr/job.h"
+#include "mr/types.h"
+#include "net/rpc.h"
+
+namespace bmr::mr {
+
+/// Collects one map task's emitted records and finishes them into
+/// per-partition serialized segments.
+class MapOutputCollector {
+ public:
+  MapOutputCollector(int num_partitions, PartitionFn partitioner);
+
+  void Emit(Slice key, Slice value);
+
+  struct Finished {
+    /// One serialized segment per partition (framed records).
+    std::vector<std::string> segments;
+    uint64_t output_records = 0;
+    uint64_t output_bytes = 0;
+    uint64_t combine_in = 0;
+    uint64_t combine_out = 0;
+  };
+
+  /// Sorts each partition by `sort_cmp` when `sort` is set (map-side
+  /// sort: what makes the reduce-side merge of with-barrier Hadoop
+  /// cheap), applies the combiner if given, and serializes.
+  StatusOr<Finished> Finish(bool sort, const KeyCompareFn& sort_cmp,
+                            Combiner* combiner);
+
+  uint64_t buffered_records() const;
+
+ private:
+  int num_partitions_;
+  PartitionFn partitioner_;
+  std::vector<std::vector<Record>> buffers_;
+};
+
+/// Per-node storage of finished map-output segments — the "local disk"
+/// the mappers write to and reducers remotely read from.  One instance
+/// per node per job; fetch is exposed on the RPC fabric as
+/// "shuffle.fetch".
+class MapOutputStore {
+ public:
+  void Put(int map_task, int partition, std::string segment);
+  StatusOr<std::string> Get(int map_task, int partition) const;
+  uint64_t stored_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, std::string> segments_;
+  uint64_t stored_bytes_ = 0;
+};
+
+/// Register the shuffle.fetch handler for `store` on `node`.
+/// Request: varint map_task, varint partition.  Response: segment.
+void RegisterShuffleService(net::RpcFabric* fabric, int node,
+                            MapOutputStore* store);
+
+/// Client side of shuffle.fetch.
+Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
+                    int map_task, int partition, std::string* segment);
+
+/// Decode a framed segment into records, appending to `out`.
+Status DecodeSegment(Slice segment, std::vector<Record>* out);
+
+}  // namespace bmr::mr

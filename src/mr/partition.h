@@ -1,0 +1,39 @@
+// Partitioners: key → reducer assignment.
+#pragma once
+
+#include "common/hash.h"
+#include "mr/types.h"
+
+namespace bmr::mr {
+
+/// Default: FNV-1a hash of the whole key, Hadoop's HashPartitioner
+/// equivalent.
+inline int HashPartition(Slice key, int num_partitions) {
+  return static_cast<int>(Fnv1a64(key) % static_cast<uint64_t>(num_partitions));
+}
+
+/// Partition on a fixed-length key prefix — used with secondary sort,
+/// where the key carries (group, order) but routing must depend only on
+/// the group part.
+inline PartitionFn PrefixHashPartition(size_t prefix_len) {
+  return [prefix_len](Slice key, int num_partitions) {
+    Slice prefix(key.data(), std::min(prefix_len, key.size()));
+    return HashPartition(prefix, num_partitions);
+  };
+}
+
+/// Range partitioner over order-preserving encoded keys: assumes keys
+/// are uniformly distributed byte strings and splits the first 8 bytes'
+/// numeric space evenly.  This is what makes Sort's output globally
+/// ordered across part files (Hadoop terasort uses a sampled analogue).
+inline int UniformRangePartition(Slice key, int num_partitions) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | (i < key.size() ? static_cast<uint8_t>(key[i]) : 0);
+  }
+  // Map the 64-bit space onto partitions via 128-bit multiply-shift.
+  return static_cast<int>(
+      (static_cast<unsigned __int128>(v) * num_partitions) >> 64);
+}
+
+}  // namespace bmr::mr

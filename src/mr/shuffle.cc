@@ -1,0 +1,126 @@
+#include "mr/shuffle.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace bmr::mr {
+
+MapOutputTracker::MapOutputTracker(int num_map_tasks)
+    : state_(num_map_tasks) {}
+
+void MapOutputTracker::MarkDone(int m, int node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_[m].done = true;
+    state_[m].node = node;
+    state_[m].version++;
+  }
+  cv_.notify_all();
+}
+
+MapOutputTracker::Location MapOutputTracker::WaitForMapDone(int m) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return cancelled_ || state_[m].done; });
+  if (cancelled_) return Location{-1, -1};
+  return Location{state_[m].node, state_[m].version};
+}
+
+bool MapOutputTracker::ReportLost(int m, int version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!state_[m].done || state_[m].version != version) {
+    return false;  // stale report: a newer attempt already exists
+  }
+  state_[m].done = false;
+  return true;
+}
+
+void MapOutputTracker::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+int MapOutputTracker::num_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& s : state_) n += s.done ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+/// ValuesIterator over a contiguous sorted range.
+class RangeValuesIterator final : public ValuesIterator {
+ public:
+  RangeValuesIterator(const std::vector<Record>& records, size_t begin,
+                      size_t end)
+      : records_(records), pos_(begin), end_(end) {}
+
+  bool Next(Slice* value) override {
+    if (pos_ >= end_) return false;
+    *value = Slice(records_[pos_].value);
+    ++pos_;
+    return true;
+  }
+
+ private:
+  const std::vector<Record>& records_;
+  size_t pos_;
+  size_t end_;
+};
+
+}  // namespace
+
+Status ReduceGroups(const std::vector<Record>& records,
+                    const KeyCompareFn& group_cmp, Reducer* reducer,
+                    ReduceContext* ctx) {
+  auto equal = [&group_cmp](const Record& a, const Record& b) {
+    return group_cmp ? group_cmp(Slice(a.key), Slice(b.key)) == 0
+                     : a.key == b.key;
+  };
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t j = i + 1;
+    while (j < records.size() && equal(records[j], records[i])) ++j;
+    RangeValuesIterator values(records, i, j);
+    reducer->Reduce(Slice(records[i].key), &values, ctx);
+    i = j;
+  }
+  return Status::Ok();
+}
+
+std::vector<Record> MergeSortedRuns(std::vector<std::vector<Record>> runs,
+                                    const KeyCompareFn& sort_cmp) {
+  struct Head {
+    size_t run;
+    size_t pos;
+  };
+  auto key_of = [&runs](const Head& h) -> const std::string& {
+    return runs[h.run][h.pos].key;
+  };
+  auto greater = [&](const Head& a, const Head& b) {
+    int c = sort_cmp ? sort_cmp(Slice(key_of(a)), Slice(key_of(b)))
+                     : key_of(a).compare(key_of(b));
+    if (c != 0) return c > 0;
+    return a.run > b.run;  // stable across runs
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(greater);
+  size_t total = 0;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (!runs[r].empty()) heap.push(Head{r, 0});
+  }
+  std::vector<Record> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Head h = heap.top();
+    heap.pop();
+    out.push_back(std::move(runs[h.run][h.pos]));
+    if (h.pos + 1 < runs[h.run].size()) heap.push(Head{h.run, h.pos + 1});
+  }
+  return out;
+}
+
+}  // namespace bmr::mr

@@ -1,0 +1,72 @@
+// Shuffle-side coordination: the map-output tracker (which map task
+// finished where) and the k-way merge / grouped iteration used by the
+// with-barrier reduce path.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/api.h"
+#include "mr/types.h"
+
+namespace bmr::mr {
+
+/// Tracks completion (and loss) of map tasks.  Reduce-side fetch
+/// threads block on WaitForMapDone; a fetch failure reports the output
+/// lost, which un-completes the task until the engine re-runs it —
+/// the map re-execution path of MapReduce fault tolerance.
+class MapOutputTracker {
+ public:
+  explicit MapOutputTracker(int num_map_tasks);
+
+  /// Map task `m` (attempt `version`) finished on `node`.
+  void MarkDone(int m, int node);
+
+  /// Block until map `m` is done; returns (node, version).
+  /// version==-1 => the job was cancelled.
+  struct Location {
+    int node = -1;
+    int version = -1;
+  };
+  Location WaitForMapDone(int m);
+
+  /// A fetcher failed to read `m`'s output of attempt `version`.
+  /// Returns true if this call transitioned the task to lost (the
+  /// caller must arrange a re-run); false if someone already did or a
+  /// newer attempt exists.
+  bool ReportLost(int m, int version);
+
+  /// Wake all waiters with a cancelled signal.
+  void Cancel();
+
+  int num_done() const;
+  int num_map_tasks() const { return static_cast<int>(state_.size()); }
+
+ private:
+  struct TaskState {
+    bool done = false;
+    int node = -1;
+    int version = 0;  // bumped on every MarkDone
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<TaskState> state_;
+  bool cancelled_ = false;
+};
+
+/// Iterate sorted records grouped by `group_cmp`, invoking the
+/// with-barrier Reducer once per group.  `records` must already be
+/// sorted by the job's sort comparator.
+Status ReduceGroups(const std::vector<Record>& records,
+                    const KeyCompareFn& group_cmp, Reducer* reducer,
+                    ReduceContext* ctx);
+
+/// k-way merge of per-map sorted runs into one sorted vector.
+/// Runs with identical keys interleave in run order (stable).
+std::vector<Record> MergeSortedRuns(std::vector<std::vector<Record>> runs,
+                                    const KeyCompareFn& sort_cmp);
+
+}  // namespace bmr::mr

@@ -1,0 +1,106 @@
+#include "mr/textio.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace bmr::mr {
+
+std::string EscapeTsvField(Slice field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(field[i]);
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (std::isprint(c)) {
+          out += static_cast<char>(c);
+        } else {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+          out += buf;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool UnescapeTsvField(Slice field, std::string* out) {
+  out->clear();
+  out->reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    char c = field[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (++i >= field.size()) return false;
+    switch (field[i]) {
+      case '\\': out->push_back('\\'); break;
+      case 't': out->push_back('\t'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'x': {
+        if (i + 2 >= field.size()) return false;
+        int hi = HexValue(field[i + 1]);
+        int lo = HexValue(field[i + 2]);
+        if (hi < 0 || lo < 0) return false;
+        out->push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+void AppendTsvRecord(ByteBuffer* out, Slice key, Slice value) {
+  std::string k = EscapeTsvField(key);
+  std::string v = EscapeTsvField(value);
+  out->Append(k.data(), k.size());
+  out->PushByte('\t');
+  out->Append(v.data(), v.size());
+  out->PushByte('\n');
+}
+
+Status ParseTsvRecords(Slice data, std::vector<Record>* out) {
+  std::string_view text = data.view();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::DataLoss("TSV line without a tab separator");
+    }
+    Record record;
+    if (!UnescapeTsvField(Slice(line.data(), tab), &record.key) ||
+        !UnescapeTsvField(Slice(line.data() + tab + 1, line.size() - tab - 1),
+                          &record.value)) {
+      return Status::DataLoss("malformed TSV escape sequence");
+    }
+    out->push_back(std::move(record));
+  }
+  return Status::Ok();
+}
+
+}  // namespace bmr::mr

@@ -1,0 +1,33 @@
+// Human-readable TSV output format for part files (alongside the
+// default framed binary): `key<TAB>value<NL>` with C-style escaping so
+// arbitrary byte strings survive the round trip.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "mr/types.h"
+
+namespace bmr::mr {
+
+enum class OutputFormat {
+  kFramedBinary,  // length-prefixed records (default; lossless, compact)
+  kTextTsv,       // escaped key<TAB>value lines (greppable)
+};
+
+/// Escape a field for TSV: backslash, tab, newline and CR become
+/// \\ \t \n \r; other non-printable bytes become \xHH.
+std::string EscapeTsvField(Slice field);
+
+/// Inverse of EscapeTsvField; false on malformed escapes.
+bool UnescapeTsvField(Slice field, std::string* out);
+
+/// Append one escaped "key\tvalue\n" record.
+void AppendTsvRecord(ByteBuffer* out, Slice key, Slice value);
+
+/// Parse a whole TSV part file back into records.
+Status ParseTsvRecords(Slice data, std::vector<Record>* out);
+
+}  // namespace bmr::mr

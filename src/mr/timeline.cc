@@ -1,0 +1,69 @@
+#include "mr/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace bmr::mr {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kMap: return "Map";
+    case Phase::kShuffle: return "Shuffle";
+    case Phase::kSortMerge: return "Sort";
+    case Phase::kReduce: return "Reduce";
+    case Phase::kShuffleReduce: return "Shuffle+Reduce";
+    case Phase::kOutput: return "Output";
+  }
+  return "?";
+}
+
+void Timeline::Record(Phase phase, int task_id, int node, double start,
+                      double end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TaskEvent{phase, task_id, node, start, end});
+}
+
+std::vector<TaskEvent> Timeline::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int Timeline::ActiveAt(const std::vector<TaskEvent>& events, Phase phase,
+                       double t) {
+  int n = 0;
+  for (const auto& e : events) {
+    if (e.phase == phase && e.start <= t && t < e.end) ++n;
+  }
+  return n;
+}
+
+std::string Timeline::RenderActivity(const std::vector<TaskEvent>& events,
+                                     double step) {
+  double horizon = 0;
+  bool phases_present[6] = {false, false, false, false, false, false};
+  for (const auto& e : events) {
+    horizon = std::max(horizon, e.end);
+    phases_present[static_cast<int>(e.phase)] = true;
+  }
+  std::ostringstream out;
+  out << "time";
+  for (int p = 0; p < 6; ++p) {
+    if (phases_present[p]) out << '\t' << PhaseName(static_cast<Phase>(p));
+  }
+  out << '\n';
+  for (double t = 0; t <= horizon + step / 2; t += step) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", t);
+    out << buf;
+    for (int p = 0; p < 6; ++p) {
+      if (phases_present[p]) {
+        out << '\t' << ActiveAt(events, static_cast<Phase>(p), t);
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace bmr::mr

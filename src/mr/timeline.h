@@ -1,0 +1,49 @@
+// Task lifecycle timeline, the data behind Figure 4's task-count plots.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bmr::mr {
+
+enum class Phase {
+  kMap,
+  kShuffle,        // with-barrier: remote reads before the barrier
+  kSortMerge,      // with-barrier: merge sort at the reducer
+  kReduce,         // with-barrier: grouped reduce execution
+  kShuffleReduce,  // barrier-less: pipelined fetch+reduce
+  kOutput,         // final DFS write
+};
+
+const char* PhaseName(Phase phase);
+
+struct TaskEvent {
+  Phase phase;
+  int task_id = 0;
+  int node = -1;
+  double start = 0;  // seconds since job start
+  double end = 0;
+};
+
+/// Thread-safe event sink.
+class Timeline {
+ public:
+  void Record(Phase phase, int task_id, int node, double start, double end);
+  std::vector<TaskEvent> Snapshot() const;
+
+  /// Number of tasks in `phase` active at time t.
+  static int ActiveAt(const std::vector<TaskEvent>& events, Phase phase,
+                      double t);
+
+  /// Render a per-phase activity table sampled every `step` seconds —
+  /// the textual form of Figure 4.
+  static std::string RenderActivity(const std::vector<TaskEvent>& events,
+                                    double step);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TaskEvent> events_;
+};
+
+}  // namespace bmr::mr

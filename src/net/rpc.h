@@ -1,0 +1,67 @@
+// In-process RPC fabric for the real execution engine.
+//
+// The paper's Hadoop ran on a 16-node cluster; here the "nodes" are
+// logical endpoints inside one process.  Services register handlers
+// under (node, "Service.Method") and clients issue blocking calls with
+// serialized request/response payloads — the same structure as Hadoop
+// RPC and the shuffle's HTTP fetches, minus the sockets.  Every call is
+// metered (bytes in/out per src→dst pair) so the simulator's cost model
+// can be calibrated against real transfer volumes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace bmr::net {
+
+using RpcHandler =
+    std::function<Status(Slice request, ByteBuffer* response)>;
+
+/// Byte/call counters for one directed node pair.
+struct LinkStats {
+  uint64_t calls = 0;
+  uint64_t request_bytes = 0;
+  uint64_t response_bytes = 0;
+};
+
+/// The in-process fabric: a registry of per-node services plus link
+/// accounting.  Thread-safe; handlers run on the caller's thread.
+class RpcFabric {
+ public:
+  explicit RpcFabric(int num_nodes) : num_nodes_(num_nodes) {}
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Register a handler for `method` on `node`.  Overwrites silently;
+  /// the DFS re-registers DataNode services on restart after a failure.
+  void Register(int node, const std::string& method, RpcHandler handler);
+
+  /// Remove every handler on `node` (simulated node crash).
+  void KillNode(int node);
+
+  /// Issue a blocking call from `src` to `dst`.  NotFound if the method
+  /// is not registered (e.g. the node is down).
+  Status Call(int src, int dst, const std::string& method, Slice request,
+              ByteBuffer* response);
+
+  /// Accumulated counters for the src→dst direction.
+  LinkStats GetLinkStats(int src, int dst) const;
+
+  /// Sum of counters over all pairs where src != dst (remote traffic).
+  LinkStats TotalRemoteTraffic() const;
+
+ private:
+  int num_nodes_;
+  mutable std::mutex mu_;
+  std::map<std::pair<int, std::string>, RpcHandler> handlers_;
+  std::map<std::pair<int, int>, LinkStats> link_stats_;
+};
+
+}  // namespace bmr::net

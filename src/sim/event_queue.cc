@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bmr::sim {
+
+uint64_t Simulation::ScheduleAt(double time, std::function<void()> fn) {
+  assert(time >= now_ - 1e-12 && "cannot schedule into the past");
+  if (time < now_) time = now_;
+  uint64_t seq = next_seq_++;
+  queue_.push(Event{time, seq, std::move(fn)});
+  return seq;
+}
+
+bool Simulation::IsCancelled(uint64_t seq) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), seq);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (IsCancelled(ev.seq)) continue;
+    now_ = ev.time;
+    ++executed_;
+#ifdef BMR_SIM_TRACE
+    if (executed_ % 1000000 == 0) {
+      std::fprintf(stderr, "[sim] executed=%llu now=%f pending=%zu\n",
+                   (unsigned long long)executed_, now_, queue_.size());
+    }
+#endif
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(double deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > deadline) break;
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace bmr::sim

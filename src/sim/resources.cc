@@ -1,0 +1,101 @@
+#include "sim/resources.h"
+
+#include <cassert>
+#include <limits>
+
+namespace bmr::sim {
+
+void SlotResource::Request(double duration, std::function<void()> on_start,
+                           std::function<void()> on_done) {
+  waiting_.push_back(Pending{duration, std::move(on_start), std::move(on_done)});
+  StartNext();
+}
+
+void SlotResource::Acquire(std::function<void()> on_acquired) {
+  // Model as a zero-duration service whose "completion" never fires;
+  // the holder gives the server back via Release().
+  waiting_.push_back(Pending{-1.0, std::move(on_acquired), nullptr});
+  StartNext();
+}
+
+void SlotResource::Release() {
+  ++free_slots_;
+  StartNext();
+}
+
+void SlotResource::StartNext() {
+  while (free_slots_ > 0 && !waiting_.empty()) {
+    Pending p = std::move(waiting_.front());
+    waiting_.pop_front();
+    --free_slots_;
+    RunOne(std::move(p));
+  }
+}
+
+void SlotResource::RunOne(Pending p) {
+  if (p.on_start) p.on_start();
+  if (p.duration < 0) return;  // Acquire(): held until Release()
+  auto on_done = std::move(p.on_done);
+  sim_->ScheduleAfter(p.duration, [this, on_done = std::move(on_done)] {
+    ++free_slots_;
+    if (on_done) on_done();
+    StartNext();
+  });
+}
+
+void ProcessorSharingResource::Submit(double work,
+                                      std::function<void()> on_done) {
+  AdvanceTo(sim_->Now());
+  jobs_.push_back(Job{next_id_++, work, std::move(on_done)});
+  Reschedule();
+}
+
+void ProcessorSharingResource::AdvanceTo(double now) {
+  if (jobs_.empty()) {
+    last_update_ = now;
+    return;
+  }
+  double elapsed = now - last_update_;
+  if (elapsed > 0) {
+    double per_job = elapsed * capacity_ / jobs_.size();
+    for (auto& j : jobs_) j.remaining -= per_job;
+  }
+  last_update_ = now;
+}
+
+void ProcessorSharingResource::Reschedule() {
+  if (has_pending_event_) {
+    sim_->Cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (jobs_.empty()) return;
+
+  // Next completion: job with the smallest remaining work.
+  double min_remaining = std::numeric_limits<double>::max();
+  for (const auto& j : jobs_) min_remaining = std::min(min_remaining, j.remaining);
+  if (min_remaining < 0) min_remaining = 0;
+  double dt = min_remaining * jobs_.size() / capacity_;
+
+  pending_event_ = sim_->ScheduleAfter(dt, [this] {
+    has_pending_event_ = false;
+    AdvanceTo(sim_->Now());
+    // Complete every job that has (numerically) finished.
+    std::deque<Job> still_running;
+    std::deque<std::function<void()>> done;
+    for (auto& j : jobs_) {
+      if (j.remaining <= 1e-9) {
+        done.push_back(std::move(j.on_done));
+      } else {
+        still_running.push_back(std::move(j));
+      }
+    }
+    jobs_ = std::move(still_running);
+    Reschedule();
+    for (auto& fn : done) {
+      if (fn) fn();
+    }
+  });
+  has_pending_event_ = true;
+}
+
+}  // namespace bmr::sim

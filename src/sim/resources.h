@@ -1,0 +1,88 @@
+// Queued resources for the DES: a k-server FIFO slot resource (task
+// slots, disk heads) and a processor-sharing resource (a CPU whose
+// active jobs share cycles equally).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace bmr::sim {
+
+/// k identical servers with a FIFO queue.  A request occupies one server
+/// for a fixed service duration, then completes.  Models map/reduce task
+/// slots and disk heads.
+class SlotResource {
+ public:
+  SlotResource(Simulation* sim, int num_slots, std::string name = "")
+      : sim_(sim), free_slots_(num_slots), name_(std::move(name)) {}
+
+  /// Enqueue a request needing `duration` seconds of a server.
+  /// `on_start` fires when a server is acquired, `on_done` when the
+  /// service completes.  Either callback may be null.
+  void Request(double duration, std::function<void()> on_start,
+               std::function<void()> on_done);
+
+  /// Open-ended occupancy: `on_acquired` fires (synchronously if a
+  /// server is free) and the holder keeps the server until Release().
+  /// Used for tasks whose duration is not known up front (reducers).
+  void Acquire(std::function<void()> on_acquired);
+  void Release();
+
+  int free_slots() const { return free_slots_; }
+  size_t queue_length() const { return waiting_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Pending {
+    double duration;
+    std::function<void()> on_start;
+    std::function<void()> on_done;
+  };
+
+  void StartNext();
+  void RunOne(Pending p);
+
+  Simulation* sim_;
+  int free_slots_;
+  std::deque<Pending> waiting_;
+  std::string name_;
+};
+
+/// Processor-sharing resource: all active jobs progress at
+/// capacity / n_active.  Used to model a node's CPU when reduce work
+/// and shuffle fetch threads contend (the I/O-interference effect the
+/// paper's pipelined design mitigates).
+class ProcessorSharingResource {
+ public:
+  ProcessorSharingResource(Simulation* sim, double capacity)
+      : sim_(sim), capacity_(capacity) {}
+
+  /// Submit a job needing `work` units; on_done fires at completion.
+  void Submit(double work, std::function<void()> on_done);
+
+  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+
+ private:
+  struct Job {
+    uint64_t id;
+    double remaining;
+    std::function<void()> on_done;
+  };
+
+  void Reschedule();
+  void AdvanceTo(double now);
+
+  Simulation* sim_;
+  double capacity_;
+  double last_update_ = 0;
+  uint64_t next_id_ = 0;
+  uint64_t pending_event_ = 0;
+  bool has_pending_event_ = false;
+  std::deque<Job> jobs_;
+};
+
+}  // namespace bmr::sim

@@ -1,0 +1,171 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace bmr::workload {
+
+namespace {
+
+/// Pick the client whose node will own the file's first replicas,
+/// rotating over slaves so blocks spread across the cluster.
+dfs::DfsClient* WriterFor(mr::ClusterContext* cluster, int file_index) {
+  std::vector<int> slaves = cluster->spec.SlaveIds();
+  int node = slaves[file_index % slaves.size()];
+  return cluster->client(node);
+}
+
+Status WriteLines(dfs::DfsClient* client, const std::string& path,
+                  const std::vector<std::string>& lines) {
+  auto writer = client->Create(path);
+  if (!writer.ok()) return writer.status();
+  ByteBuffer buf;
+  for (const auto& line : lines) {
+    buf.Append(line.data(), line.size());
+    buf.PushByte('\n');
+    if (buf.size() >= (1 << 20)) {
+      BMR_RETURN_IF_ERROR((*writer)->Append(buf.AsSlice()));
+      buf.Clear();
+    }
+  }
+  BMR_RETURN_IF_ERROR((*writer)->Append(buf.AsSlice()));
+  return (*writer)->Close();
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> GenerateZipfText(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const TextGenOptions& options) {
+  std::vector<std::string> files;
+  uint64_t bytes_per_file =
+      std::max<uint64_t>(1, options.total_bytes / options.num_files);
+  for (int f = 0; f < options.num_files; ++f) {
+    ZipfGenerator zipf(options.vocabulary, options.zipf_exponent,
+                       options.seed * 7919 + f);
+    std::string path = prefix + "-" + std::to_string(f) + ".txt";
+    std::vector<std::string> lines;
+    uint64_t written = 0;
+    std::string line;
+    while (written < bytes_per_file) {
+      line.clear();
+      for (int w = 0; w < options.words_per_line; ++w) {
+        if (w > 0) line += ' ';
+        line += 'w';
+        line += std::to_string(zipf.Next());
+      }
+      written += line.size() + 1;
+      lines.push_back(line);
+    }
+    BMR_RETURN_IF_ERROR(WriteLines(WriterFor(cluster, f), path, lines));
+    files.push_back(std::move(path));
+  }
+  return files;
+}
+
+StatusOr<std::vector<std::string>> GenerateRandomInts(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const IntGenOptions& options) {
+  std::vector<std::string> files;
+  uint64_t per_file = std::max<uint64_t>(1, options.count / options.num_files);
+  for (int f = 0; f < options.num_files; ++f) {
+    Pcg32 rng(options.seed * 104729 + f);
+    std::string path = prefix + "-" + std::to_string(f) + ".txt";
+    std::vector<std::string> lines;
+    lines.reserve(per_file);
+    for (uint64_t i = 0; i < per_file; ++i) {
+      lines.push_back(std::to_string(
+          rng.NextInRange(options.min_value, options.max_value)));
+    }
+    BMR_RETURN_IF_ERROR(WriteLines(WriterFor(cluster, f), path, lines));
+    files.push_back(std::move(path));
+  }
+  return files;
+}
+
+StatusOr<std::vector<std::string>> GenerateListens(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const ListenGenOptions& options) {
+  std::vector<std::string> files;
+  uint64_t per_file = std::max<uint64_t>(1, options.count / options.num_files);
+  for (int f = 0; f < options.num_files; ++f) {
+    Pcg32 rng(options.seed * 31337 + f);
+    std::string path = prefix + "-" + std::to_string(f) + ".log";
+    std::vector<std::string> lines;
+    lines.reserve(per_file);
+    for (uint64_t i = 0; i < per_file; ++i) {
+      int user = static_cast<int>(rng.NextBounded(options.num_users));
+      int track = static_cast<int>(rng.NextBounded(options.num_tracks));
+      lines.push_back("u" + std::to_string(user) + " t" +
+                      std::to_string(track));
+    }
+    BMR_RETURN_IF_ERROR(WriteLines(WriterFor(cluster, f), path, lines));
+    files.push_back(std::move(path));
+  }
+  return files;
+}
+
+StatusOr<std::vector<std::string>> GeneratePopulation(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const PopulationGenOptions& options) {
+  std::vector<std::string> files;
+  uint64_t per_file =
+      std::max<uint64_t>(1, options.population / options.num_files);
+  for (int f = 0; f < options.num_files; ++f) {
+    Pcg32 rng(options.seed * 7 + f);
+    std::string path = prefix + "-" + std::to_string(f) + ".pop";
+    std::vector<std::string> lines;
+    lines.reserve(per_file);
+    for (uint64_t i = 0; i < per_file; ++i) {
+      lines.push_back(std::to_string(rng.NextU32()));
+    }
+    BMR_RETURN_IF_ERROR(WriteLines(WriterFor(cluster, f), path, lines));
+    files.push_back(std::move(path));
+  }
+  return files;
+}
+
+StatusOr<std::vector<std::string>> GenerateBlackScholesUnits(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const BlackScholesGenOptions& options) {
+  std::vector<std::string> files;
+  for (int f = 0; f < options.num_mappers; ++f) {
+    std::string path = prefix + "-" + std::to_string(f) + ".units";
+    std::vector<std::string> lines;
+    lines.push_back(std::to_string(options.seed * 65537 + f) + " " +
+                    std::to_string(options.iterations_per_mapper));
+    BMR_RETURN_IF_ERROR(WriteLines(WriterFor(cluster, f), path, lines));
+    files.push_back(std::move(path));
+  }
+  return files;
+}
+
+StatusOr<KnnData> GenerateKnnData(mr::ClusterContext* cluster,
+                                  const std::string& prefix,
+                                  const KnnGenOptions& options) {
+  KnnData data;
+  Pcg32 train_rng(options.seed * 999331);
+  data.training.reserve(options.training_size);
+  for (int i = 0; i < options.training_size; ++i) {
+    data.training.push_back(
+        train_rng.NextInRange(options.min_value, options.max_value));
+  }
+  uint64_t per_file =
+      std::max<uint64_t>(1, options.experimental_count / options.num_files);
+  for (int f = 0; f < options.num_files; ++f) {
+    Pcg32 rng(options.seed * 15485863 + f);
+    std::string path = prefix + "-exp-" + std::to_string(f) + ".txt";
+    std::vector<std::string> lines;
+    lines.reserve(per_file);
+    for (uint64_t i = 0; i < per_file; ++i) {
+      lines.push_back(std::to_string(
+          rng.NextInRange(options.min_value, options.max_value)));
+    }
+    BMR_RETURN_IF_ERROR(WriteLines(WriterFor(cluster, f), path, lines));
+    data.experimental_files.push_back(std::move(path));
+  }
+  return data;
+}
+
+}  // namespace bmr::workload

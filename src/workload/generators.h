@@ -1,0 +1,96 @@
+// Synthetic dataset generators, standing in for the paper's inputs
+// (Wikipedia text, Last.fm listen logs, random integers, GA populations,
+// Black-Scholes parameter sets).  All are deterministic in their seed;
+// files are written into the DFS spread across slave nodes so block
+// placement resembles a populated cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/engine.h"
+
+namespace bmr::workload {
+
+/// Zipf-distributed words, `words_per_line` per line — WordCount / Grep
+/// input with natural-language-like key skew.
+struct TextGenOptions {
+  uint64_t total_bytes = 1 << 20;
+  int num_files = 4;
+  uint64_t vocabulary = 20000;
+  double zipf_exponent = 1.0;
+  int words_per_line = 10;
+  uint64_t seed = 1;
+};
+StatusOr<std::vector<std::string>> GenerateZipfText(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const TextGenOptions& options);
+
+/// Uniform random integers, one decimal per line — Sort input.
+struct IntGenOptions {
+  uint64_t count = 100000;
+  int num_files = 4;
+  int64_t min_value = 0;
+  int64_t max_value = 1000000;  // the kNN experiments' value range
+  uint64_t seed = 1;
+};
+StatusOr<std::vector<std::string>> GenerateRandomInts(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const IntGenOptions& options);
+
+/// Last.fm style listen log: "userId trackId" uniform at random
+/// (the paper used 50 users and 5000 tracks).
+struct ListenGenOptions {
+  uint64_t count = 100000;
+  int num_files = 4;
+  int num_users = 50;
+  int num_tracks = 5000;
+  uint64_t seed = 1;
+};
+StatusOr<std::vector<std::string>> GenerateListens(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const ListenGenOptions& options);
+
+/// GA population: one genome (decimal uint32) per line.
+struct PopulationGenOptions {
+  uint64_t population = 100000;
+  int num_files = 4;
+  uint64_t seed = 1;
+};
+StatusOr<std::vector<std::string>> GeneratePopulation(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const PopulationGenOptions& options);
+
+/// Black-Scholes work units: each line is "seed iterations"; a mapper
+/// runs that many Monte Carlo iterations.  `lines_per_file` lines per
+/// file, one file per simulated mapper.
+struct BlackScholesGenOptions {
+  int num_mappers = 4;
+  uint64_t iterations_per_mapper = 10000;
+  uint64_t seed = 1;
+};
+StatusOr<std::vector<std::string>> GenerateBlackScholesUnits(
+    mr::ClusterContext* cluster, const std::string& prefix,
+    const BlackScholesGenOptions& options);
+
+/// kNN: generate a training set (returned inline, to be passed via job
+/// config like Hadoop's distributed cache) and experimental-value files.
+struct KnnGenOptions {
+  int training_size = 500;
+  uint64_t experimental_count = 50000;
+  int num_files = 4;
+  int64_t min_value = 0;
+  int64_t max_value = 1000000;
+  uint64_t seed = 1;
+};
+struct KnnData {
+  std::vector<int64_t> training;
+  std::vector<std::string> experimental_files;
+};
+StatusOr<KnnData> GenerateKnnData(mr::ClusterContext* cluster,
+                                  const std::string& prefix,
+                                  const KnnGenOptions& options);
+
+}  // namespace bmr::workload

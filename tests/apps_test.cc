@@ -1,0 +1,419 @@
+// Per-application tests: each of the seven Reduce classes, in both
+// modes, checked against ground truth and against each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "apps/blackscholes.h"
+#include "apps/genetic.h"
+#include "apps/grep.h"
+#include "apps/knn.h"
+#include "apps/lastfm.h"
+#include "apps/registry.h"
+#include "apps/sort.h"
+#include "apps/wordcount.h"
+#include "common/serde.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+using mr::JobResult;
+using mr::JobRunner;
+using mr::Record;
+using testutil::MakeTestCluster;
+
+JobResult RunApp(mr::ClusterContext* cluster, mr::JobSpec spec) {
+  JobRunner runner(cluster);
+  return runner.Run(std::move(spec));
+}
+
+TEST(GrepAppTest, BothModesFindExactlyTheMatchingLines) {
+  auto cluster = MakeTestCluster(3);
+  std::string data;
+  int expected_matches = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (i % 7 == 0) {
+      data += "needle line " + std::to_string(i) + "\n";
+      ++expected_matches;
+    } else {
+      data += "hay " + std::to_string(i) + "\n";
+    }
+  }
+  ASSERT_TRUE(cluster->client(1)->WriteFile("/grep/in", data).ok());
+
+  for (bool barrierless : {false, true}) {
+    apps::AppOptions options;
+    options.input_files = {"/grep/in"};
+    options.output_path = barrierless ? "/grep/out-bl" : "/grep/out-b";
+    options.num_reducers = 2;
+    options.barrierless = barrierless;
+    options.extra.Set("grep.pattern", "needle");
+    JobResult result = RunApp(cluster.get(), apps::MakeGrepJob(options));
+    ASSERT_TRUE(result.ok()) << result.status;
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+    EXPECT_EQ(static_cast<int>(output->size()), expected_matches);
+    for (const Record& r : *output) {
+      EXPECT_NE(r.value.find("needle"), std::string::npos);
+    }
+  }
+}
+
+TEST(SortAppTest, BarrierlessOutputEqualsBarrierOutput) {
+  auto cluster = MakeTestCluster(4);
+  workload::IntGenOptions gen;
+  gen.count = 10000;
+  gen.seed = 23;
+  auto files = workload::GenerateRandomInts(cluster.get(), "/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  std::vector<Record> outputs[2];
+  for (bool barrierless : {false, true}) {
+    apps::AppOptions options;
+    options.input_files = *files;
+    options.output_path = barrierless ? "/out-bl" : "/out-b";
+    options.num_reducers = 3;
+    options.barrierless = barrierless;
+    JobResult result = RunApp(cluster.get(), apps::MakeSortJob(options));
+    ASSERT_TRUE(result.ok()) << result.status;
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+    outputs[barrierless ? 1 : 0] = std::move(*output);
+  }
+  // Identical sequences: same values, same (sorted) order.
+  ASSERT_EQ(outputs[0].size(), outputs[1].size());
+  for (size_t i = 0; i < outputs[0].size(); ++i) {
+    EXPECT_EQ(outputs[0][i].key, outputs[1][i].key) << "at " << i;
+  }
+}
+
+TEST(SortAppTest, OutputIsThePermutationOfInput) {
+  auto cluster = MakeTestCluster(3);
+  workload::IntGenOptions gen;
+  gen.count = 5000;
+  gen.seed = 4;
+  auto files = workload::GenerateRandomInts(cluster.get(), "/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  // Ground truth from the generated files.
+  std::multiset<int64_t> expected;
+  for (const auto& f : *files) {
+    auto text = cluster->client(0)->ReadAll(f);
+    ASSERT_TRUE(text.ok());
+    size_t pos = 0;
+    while (pos < text->size()) {
+      size_t nl = text->find('\n', pos);
+      if (nl == std::string::npos) nl = text->size();
+      expected.insert(std::stoll(text->substr(pos, nl - pos)));
+      pos = nl + 1;
+    }
+  }
+
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.output_path = "/out";
+  options.num_reducers = 4;
+  options.barrierless = true;
+  JobResult result = RunApp(cluster.get(), apps::MakeSortJob(options));
+  ASSERT_TRUE(result.ok());
+  auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+  ASSERT_TRUE(output.ok());
+  std::multiset<int64_t> actual;
+  for (const Record& r : *output) {
+    int64_t v = 0;
+    ASSERT_TRUE(DecodeOrderedI64(Slice(r.key), &v));
+    actual.insert(v);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+std::map<int64_t, std::multiset<int64_t>> BruteForceKnn(
+    const std::vector<int64_t>& training, const std::set<int64_t>& exps,
+    int k) {
+  std::map<int64_t, std::multiset<int64_t>> result;  // exp -> k distances
+  for (int64_t exp : exps) {
+    std::multiset<int64_t> dists;
+    for (int64_t t : training) dists.insert(std::llabs(exp - t));
+    std::multiset<int64_t> top;
+    auto it = dists.begin();
+    for (int i = 0; i < k && it != dists.end(); ++i, ++it) top.insert(*it);
+    result[exp] = std::move(top);
+  }
+  return result;
+}
+
+TEST(KnnAppTest, BothModesMatchBruteForceDistances) {
+  auto cluster = MakeTestCluster(3);
+  workload::KnnGenOptions gen;
+  gen.training_size = 60;
+  gen.experimental_count = 400;
+  gen.num_files = 2;
+  gen.seed = 12;
+  auto data = workload::GenerateKnnData(cluster.get(), "/knn", gen);
+  ASSERT_TRUE(data.ok());
+
+  // Collect the distinct experimental values for ground truth.
+  std::set<int64_t> exps;
+  for (const auto& f : data->experimental_files) {
+    auto text = cluster->client(0)->ReadAll(f);
+    ASSERT_TRUE(text.ok());
+    size_t pos = 0;
+    while (pos < text->size()) {
+      size_t nl = text->find('\n', pos);
+      if (nl == std::string::npos) nl = text->size();
+      exps.insert(std::stoll(text->substr(pos, nl - pos)));
+      pos = nl + 1;
+    }
+  }
+  const int k = 5;
+  auto expected = BruteForceKnn(data->training, exps, k);
+
+  for (bool barrierless : {false, true}) {
+    apps::AppOptions options;
+    options.input_files = data->experimental_files;
+    options.output_path = barrierless ? "/knn/out-bl" : "/knn/out-b";
+    options.num_reducers = 2;
+    options.barrierless = barrierless;
+    options.extra.SetInt("knn.k", k);
+    options.extra.Set("knn.training",
+                      apps::EncodeTrainingSet(data->training));
+    JobResult result = RunApp(cluster.get(), apps::MakeKnnJob(options));
+    ASSERT_TRUE(result.ok()) << result.status;
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+
+    std::map<int64_t, std::multiset<int64_t>> actual;
+    for (const Record& r : *output) {
+      int64_t exp = 0;
+      ASSERT_TRUE(DecodeOrderedI64(Slice(r.key), &exp));
+      apps::KnnNeighbor n;
+      ASSERT_TRUE(apps::DecodeNeighbor(Slice(r.value), &n));
+      actual[exp].insert(n.distance);
+    }
+    // Compare distance multisets (ties may pick different train values).
+    EXPECT_EQ(actual, expected) << "barrierless=" << barrierless;
+  }
+}
+
+TEST(LastFmAppTest, UniqueListenCountsMatchGroundTruth) {
+  auto cluster = MakeTestCluster(3);
+  workload::ListenGenOptions gen;
+  gen.count = 20000;
+  gen.num_users = 40;
+  gen.num_tracks = 300;
+  gen.seed = 77;
+  auto files = workload::GenerateListens(cluster.get(), "/fm/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  // Ground truth.
+  std::map<std::string, std::set<std::string>> truth;
+  for (const auto& f : *files) {
+    auto text = cluster->client(0)->ReadAll(f);
+    ASSERT_TRUE(text.ok());
+    size_t pos = 0;
+    while (pos < text->size()) {
+      size_t nl = text->find('\n', pos);
+      if (nl == std::string::npos) nl = text->size();
+      std::string line = text->substr(pos, nl - pos);
+      size_t space = line.find(' ');
+      truth[line.substr(space + 1)].insert(line.substr(0, space));
+      pos = nl + 1;
+    }
+  }
+
+  for (bool barrierless : {false, true}) {
+    apps::AppOptions options;
+    options.input_files = *files;
+    options.output_path = barrierless ? "/fm/out-bl" : "/fm/out-b";
+    options.num_reducers = 3;
+    options.barrierless = barrierless;
+    JobResult result = RunApp(cluster.get(), apps::MakeLastFmJob(options));
+    ASSERT_TRUE(result.ok()) << result.status;
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+    ASSERT_EQ(output->size(), truth.size());
+    for (const Record& r : *output) {
+      int64_t count = 0;
+      ASSERT_TRUE(DecodeI64(Slice(r.value), &count));
+      EXPECT_EQ(static_cast<size_t>(count), truth[r.key].size())
+          << "track " << r.key;
+    }
+  }
+}
+
+TEST(GeneticAppTest, OffspringCountEqualsPopulation) {
+  auto cluster = MakeTestCluster(3);
+  workload::PopulationGenOptions gen;
+  gen.population = 6000;
+  gen.seed = 5;
+  auto files = workload::GeneratePopulation(cluster.get(), "/ga/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  for (bool barrierless : {false, true}) {
+    apps::AppOptions options;
+    options.input_files = *files;
+    options.output_path = barrierless ? "/ga/out-bl" : "/ga/out-b";
+    options.num_reducers = 2;
+    options.barrierless = barrierless;
+    options.extra.SetInt("ga.window", 32);
+    JobResult result = RunApp(cluster.get(), apps::MakeGeneticJob(options));
+    ASSERT_TRUE(result.ok()) << result.status;
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+    // One offspring per individual (windows always flush).
+    EXPECT_EQ(output->size(), 6000u);
+    // Every record is a valid (genome, fitness) pair.
+    for (const Record& r : *output) {
+      int64_t genome = 0, fitness = 0;
+      ASSERT_TRUE(DecodeOrderedI64(Slice(r.key), &genome));
+      ASSERT_TRUE(DecodeI64(Slice(r.value), &fitness));
+      EXPECT_EQ(fitness,
+                apps::GaFitness(static_cast<uint32_t>(genome)));
+    }
+  }
+}
+
+TEST(GeneticAppTest, SelectionPressureRaisesMeanFitness) {
+  auto cluster = MakeTestCluster(2);
+  workload::PopulationGenOptions gen;
+  gen.population = 4000;
+  gen.seed = 9;
+  auto files = workload::GeneratePopulation(cluster.get(), "/ga/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.output_path = "/ga/out";
+  options.num_reducers = 2;
+  options.barrierless = true;
+  options.extra.SetInt("ga.window", 64);
+  JobResult result = RunApp(cluster.get(), apps::MakeGeneticJob(options));
+  ASSERT_TRUE(result.ok());
+  auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+  ASSERT_TRUE(output.ok());
+  double out_fitness = 0;
+  for (const Record& r : *output) {
+    int64_t f = 0;
+    DecodeI64(Slice(r.value), &f);
+    out_fitness += static_cast<double>(f);
+  }
+  out_fitness /= output->size();
+  // Random 32-bit genomes average 16 set bits; tournament selection
+  // must push the offspring mean clearly above that.
+  EXPECT_GT(out_fitness, 16.5);
+}
+
+TEST(BlackScholesAppTest, MonteCarloMatchesClosedForm) {
+  auto cluster = MakeTestCluster(3);
+  workload::BlackScholesGenOptions gen;
+  gen.num_mappers = 4;
+  gen.iterations_per_mapper = 20000;
+  gen.seed = 2;
+  auto files =
+      workload::GenerateBlackScholesUnits(cluster.get(), "/bs/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  double closed_form = apps::BlackScholesCallPrice(100, 100, 0.05, 0.2, 1.0);
+  for (bool barrierless : {false, true}) {
+    apps::AppOptions options;
+    options.input_files = *files;
+    options.output_path = barrierless ? "/bs/out-bl" : "/bs/out-b";
+    options.barrierless = barrierless;
+    JobResult result =
+        RunApp(cluster.get(), apps::MakeBlackScholesJob(options));
+    ASSERT_TRUE(result.ok()) << result.status;
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+    ASSERT_EQ(output->size(), 1u);  // single reducer, single summary
+    apps::BsSummary summary;
+    ASSERT_TRUE(apps::DecodeBsSummary(Slice((*output)[0].value), &summary));
+    EXPECT_EQ(summary.count, 80000);
+    EXPECT_NEAR(summary.mean, closed_form, 0.25);
+    EXPECT_GT(summary.stddev, 0);
+  }
+}
+
+TEST(BlackScholesAppTest, ModesProduceIdenticalSums) {
+  // Same seeded input => bit-identical running sums in both modes.
+  auto cluster = MakeTestCluster(2);
+  workload::BlackScholesGenOptions gen;
+  gen.num_mappers = 2;
+  gen.iterations_per_mapper = 5000;
+  auto files =
+      workload::GenerateBlackScholesUnits(cluster.get(), "/bs/in", gen);
+  ASSERT_TRUE(files.ok());
+  apps::BsSummary summaries[2];
+  for (bool barrierless : {false, true}) {
+    apps::AppOptions options;
+    options.input_files = *files;
+    options.output_path = barrierless ? "/out-bl" : "/out-b";
+    options.barrierless = barrierless;
+    JobResult result =
+        RunApp(cluster.get(), apps::MakeBlackScholesJob(options));
+    ASSERT_TRUE(result.ok());
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+    ASSERT_TRUE(apps::DecodeBsSummary(Slice((*output)[0].value),
+                                      &summaries[barrierless ? 1 : 0]));
+  }
+  EXPECT_EQ(summaries[0].count, summaries[1].count);
+  EXPECT_NEAR(summaries[0].mean, summaries[1].mean, 1e-9);
+  EXPECT_NEAR(summaries[0].stddev, summaries[1].stddev, 1e-9);
+}
+
+TEST(RegistryTest, SevenClassesRegistered) {
+  const auto& apps = apps::AllApps();
+  ASSERT_EQ(apps.size(), 7u);
+  std::set<std::string> classes;
+  for (const auto& app : apps) classes.insert(app.reduce_class);
+  EXPECT_EQ(classes.size(), 7u);  // all distinct
+  // Table 1: only Sort requires key order.
+  for (const auto& app : apps) {
+    EXPECT_EQ(app.key_sort_required, app.name == "sort") << app.name;
+  }
+  EXPECT_NE(apps::FindApp("wordcount"), nullptr);
+  EXPECT_EQ(apps::FindApp("nonexistent"), nullptr);
+}
+
+TEST(WordCountWithStoresTest, AllThreeStoresAgree) {
+  auto cluster = MakeTestCluster(3);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 120 << 10;
+  gen.vocabulary = 250;
+  gen.seed = 88;
+  auto files = workload::GenerateZipfText(cluster.get(), "/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  std::map<std::string, std::string> reference;
+  int idx = 0;
+  for (core::StoreType type :
+       {core::StoreType::kInMemory, core::StoreType::kSpillMerge,
+        core::StoreType::kKvStore}) {
+    apps::AppOptions options;
+    options.input_files = *files;
+    options.output_path = "/out-" + std::to_string(idx++);
+    options.num_reducers = 2;
+    options.barrierless = true;
+    options.store.type = type;
+    options.store.spill_threshold_bytes = 8 << 10;  // force spills
+    options.store.kv_cache_bytes = 8 << 10;         // force evictions
+    JobResult result = RunApp(cluster.get(), apps::MakeWordCountJob(options));
+    ASSERT_TRUE(result.ok()) << core::StoreTypeName(type) << ": "
+                             << result.status;
+    auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+    ASSERT_TRUE(output.ok());
+    auto as_map = testutil::AsMap(*output);
+    if (reference.empty()) {
+      reference = as_map;
+    } else {
+      EXPECT_EQ(as_map, reference) << core::StoreTypeName(type);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bmr

@@ -1,0 +1,104 @@
+// Property sweep: the engine produces correct results regardless of
+// cluster shape — slave count, slot counts, block size, reducer count,
+// execution mode.  WordCount's answer must always equal the direct
+// computation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/wordcount.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+using mr::JobResult;
+using mr::JobRunner;
+using testutil::MakeTestCluster;
+
+struct Shape {
+  int slaves;
+  int map_slots;
+  int reduce_slots;
+  uint64_t block_bytes;
+  int reducers;
+  bool barrierless;
+};
+
+std::string ShapeName(const ::testing::TestParamInfo<Shape>& info) {
+  const Shape& s = info.param;
+  return "s" + std::to_string(s.slaves) + "m" + std::to_string(s.map_slots) +
+         "r" + std::to_string(s.reduce_slots) + "b" +
+         std::to_string(s.block_bytes >> 10) + "k_red" +
+         std::to_string(s.reducers) + (s.barrierless ? "_bl" : "_b");
+}
+
+class ClusterSweepTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ClusterSweepTest, WordCountAlwaysCorrect) {
+  const Shape& shape = GetParam();
+  auto cluster = MakeTestCluster(shape.slaves, shape.block_bytes,
+                                 shape.map_slots, shape.reduce_slots);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 96 << 10;
+  gen.vocabulary = 200;
+  gen.num_files = 2;
+  gen.seed = 101;
+  auto files = workload::GenerateZipfText(cluster.get(), "/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  // Direct ground truth (identical generation is deterministic).
+  std::map<std::string, int64_t> expected;
+  for (const auto& file : *files) {
+    auto text = cluster->client(0)->ReadAll(file);
+    ASSERT_TRUE(text.ok());
+    size_t pos = 0;
+    std::string_view view = *text;
+    while (pos < view.size()) {
+      size_t end = view.find_first_of(" \n", pos);
+      if (end == std::string_view::npos) end = view.size();
+      if (end > pos) expected[std::string(view.substr(pos, end - pos))]++;
+      pos = end + 1;
+    }
+  }
+
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.output_path = "/out";
+  options.num_reducers = shape.reducers;
+  options.barrierless = shape.barrierless;
+  JobRunner runner(cluster.get());
+  JobResult result = runner.Run(apps::MakeWordCountJob(options));
+  ASSERT_TRUE(result.ok()) << result.status;
+
+  auto output = JobRunner::ReadAllOutput(cluster->client(0), result);
+  ASSERT_TRUE(output.ok());
+  std::map<std::string, int64_t> actual;
+  for (const auto& r : *output) {
+    actual[r.key] = apps::DecodeCount(Slice(r.value));
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterSweepTest,
+    ::testing::Values(
+        // One slave, one slot each: fully serialized execution.
+        Shape{1, 1, 1, 16 << 10, 1, false},
+        Shape{1, 1, 1, 16 << 10, 1, true},
+        // Tiny blocks: many map tasks, several waves.
+        Shape{2, 1, 1, 8 << 10, 2, true},
+        Shape{2, 2, 2, 8 << 10, 3, false},
+        // Wide cluster, more reducers than keys' partitions need.
+        Shape{6, 2, 2, 32 << 10, 8, true},
+        Shape{6, 4, 4, 32 << 10, 8, false},
+        // Reducer waves: more reducers than total reduce slots.
+        Shape{2, 2, 1, 16 << 10, 5, true},
+        Shape{2, 2, 1, 16 << 10, 5, false},
+        // Single big block: one map task feeding many reducers.
+        Shape{3, 2, 2, 1 << 20, 4, true}),
+    ShapeName);
+
+}  // namespace
+}  // namespace bmr

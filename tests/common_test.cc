@@ -1,0 +1,247 @@
+// Tests for the common substrate: status, serde, hashing, rng,
+// histograms, config.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace bmr {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, StatusOrValueAndError) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  StatusOr<int> bad(Status::Internal("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status {
+    BMR_RETURN_IF_ERROR(Status::InvalidArgument("x"));
+    return Status::Ok();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerdeTest, VarintRoundTrip) {
+  ByteBuffer buf;
+  Encoder enc(&buf);
+  std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1u << 20,
+                                  (1ull << 35) + 7, UINT64_MAX};
+  for (uint64_t v : values) enc.PutVarint64(v);
+  Decoder dec(buf.AsSlice());
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(dec.GetVarint64(&got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(SerdeTest, SignedVarintRoundTrip) {
+  for (int64_t v : {INT64_MIN, int64_t{-1}, int64_t{0}, int64_t{1},
+                    int64_t{-123456789}, INT64_MAX}) {
+    int64_t got = 0;
+    ASSERT_TRUE(DecodeI64(EncodeI64(v), &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(SerdeTest, StringsAndDoubles) {
+  ByteBuffer buf;
+  Encoder enc(&buf);
+  enc.PutString("hello");
+  enc.PutString("");
+  enc.PutDouble(3.14159);
+  Decoder dec(buf.AsSlice());
+  std::string a, b;
+  double d = 0;
+  ASSERT_TRUE(dec.GetString(&a));
+  ASSERT_TRUE(dec.GetString(&b));
+  ASSERT_TRUE(dec.GetDouble(&d));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+}
+
+TEST(SerdeTest, TruncatedInputFailsCleanly) {
+  ByteBuffer buf;
+  Encoder enc(&buf);
+  enc.PutString("some payload");
+  Slice whole = buf.AsSlice();
+  Decoder dec(Slice(whole.data(), whole.size() - 3));
+  Slice out;
+  EXPECT_FALSE(dec.GetString(&out));
+  uint64_t v;
+  Decoder dec2(Slice("\xff\xff\xff", 3));  // unterminated varint
+  EXPECT_FALSE(dec2.GetVarint64(&v));
+}
+
+/// Property: the ordered i64 encoding preserves numeric order bytewise.
+class OrderedEncodingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderedEncodingTest, OrderPreservedOnRandomPairs) {
+  Pcg32 rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    int64_t a = static_cast<int64_t>(rng.NextU64());
+    int64_t b = static_cast<int64_t>(rng.NextU64());
+    std::string ea = EncodeOrderedI64(a);
+    std::string eb = EncodeOrderedI64(b);
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+    int64_t back = 0;
+    ASSERT_TRUE(DecodeOrderedI64(ea, &back));
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST_P(OrderedEncodingTest, DoubleOrderPreservedOnRandomPairs) {
+  Pcg32 rng(GetParam() + 99);
+  for (int i = 0; i < 2000; ++i) {
+    double a = (rng.NextDouble() - 0.5) * 1e12;
+    double b = (rng.NextDouble() - 0.5) * 1e12;
+    std::string ea = EncodeOrderedDouble(a);
+    std::string eb = EncodeOrderedDouble(b);
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+    double back = 0;
+    ASSERT_TRUE(DecodeOrderedDouble(ea, &back));
+    EXPECT_DOUBLE_EQ(back, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderedEncodingTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(SeededHash64("x", 1), SeededHash64("x", 2));
+}
+
+TEST(RngTest, PcgDeterministicAndBounded) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+  Pcg32 c(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(c.NextBounded(17), 17u);
+    double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  ZipfGenerator zipf(1000, 1.0, 5);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next()]++;
+  // Rank 0 must be much more frequent than rank 500.
+  EXPECT_GT(counts[0], 20 * std::max(counts[500], 1));
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Pcg32 rng(31);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double z = rng.NextGaussian();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
+}
+
+TEST(DistributionTest, QuantilesAndMoments) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.Add(i);
+  EXPECT_DOUBLE_EQ(d.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(d.Min(), 1);
+  EXPECT_DOUBLE_EQ(d.Max(), 100);
+  EXPECT_NEAR(d.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(d.Quantile(0.25), 25.75, 1e-9);
+  EXPECT_NEAR(d.Quantile(0.75), 75.25, 1e-9);
+}
+
+TEST(LogHistogramTest, CountsAndApproxQuantiles) {
+  LogHistogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  uint64_t p50 = h.ApproxQuantile(0.5);
+  EXPECT_GE(p50, 255u);
+  EXPECT_LE(p50, 1024u);
+}
+
+TEST(ConfigTest, TypedAccessorsWithFallbacks) {
+  Config c;
+  c.SetInt("answer", 42);
+  c.SetDouble("pi", 3.14);
+  c.SetBool("flag", true);
+  c.Set("name", "bmr");
+  EXPECT_EQ(c.GetInt("answer"), 42);
+  EXPECT_DOUBLE_EQ(c.GetDouble("pi"), 3.14);
+  EXPECT_TRUE(c.GetBool("flag"));
+  EXPECT_EQ(c.GetString("name"), "bmr");
+  EXPECT_EQ(c.GetInt("missing", -1), -1);
+  EXPECT_FALSE(c.GetBool("missing"));
+  c.Set("junk", "not-a-number");
+  EXPECT_EQ(c.GetInt("junk", 9), 9);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelsFilterMessages) {
+  // Below-threshold messages must not be emitted (no crash, no output
+  // assertion possible portably — exercise the paths).
+  SetLogLevel(LogLevel::kError);
+  BMR_DEBUG << "dropped";
+  BMR_INFO << "dropped";
+  BMR_WARN << "dropped";
+  SetLogLevel(LogLevel::kOff);
+  BMR_ERROR << "dropped too";
+  SetLogLevel(LogLevel::kWarn);  // restore default for other tests
+  SUCCEED();
+}
+
+TEST(SliceTest, ParsingHelpers) {
+  Slice s("hello world");
+  EXPECT_TRUE(s.StartsWith("hello"));
+  EXPECT_FALSE(s.StartsWith("world"));
+  s.RemovePrefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+  EXPECT_LT(Slice("abc").Compare("abd"), 0);
+}
+
+}  // namespace
+}  // namespace bmr

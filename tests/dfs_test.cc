@@ -1,0 +1,189 @@
+// Tests for the DFS substrate: namespace, chunking, replication
+// placement, ranged reads, failover.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dfs/dfs.h"
+#include "net/rpc.h"
+
+namespace bmr::dfs {
+namespace {
+
+struct DfsFixture {
+  explicit DfsFixture(int nodes = 5, int replication = 3,
+                      uint64_t block = 1024)
+      : fabric(nodes), dfs(&fabric, replication, block) {}
+  net::RpcFabric fabric;
+  Dfs dfs;
+};
+
+TEST(DfsTest, WriteReadRoundTrip) {
+  DfsFixture fx;
+  DfsClient client(&fx.dfs, 1);
+  ASSERT_TRUE(client.WriteFile("/f", "hello dfs").ok());
+  auto back = client.ReadAll("/f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "hello dfs");
+}
+
+TEST(DfsTest, CreateRejectsDuplicates) {
+  DfsFixture fx;
+  DfsClient client(&fx.dfs, 1);
+  ASSERT_TRUE(client.WriteFile("/f", "x").ok());
+  auto again = client.Create("/f");
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DfsTest, LargeFileSplitsIntoBlocksWithReplication) {
+  DfsFixture fx(/*nodes=*/5, /*replication=*/3, /*block=*/1024);
+  DfsClient client(&fx.dfs, 2);
+  std::string data(5000, 'a');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = 'a' + i % 26;
+  ASSERT_TRUE(client.WriteFile("/big", data).ok());
+
+  auto info = client.GetFileInfo("/big");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 5000u);
+  EXPECT_EQ(info->blocks.size(), 5u);  // ceil(5000/1024)
+  for (const auto& block : info->blocks) {
+    EXPECT_EQ(block.replicas.size(), 3u);
+    // Write-local policy: first replica on the writer's node.
+    EXPECT_EQ(block.replicas[0], 2);
+  }
+  auto back = client.ReadAll("/big");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(DfsTest, PreadSpansBlockBoundaries) {
+  DfsFixture fx(5, 2, 100);
+  DfsClient client(&fx.dfs, 1);
+  std::string data;
+  for (int i = 0; i < 350; ++i) data += static_cast<char>('0' + i % 10);
+  ASSERT_TRUE(client.WriteFile("/f", data).ok());
+  ByteBuffer out;
+  ASSERT_TRUE(client.Pread("/f", 95, 110, &out).ok());
+  EXPECT_EQ(out.ToString(), data.substr(95, 110));
+  // Read past EOF clips.
+  out.Clear();
+  ASSERT_TRUE(client.Pread("/f", 340, 100, &out).ok());
+  EXPECT_EQ(out.ToString(), data.substr(340));
+  // Read entirely past EOF returns empty.
+  out.Clear();
+  ASSERT_TRUE(client.Pread("/f", 1000, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DfsTest, ReadsFailOverWhenReplicaDies) {
+  DfsFixture fx(5, 3, 512);
+  DfsClient writer(&fx.dfs, 1);
+  std::string data(2000, 'z');
+  ASSERT_TRUE(writer.WriteFile("/f", data).ok());
+
+  // Kill the writer's node — the first replica of every block.
+  fx.dfs.KillDataNode(1);
+  DfsClient reader(&fx.dfs, 3);
+  auto back = reader.ReadAll("/f");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, data);
+}
+
+TEST(DfsTest, DeadNodeExcludedFromNewPlacements) {
+  DfsFixture fx(4, 2, 1024);
+  fx.dfs.KillDataNode(2);
+  DfsClient client(&fx.dfs, 0);
+  ASSERT_TRUE(client.WriteFile("/f", std::string(3000, 'q')).ok());
+  auto info = client.GetFileInfo("/f");
+  ASSERT_TRUE(info.ok());
+  for (const auto& block : info->blocks) {
+    for (int r : block.replicas) EXPECT_NE(r, 2);
+  }
+}
+
+TEST(DfsTest, NodeLossTriggersReReplication) {
+  DfsFixture fx(/*nodes=*/6, /*replication=*/3, /*block=*/512);
+  DfsClient writer(&fx.dfs, 1);
+  std::string data(3000, 'r');
+  ASSERT_TRUE(writer.WriteFile("/f", data).ok());
+
+  fx.dfs.KillDataNode(1);  // first replica of every block
+  EXPECT_GT(fx.dfs.blocks_re_replicated(), 0u);
+  // Metadata no longer references the dead node, and replication is
+  // restored to 3 live replicas.
+  auto info = DfsClient(&fx.dfs, 2).GetFileInfo("/f");
+  ASSERT_TRUE(info.ok());
+  for (const auto& block : info->blocks) {
+    EXPECT_EQ(block.replicas.size(), 3u);
+    for (int r : block.replicas) EXPECT_NE(r, 1);
+  }
+}
+
+TEST(DfsTest, SurvivesSequentialDoubleFailure) {
+  // Replication 2: losing one replica is survivable only because the
+  // repair pass restores the factor before the second loss.
+  DfsFixture fx(/*nodes=*/5, /*replication=*/2, /*block=*/512);
+  DfsClient writer(&fx.dfs, 1);
+  std::string data(2000, 's');
+  ASSERT_TRUE(writer.WriteFile("/f", data).ok());
+  auto info = writer.GetFileInfo("/f");
+  ASSERT_TRUE(info.ok());
+  int first = info->blocks[0].replicas[0];
+  int second = info->blocks[0].replicas[1];
+
+  fx.dfs.KillDataNode(first);
+  fx.dfs.KillDataNode(second);
+  auto back = DfsClient(&fx.dfs, 0).ReadAll("/f");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, data);
+}
+
+TEST(DfsTest, DeleteAndExists) {
+  DfsFixture fx;
+  DfsClient client(&fx.dfs, 1);
+  EXPECT_FALSE(client.Exists("/f"));
+  ASSERT_TRUE(client.WriteFile("/f", "x").ok());
+  EXPECT_TRUE(client.Exists("/f"));
+  ASSERT_TRUE(client.Delete("/f").ok());
+  EXPECT_FALSE(client.Exists("/f"));
+  EXPECT_EQ(client.Delete("/f").code(), StatusCode::kNotFound);
+}
+
+TEST(DfsTest, ReadMissingFileIsNotFound) {
+  DfsFixture fx;
+  DfsClient client(&fx.dfs, 1);
+  EXPECT_EQ(client.ReadAll("/nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DfsTest, StreamingWriterRollsBlocks) {
+  DfsFixture fx(5, 2, 256);
+  DfsClient client(&fx.dfs, 1);
+  auto writer = client.Create("/stream");
+  ASSERT_TRUE(writer.ok());
+  std::string expected;
+  Pcg32 rng(9);
+  for (int i = 0; i < 50; ++i) {
+    std::string chunk(rng.NextBounded(100) + 1, 'a' + i % 26);
+    expected += chunk;
+    ASSERT_TRUE((*writer)->Append(chunk).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto back = client.ReadAll("/stream");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, expected);
+  auto info = client.GetFileInfo("/stream");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->blocks.size(),
+            (expected.size() + 255) / 256);
+}
+
+TEST(DfsTest, ReplicationClampedToClusterSize) {
+  DfsFixture fx(/*nodes=*/2, /*replication=*/3, 1024);
+  DfsClient client(&fx.dfs, 1);
+  ASSERT_TRUE(client.WriteFile("/f", "data").ok());
+  auto info = client.GetFileInfo("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->blocks[0].replicas.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bmr::dfs

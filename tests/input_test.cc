@@ -1,0 +1,150 @@
+// Tests for split planning and record readers, including the Hadoop
+// line-straddling contract at split boundaries.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "mr/input.h"
+#include "test_util.h"
+
+namespace bmr::mr {
+namespace {
+
+using testutil::MakeTestCluster;
+
+TEST(SplitPlanTest, SplitsCoverFileExactly) {
+  auto cluster = MakeTestCluster(3, /*block_bytes=*/1000);
+  std::string data(4500, 'x');
+  ASSERT_TRUE(cluster->client(1)->WriteFile("/f", data).ok());
+  auto splits = PlanSplits(cluster->client(0), {"/f"}, InputKind::kTextLines,
+                           /*split_bytes=*/0);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 5u);  // 4500 / 1000-byte blocks
+  uint64_t covered = 0;
+  for (const auto& s : *splits) {
+    EXPECT_EQ(s.offset, covered);
+    covered += s.length;
+    EXPECT_FALSE(s.preferred_nodes.empty());
+  }
+  EXPECT_EQ(covered, 4500u);
+}
+
+TEST(SplitPlanTest, EmptyFilesYieldNoSplits) {
+  auto cluster = MakeTestCluster(2);
+  ASSERT_TRUE(cluster->client(1)->WriteFile("/empty", "").ok());
+  auto splits = PlanSplits(cluster->client(0), {"/empty"},
+                           InputKind::kTextLines, 0);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_TRUE(splits->empty());
+}
+
+TEST(SplitPlanTest, KvInputsGetOneSplitPerFile) {
+  auto cluster = MakeTestCluster(2, /*block_bytes=*/128);
+  ASSERT_TRUE(
+      cluster->client(1)->WriteFile("/kv", std::string(1000, 'x')).ok());
+  auto splits =
+      PlanSplits(cluster->client(0), {"/kv"}, InputKind::kKvPairs, 0);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 1u);
+  EXPECT_EQ((*splits)[0].length, 1000u);
+}
+
+/// Property: for any split size, every line is read exactly once and
+/// with its correct byte-offset key.
+class LineBoundaryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LineBoundaryTest, EachLineExactlyOnce) {
+  uint64_t split_bytes = GetParam();
+  auto cluster = MakeTestCluster(3, /*block_bytes=*/64 << 10);
+  // Lines of varying lengths, including empties.
+  Pcg32 rng(split_bytes);
+  std::string data;
+  std::vector<std::pair<uint64_t, std::string>> expected;
+  for (int i = 0; i < 300; ++i) {
+    std::string line(rng.NextBounded(40), 'a' + i % 26);
+    expected.emplace_back(data.size(), line);
+    data += line;
+    data += '\n';
+  }
+  ASSERT_TRUE(cluster->client(1)->WriteFile("/lines", data).ok());
+
+  auto splits = PlanSplits(cluster->client(0), {"/lines"},
+                           InputKind::kTextLines, split_bytes);
+  ASSERT_TRUE(splits.ok());
+  std::vector<std::pair<uint64_t, std::string>> got;
+  for (const auto& split : *splits) {
+    TextLineReader reader(cluster->client(0), split);
+    Record record;
+    bool has = false;
+    for (;;) {
+      ASSERT_TRUE(reader.Next(&record, &has).ok());
+      if (!has) break;
+      got.emplace_back(std::stoull(record.key), record.value);
+    }
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitSizes, LineBoundaryTest,
+                         ::testing::Values(64u, 100u, 257u, 1000u, 4096u,
+                                           1u << 20));
+
+TEST(TextLineReaderTest, FileWithoutTrailingNewline) {
+  auto cluster = MakeTestCluster(2);
+  ASSERT_TRUE(cluster->client(1)->WriteFile("/f", "one\ntwo\nthree").ok());
+  auto splits =
+      PlanSplits(cluster->client(0), {"/f"}, InputKind::kTextLines, 0);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 1u);
+  TextLineReader reader(cluster->client(0), (*splits)[0]);
+  std::vector<std::string> lines;
+  Record r;
+  bool has;
+  for (;;) {
+    ASSERT_TRUE(reader.Next(&r, &has).ok());
+    if (!has) break;
+    lines.push_back(r.value);
+  }
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(KvPairReaderTest, RoundTripThroughDfs) {
+  auto cluster = MakeTestCluster(2);
+  ByteBuffer buf;
+  for (int i = 0; i < 50; ++i) {
+    AppendFramedRecord(&buf, "k" + std::to_string(i),
+                       std::string(i % 17, 'v'));
+  }
+  ASSERT_TRUE(cluster->client(1)->WriteFile("/kv", buf.AsSlice()).ok());
+  auto splits =
+      PlanSplits(cluster->client(0), {"/kv"}, InputKind::kKvPairs, 0);
+  ASSERT_TRUE(splits.ok());
+  KvPairReader reader(cluster->client(0), (*splits)[0]);
+  Record r;
+  bool has;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(reader.Next(&r, &has).ok());
+    ASSERT_TRUE(has);
+    EXPECT_EQ(r.key, "k" + std::to_string(i));
+    EXPECT_EQ(r.value, std::string(i % 17, 'v'));
+  }
+  ASSERT_TRUE(reader.Next(&r, &has).ok());
+  EXPECT_FALSE(has);
+}
+
+TEST(KvPairReaderTest, CorruptDataIsDataLoss) {
+  auto cluster = MakeTestCluster(2);
+  ASSERT_TRUE(cluster->client(1)->WriteFile("/bad", "\xff\xff\xff").ok());
+  auto splits =
+      PlanSplits(cluster->client(0), {"/bad"}, InputKind::kKvPairs, 0);
+  ASSERT_TRUE(splits.ok());
+  KvPairReader reader(cluster->client(0), (*splits)[0]);
+  Record r;
+  bool has;
+  EXPECT_EQ(reader.Next(&r, &has).code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace bmr::mr

@@ -1,0 +1,189 @@
+// The equivalence matrix: every application class × execution mode ×
+// partial-result store must produce the same logical result as that
+// app's with-barrier in-memory reference run.  This is the paper's
+// correctness claim ("the correctness and the completeness of the
+// MapReduce execution is not compromised") tested exhaustively.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/blackscholes.h"
+#include "apps/knn.h"
+#include "apps/registry.h"
+#include "common/serde.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+using mr::ClusterContext;
+using mr::JobResult;
+using mr::JobRunner;
+using mr::Record;
+using testutil::MakeTestCluster;
+
+struct Case {
+  std::string app;
+  bool barrierless;
+  core::StoreType store;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.app;
+  name += info.param.barrierless ? "_barrierless_" : "_barrier_";
+  switch (info.param.store) {
+    case core::StoreType::kInMemory: name += "mem"; break;
+    case core::StoreType::kSpillMerge: name += "spill"; break;
+    case core::StoreType::kKvStore: name += "kv"; break;
+  }
+  return name;
+}
+
+/// Prepared inputs for one app on a shared cluster.
+struct Workload {
+  std::vector<std::string> files;
+  Config extra;
+};
+
+Workload PrepareWorkload(ClusterContext* cluster, const std::string& app) {
+  Workload w;
+  if (app == "grep") {
+    workload::TextGenOptions gen;
+    gen.total_bytes = 48 << 10;
+    gen.vocabulary = 80;
+    gen.seed = 31;
+    w.files = *workload::GenerateZipfText(cluster, "/" + app, gen);
+    w.extra.Set("grep.pattern", "w1");
+  } else if (app == "sort") {
+    workload::IntGenOptions gen;
+    gen.count = 8000;
+    gen.seed = 32;
+    w.files = *workload::GenerateRandomInts(cluster, "/" + app, gen);
+  } else if (app == "wordcount") {
+    workload::TextGenOptions gen;
+    gen.total_bytes = 64 << 10;
+    gen.vocabulary = 400;
+    gen.seed = 33;
+    w.files = *workload::GenerateZipfText(cluster, "/" + app, gen);
+  } else if (app == "knn") {
+    workload::KnnGenOptions gen;
+    gen.training_size = 40;
+    gen.experimental_count = 600;
+    gen.seed = 34;
+    auto data = *workload::GenerateKnnData(cluster, "/" + app, gen);
+    w.files = data.experimental_files;
+    w.extra.SetInt("knn.k", 7);
+    w.extra.Set("knn.training", apps::EncodeTrainingSet(data.training));
+  } else if (app == "lastfm") {
+    workload::ListenGenOptions gen;
+    gen.count = 8000;
+    gen.num_users = 25;
+    gen.num_tracks = 120;
+    gen.seed = 35;
+    w.files = *workload::GenerateListens(cluster, "/" + app, gen);
+  } else if (app == "genetic") {
+    workload::PopulationGenOptions gen;
+    gen.population = 4000;
+    gen.seed = 36;
+    w.files = *workload::GeneratePopulation(cluster, "/" + app, gen);
+    w.extra.SetInt("ga.window", 16);
+  } else if (app == "blackscholes") {
+    workload::BlackScholesGenOptions gen;
+    gen.num_mappers = 2;
+    gen.iterations_per_mapper = 4000;
+    gen.seed = 37;
+    w.files = *workload::GenerateBlackScholesUnits(cluster, "/" + app, gen);
+  }
+  return w;
+}
+
+/// App-aware comparison key: reduce the output multiset to something
+/// both modes must agree on exactly.
+std::multiset<std::string> Canonicalize(const std::string& app,
+                                        const std::vector<Record>& records) {
+  std::multiset<std::string> out;
+  for (const Record& r : records) {
+    if (app == "knn") {
+      // Modes may pick different equal-distance neighbours: compare
+      // (exp, distance) pairs.
+      apps::KnnNeighbor n;
+      EXPECT_TRUE(apps::DecodeNeighbor(Slice(r.value), &n));
+      out.insert(r.key + "/" + std::to_string(n.distance));
+    } else if (app == "genetic") {
+      // Offspring are RNG- and order-dependent: compare cardinality
+      // only (each individual yields exactly one offspring).
+      out.insert("record");
+    } else if (app == "blackscholes") {
+      // Fold order differs across modes, so the running sums
+      // reassociate: compare to 9 significant digits.
+      apps::BsSummary s;
+      EXPECT_TRUE(apps::DecodeBsSummary(Slice(r.value), &s));
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%.9g/%.9g/%lld", s.mean, s.stddev,
+                    static_cast<long long>(s.count));
+      out.insert(buf);
+    } else {
+      out.insert(r.key + "\t" + r.value);
+    }
+  }
+  return out;
+}
+
+class MatrixTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MatrixTest, MatchesBarrierReference) {
+  const Case& c = GetParam();
+  auto cluster = MakeTestCluster(3);
+  Workload workload = PrepareWorkload(cluster.get(), c.app);
+  ASSERT_FALSE(workload.files.empty());
+  const auto* app = apps::FindApp(c.app);
+  ASSERT_NE(app, nullptr);
+  JobRunner runner(cluster.get());
+
+  // Reference: with-barrier run.
+  apps::AppOptions ref_options;
+  ref_options.input_files = workload.files;
+  ref_options.output_path = "/ref";
+  ref_options.num_reducers = 2;
+  ref_options.extra = workload.extra;
+  JobResult reference = runner.Run(app->make_job(ref_options));
+  ASSERT_TRUE(reference.ok()) << reference.status;
+  auto ref_out = JobRunner::ReadAllOutput(cluster->client(0), reference);
+  ASSERT_TRUE(ref_out.ok());
+
+  // Case under test.
+  apps::AppOptions options = ref_options;
+  options.output_path = "/case";
+  options.barrierless = c.barrierless;
+  options.store.type = c.store;
+  options.store.spill_threshold_bytes = 4 << 10;
+  options.store.kv_cache_bytes = 4 << 10;
+  JobResult result = runner.Run(app->make_job(options));
+  ASSERT_TRUE(result.ok()) << result.status;
+  auto out = JobRunner::ReadAllOutput(cluster->client(0), result);
+  ASSERT_TRUE(out.ok());
+
+  EXPECT_EQ(Canonicalize(c.app, *out), Canonicalize(c.app, *ref_out));
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const auto& app : apps::AllApps()) {
+    // Barrier mode ignores the store; run it once.
+    cases.push_back({app.name, false, core::StoreType::kInMemory});
+    for (core::StoreType store :
+         {core::StoreType::kInMemory, core::StoreType::kSpillMerge,
+          core::StoreType::kKvStore}) {
+      cases.push_back({app.name, true, store});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAppsAllStores, MatrixTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace bmr

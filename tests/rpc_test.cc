@@ -1,0 +1,107 @@
+// Tests for the in-process RPC fabric.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/serde.h"
+#include "net/rpc.h"
+
+namespace bmr::net {
+namespace {
+
+TEST(RpcFabricTest, CallInvokesHandler) {
+  RpcFabric fabric(4);
+  fabric.Register(1, "echo", [](Slice req, ByteBuffer* resp) {
+    resp->Append(req);
+    return Status::Ok();
+  });
+  ByteBuffer resp;
+  ASSERT_TRUE(fabric.Call(0, 1, "echo", "hello", &resp).ok());
+  EXPECT_EQ(resp.ToString(), "hello");
+}
+
+TEST(RpcFabricTest, UnknownMethodIsNotFound) {
+  RpcFabric fabric(2);
+  ByteBuffer resp;
+  EXPECT_EQ(fabric.Call(0, 1, "nope", "", &resp).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RpcFabricTest, HandlerErrorPropagates) {
+  RpcFabric fabric(2);
+  fabric.Register(1, "fail", [](Slice, ByteBuffer*) {
+    return Status::Unavailable("down");
+  });
+  ByteBuffer resp;
+  EXPECT_EQ(fabric.Call(0, 1, "fail", "", &resp).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(RpcFabricTest, KillNodeDropsItsHandlersOnly) {
+  RpcFabric fabric(3);
+  fabric.Register(1, "svc", [](Slice, ByteBuffer*) { return Status::Ok(); });
+  fabric.Register(2, "svc", [](Slice, ByteBuffer*) { return Status::Ok(); });
+  fabric.KillNode(1);
+  ByteBuffer resp;
+  EXPECT_EQ(fabric.Call(0, 1, "svc", "", &resp).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(fabric.Call(0, 2, "svc", "", &resp).ok());
+}
+
+TEST(RpcFabricTest, LinkStatsMeterTraffic) {
+  RpcFabric fabric(3);
+  fabric.Register(2, "pad", [](Slice, ByteBuffer* resp) {
+    resp->Append(Slice(std::string(100, 'x')));
+    return Status::Ok();
+  });
+  ByteBuffer resp;
+  ASSERT_TRUE(fabric.Call(1, 2, "pad", "abc", &resp).ok());
+  ASSERT_TRUE(fabric.Call(1, 2, "pad", "defg", &resp).ok());
+  LinkStats stats = fabric.GetLinkStats(1, 2);
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.request_bytes, 7u);
+  EXPECT_EQ(stats.response_bytes, 200u);
+  // Local (self) calls are excluded from remote totals.
+  fabric.Register(1, "pad", [](Slice, ByteBuffer*) { return Status::Ok(); });
+  ASSERT_TRUE(fabric.Call(1, 1, "pad", "zzzz", &resp).ok());
+  LinkStats total = fabric.TotalRemoteTraffic();
+  EXPECT_EQ(total.calls, 2u);
+  EXPECT_EQ(total.request_bytes, 7u);
+}
+
+TEST(RpcFabricTest, ConcurrentCallsAreSafe) {
+  RpcFabric fabric(4);
+  std::atomic<int> hits{0};
+  fabric.Register(0, "inc", [&hits](Slice, ByteBuffer*) {
+    hits.fetch_add(1);
+    return Status::Ok();
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&fabric] {
+      ByteBuffer resp;
+      for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(fabric.Call(1, 0, "inc", "", &resp).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.load(), 4000);
+}
+
+TEST(RpcFabricTest, ReRegisterReplacesHandler) {
+  RpcFabric fabric(2);
+  fabric.Register(0, "v", [](Slice, ByteBuffer* r) {
+    r->Append(Slice("one"));
+    return Status::Ok();
+  });
+  fabric.Register(0, "v", [](Slice, ByteBuffer* r) {
+    r->Append(Slice("two"));
+    return Status::Ok();
+  });
+  ByteBuffer resp;
+  ASSERT_TRUE(fabric.Call(1, 0, "v", "", &resp).ok());
+  EXPECT_EQ(resp.ToString(), "two");
+}
+
+}  // namespace
+}  // namespace bmr::net

@@ -1,0 +1,210 @@
+// Tests for cross-job memoization (core::JobSession, the §8
+// future-work feature): an incremental run over new input seeded with
+// the previous run's partial results must equal a from-scratch run
+// over the union.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/lastfm.h"
+#include "apps/sort.h"
+#include "apps/wordcount.h"
+#include "core/barrierless_driver.h"
+#include "core/job_session.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+using mr::JobResult;
+using mr::JobRunner;
+using testutil::MakeTestCluster;
+
+TEST(JobSessionTest, SaveGetClear) {
+  core::JobSession session;
+  EXPECT_TRUE(session.empty());
+  EXPECT_EQ(session.Get(0), nullptr);
+  session.Save(0, {{"a", "1"}, {"b", "2"}});
+  ASSERT_NE(session.Get(0), nullptr);
+  EXPECT_EQ(session.Get(0)->size(), 2u);
+  EXPECT_EQ(session.TotalPartials(), 2u);
+  EXPECT_FALSE(session.empty());
+  session.Clear();
+  EXPECT_TRUE(session.empty());
+}
+
+TEST(JobSessionTest, IncrementalWordCountEqualsFromScratch) {
+  auto cluster = MakeTestCluster(3);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 100 << 10;
+  gen.vocabulary = 300;
+  gen.num_files = 2;
+  gen.seed = 5;
+  auto batch_a = workload::GenerateZipfText(cluster.get(), "/day1", gen);
+  ASSERT_TRUE(batch_a.ok());
+  gen.seed = 6;
+  auto batch_b = workload::GenerateZipfText(cluster.get(), "/day2", gen);
+  ASSERT_TRUE(batch_b.ok());
+
+  JobRunner runner(cluster.get());
+  core::JobSession session;
+
+  // Run 1: day-1 data, snapshot into the session.
+  apps::AppOptions options;
+  options.input_files = *batch_a;
+  options.output_path = "/out/day1";
+  options.num_reducers = 3;
+  options.barrierless = true;
+  mr::JobSpec spec = apps::MakeWordCountJob(options);
+  spec.session = &session;
+  JobResult day1 = runner.Run(spec);
+  ASSERT_TRUE(day1.ok()) << day1.status;
+  EXPECT_GT(session.TotalPartials(), 0u);
+
+  // Run 2: ONLY day-2 data, seeded from the session.
+  options.input_files = *batch_b;
+  options.output_path = "/out/day2-incremental";
+  spec = apps::MakeWordCountJob(options);
+  spec.session = &session;
+  JobResult incremental = runner.Run(spec);
+  ASSERT_TRUE(incremental.ok()) << incremental.status;
+
+  // Reference: from scratch over the union.
+  apps::AppOptions full;
+  full.input_files = *batch_a;
+  full.input_files.insert(full.input_files.end(), batch_b->begin(),
+                          batch_b->end());
+  full.output_path = "/out/full";
+  full.num_reducers = 3;
+  full.barrierless = true;
+  JobResult reference = runner.Run(apps::MakeWordCountJob(full));
+  ASSERT_TRUE(reference.ok());
+
+  auto inc_out = JobRunner::ReadAllOutput(cluster->client(0), incremental);
+  auto ref_out = JobRunner::ReadAllOutput(cluster->client(0), reference);
+  ASSERT_TRUE(inc_out.ok());
+  ASSERT_TRUE(ref_out.ok());
+  EXPECT_EQ(testutil::AsMap(*inc_out), testutil::AsMap(*ref_out));
+  // The incremental run only read day-2 input.
+  EXPECT_LT(incremental.counters.Get(mr::kCtrMapInputRecords),
+            reference.counters.Get(mr::kCtrMapInputRecords));
+}
+
+TEST(JobSessionTest, ThreeChainedIncrementsStayConsistent) {
+  auto cluster = MakeTestCluster(3);
+  JobRunner runner(cluster.get());
+  core::JobSession session;
+
+  std::vector<std::string> all_files;
+  for (int day = 0; day < 3; ++day) {
+    workload::ListenGenOptions gen;
+    gen.count = 3000;
+    gen.num_users = 30;
+    gen.num_tracks = 100;
+    gen.seed = 100 + day;
+    auto files = workload::GenerateListens(
+        cluster.get(), "/day" + std::to_string(day), gen);
+    ASSERT_TRUE(files.ok());
+
+    apps::AppOptions options;
+    options.input_files = *files;
+    options.output_path = "/out/inc-" + std::to_string(day);
+    options.num_reducers = 2;
+    options.barrierless = true;
+    mr::JobSpec spec = apps::MakeLastFmJob(options);
+    spec.session = &session;
+    JobResult result = runner.Run(spec);
+    ASSERT_TRUE(result.ok()) << "day " << day << ": " << result.status;
+
+    all_files.insert(all_files.end(), files->begin(), files->end());
+
+    // Compare the chained result against from-scratch-so-far.
+    apps::AppOptions full;
+    full.input_files = all_files;
+    full.output_path = "/out/full-" + std::to_string(day);
+    full.num_reducers = 2;
+    full.barrierless = true;
+    JobResult reference = runner.Run(apps::MakeLastFmJob(full));
+    ASSERT_TRUE(reference.ok());
+
+    auto inc_out = JobRunner::ReadAllOutput(cluster->client(0), result);
+    auto ref_out = JobRunner::ReadAllOutput(cluster->client(0), reference);
+    ASSERT_TRUE(inc_out.ok());
+    ASSERT_TRUE(ref_out.ok());
+    EXPECT_EQ(testutil::AsMap(*inc_out), testutil::AsMap(*ref_out))
+        << "diverged at day " << day;
+  }
+}
+
+TEST(JobSessionTest, WorksAcrossSpillingStores) {
+  auto cluster = MakeTestCluster(2);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 60 << 10;
+  gen.vocabulary = 150;
+  gen.seed = 9;
+  auto batch_a = workload::GenerateZipfText(cluster.get(), "/a", gen);
+  gen.seed = 10;
+  auto batch_b = workload::GenerateZipfText(cluster.get(), "/b", gen);
+  ASSERT_TRUE(batch_a.ok());
+  ASSERT_TRUE(batch_b.ok());
+
+  JobRunner runner(cluster.get());
+  core::JobSession session;
+  apps::AppOptions options;
+  options.num_reducers = 2;
+  options.barrierless = true;
+  options.store.type = core::StoreType::kSpillMerge;
+  options.store.spill_threshold_bytes = 4 << 10;  // spill constantly
+
+  options.input_files = *batch_a;
+  options.output_path = "/out/a";
+  mr::JobSpec spec = apps::MakeWordCountJob(options);
+  spec.session = &session;
+  ASSERT_TRUE(runner.Run(spec).ok());
+
+  options.input_files = *batch_b;
+  options.output_path = "/out/b";
+  spec = apps::MakeWordCountJob(options);
+  spec.session = &session;
+  JobResult incremental = runner.Run(spec);
+  ASSERT_TRUE(incremental.ok()) << incremental.status;
+
+  apps::AppOptions full;
+  full.input_files = *batch_a;
+  full.input_files.insert(full.input_files.end(), batch_b->begin(),
+                          batch_b->end());
+  full.output_path = "/out/ref";
+  full.num_reducers = 2;
+  full.barrierless = true;
+  JobResult reference = runner.Run(apps::MakeWordCountJob(full));
+  ASSERT_TRUE(reference.ok());
+
+  auto inc_out = JobRunner::ReadAllOutput(cluster->client(0), incremental);
+  auto ref_out = JobRunner::ReadAllOutput(cluster->client(0), reference);
+  ASSERT_TRUE(inc_out.ok());
+  ASSERT_TRUE(ref_out.ok());
+  EXPECT_EQ(testutil::AsMap(*inc_out), testutil::AsMap(*ref_out));
+}
+
+TEST(JobSessionTest, DriverRejectsLatePreload) {
+  core::StoreConfig store;
+  Config config;
+  class Sum final : public core::IncrementalReducer {
+   public:
+    void Update(Slice, Slice, std::string* partial,
+                mr::ReduceEmitter*) override {
+      *partial += "x";
+    }
+  } reducer;
+  core::BarrierlessDriver driver(&reducer, store, config);
+  std::vector<mr::Record> out;
+  mr::VectorEmitter<std::vector<mr::Record>> emitter(&out);
+  ASSERT_TRUE(driver.PreloadPartial("k", "v").ok());
+  ASSERT_TRUE(driver.Consume("k", "1", &emitter).ok());
+  EXPECT_EQ(driver.PreloadPartial("z", "v").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace bmr

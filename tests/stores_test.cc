@@ -1,0 +1,333 @@
+// Partial-result store tests: correctness of all three Section-5
+// schemes and their equivalence under random workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/inmemory_store.h"
+#include "core/kvstore.h"
+#include "core/partial_store.h"
+#include "core/spill_merge_store.h"
+
+namespace bmr::core {
+namespace {
+
+/// Counting workload: Put(key, old+1) read-modify-update, like
+/// barrier-less WordCount.
+std::map<std::string, int64_t> DriveCounts(PartialStore* store,
+                                           const std::vector<std::string>& keys,
+                                           Status* final_status) {
+  for (const auto& key : keys) {
+    std::string partial;
+    int64_t n = 0;
+    if (store->Get(Slice(key), &partial)) DecodeI64(Slice(partial), &n);
+    Status st = store->Put(Slice(key), Slice(EncodeI64(n + 1)));
+    if (!st.ok()) {
+      *final_status = st;
+      return {};
+    }
+  }
+  std::map<std::string, int64_t> result;
+  auto merge = [](Slice, Slice a, Slice b) {
+    int64_t x = 0, y = 0;
+    DecodeI64(a, &x);
+    DecodeI64(b, &y);
+    return EncodeI64(x + y);
+  };
+  *final_status = store->ForEachMerged(merge, [&result](Slice k, Slice v) {
+    int64_t n = 0;
+    DecodeI64(v, &n);
+    result[k.ToString()] += n;
+  });
+  return result;
+}
+
+std::vector<std::string> RandomKeys(size_t count, uint64_t seed,
+                                    uint32_t distinct) {
+  Pcg32 rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back("key" + std::to_string(rng.NextBounded(distinct)));
+  }
+  return keys;
+}
+
+std::map<std::string, int64_t> DirectCounts(
+    const std::vector<std::string>& keys) {
+  std::map<std::string, int64_t> out;
+  for (const auto& k : keys) out[k]++;
+  return out;
+}
+
+TEST(InMemoryStoreTest, GetPutRoundTrip) {
+  StoreConfig config;
+  InMemoryStore store(config);
+  std::string partial;
+  EXPECT_FALSE(store.Get("a", &partial));
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Get("a", &partial));
+  EXPECT_EQ(partial, "1");
+  ASSERT_TRUE(store.Put("a", "22").ok());
+  ASSERT_TRUE(store.Get("a", &partial));
+  EXPECT_EQ(partial, "22");
+  EXPECT_EQ(store.NumKeys(), 1u);
+}
+
+TEST(InMemoryStoreTest, IteratesInKeyOrder) {
+  StoreConfig config;
+  InMemoryStore store(config);
+  for (const char* k : {"zebra", "apple", "mango"}) {
+    ASSERT_TRUE(store.Put(k, "v").ok());
+  }
+  std::vector<std::string> seen;
+  ASSERT_TRUE(store
+                  .ForEachMerged(nullptr,
+                                 [&seen](Slice k, Slice) {
+                                   seen.push_back(k.ToString());
+                                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(InMemoryStoreTest, RespectsCustomComparator) {
+  StoreConfig config;
+  // Reverse lexicographic order.
+  config.key_cmp = [](Slice a, Slice b) { return b.Compare(a); };
+  InMemoryStore store(config);
+  for (const char* k : {"a", "c", "b"}) ASSERT_TRUE(store.Put(k, "v").ok());
+  std::vector<std::string> seen;
+  ASSERT_TRUE(store
+                  .ForEachMerged(nullptr,
+                                 [&seen](Slice k, Slice) {
+                                   seen.push_back(k.ToString());
+                                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"c", "b", "a"}));
+}
+
+TEST(InMemoryStoreTest, HeapCapTriggersResourceExhausted) {
+  StoreConfig config;
+  config.heap_limit_bytes = 2048;  // a handful of entries
+  InMemoryStore store(config);
+  Status last = Status::Ok();
+  for (int i = 0; i < 1000 && last.ok(); ++i) {
+    last = store.Put("key" + std::to_string(i), std::string(32, 'x'));
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(store.stats().peak_memory_bytes, config.heap_limit_bytes);
+}
+
+TEST(InMemoryStoreTest, MemoryAccountingTracksValueResizes) {
+  StoreConfig config;
+  InMemoryStore store(config);
+  ASSERT_TRUE(store.Put("k", std::string(100, 'a')).ok());
+  uint64_t m1 = store.MemoryBytes();
+  ASSERT_TRUE(store.Put("k", std::string(10, 'b')).ok());
+  uint64_t m2 = store.MemoryBytes();
+  EXPECT_EQ(m1 - m2, 90u);
+}
+
+TEST(SpillMergeStoreTest, SpillsAtThresholdAndStillAnswersCorrectly) {
+  StoreConfig config;
+  config.type = StoreType::kSpillMerge;
+  config.spill_threshold_bytes = 4096;  // force many spills
+  SpillMergeStore store(config);
+
+  auto keys = RandomKeys(5000, 17, 200);
+  Status status = Status::Ok();
+  auto result = DriveCounts(&store, keys, &status);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_GT(store.stats().spills, 0u);
+  EXPECT_EQ(result, DirectCounts(keys));
+}
+
+TEST(SpillMergeStoreTest, MergedIterationIsKeyOrdered) {
+  StoreConfig config;
+  config.type = StoreType::kSpillMerge;
+  config.spill_threshold_bytes = 1024;
+  SpillMergeStore store(config);
+  auto keys = RandomKeys(2000, 5, 100);
+  for (const auto& key : keys) {
+    ASSERT_TRUE(store.Put(Slice(key), "x").ok());
+  }
+  std::vector<std::string> order;
+  ASSERT_TRUE(store
+                  .ForEachMerged(
+                      [](Slice, Slice, Slice b) { return b.ToString(); },
+                      [&order](Slice k, Slice) {
+                        order.push_back(k.ToString());
+                      })
+                  .ok());
+  ASSERT_FALSE(order.empty());
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]) << "duplicate or misordered key";
+  }
+}
+
+TEST(SpillMergeStoreTest, ExplicitSpillKeepsGetSemantics) {
+  StoreConfig config;
+  config.type = StoreType::kSpillMerge;
+  SpillMergeStore store(config);
+  ASSERT_TRUE(store.Put("k", EncodeI64(5)).ok());
+  ASSERT_TRUE(store.SpillNow().ok());
+  // After a spill the memtable no longer knows the key: the paper's
+  // scheme restarts the partial and reconciles in the merge.
+  std::string partial;
+  EXPECT_FALSE(store.Get("k", &partial));
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+  ASSERT_TRUE(store.Put("k", EncodeI64(2)).ok());
+  int64_t total = 0;
+  ASSERT_TRUE(store
+                  .ForEachMerged(
+                      [](Slice, Slice a, Slice b) {
+                        int64_t x = 0, y = 0;
+                        DecodeI64(a, &x);
+                        DecodeI64(b, &y);
+                        return EncodeI64(x + y);
+                      },
+                      [&total](Slice, Slice v) { DecodeI64(v, &total); })
+                  .ok());
+  EXPECT_EQ(total, 7);
+}
+
+TEST(KvStoreTest, EvictsToDiskAndReadsBack) {
+  StoreConfig config;
+  config.type = StoreType::kKvStore;
+  config.kv_cache_bytes = 2048;  // tiny cache
+  KvStoreBackend store(config);
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        store.Put("key" + std::to_string(i), std::string(40, 'a' + i % 26))
+            .ok());
+  }
+  EXPECT_GT(store.evictions(), 0u);
+  // Every key must still be readable (cache miss => disk read).
+  for (int i = 0; i < 200; ++i) {
+    std::string v;
+    ASSERT_TRUE(store.Get("key" + std::to_string(i), &v))
+        << "lost key " << i;
+    EXPECT_EQ(v, std::string(40, 'a' + i % 26));
+  }
+  EXPECT_GT(store.cache_misses(), 0u);
+  EXPECT_GT(store.stats().disk_reads, 0u);
+}
+
+TEST(KvStoreTest, ChargesCalibratedOpCost) {
+  StoreConfig config;
+  config.type = StoreType::kKvStore;
+  config.kv_ops_per_sec = 30000;  // the paper's BerkeleyDB measurement
+  KvStoreBackend store(config);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i % 100), "v").ok());
+  }
+  // 3000 puts at 30k ops/s = 0.1 virtual seconds.
+  EXPECT_NEAR(store.stats().charged_seconds, 0.1, 0.05);
+}
+
+TEST(KvStoreTest, UpdatedValueWinsAfterEviction) {
+  StoreConfig config;
+  config.type = StoreType::kKvStore;
+  config.kv_cache_bytes = 1024;
+  KvStoreBackend store(config);
+  ASSERT_TRUE(store.Put("target", "old").ok());
+  for (int i = 0; i < 100; ++i) {  // push "target" out of cache
+    ASSERT_TRUE(store.Put("fill" + std::to_string(i), std::string(64, 'x')).ok());
+  }
+  std::string v;
+  ASSERT_TRUE(store.Get("target", &v));
+  EXPECT_EQ(v, "old");
+  ASSERT_TRUE(store.Put("target", "new").ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        store.Put("fill2" + std::to_string(i), std::string(64, 'x')).ok());
+  }
+  ASSERT_TRUE(store.Get("target", &v));
+  EXPECT_EQ(v, "new");
+}
+
+/// Property: all three stores produce identical merged results on the
+/// same random read-modify-update workload.
+struct StoreCase {
+  StoreType type;
+  uint64_t threshold_or_cache;
+};
+
+class StoreEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<StoreCase, uint64_t>> {};
+
+TEST_P(StoreEquivalenceTest, CountsMatchInMemoryReference) {
+  auto [store_case, seed] = GetParam();
+  StoreConfig config;
+  config.type = store_case.type;
+  config.spill_threshold_bytes = store_case.threshold_or_cache;
+  config.kv_cache_bytes = store_case.threshold_or_cache;
+
+  auto store = CreatePartialStore(config);
+  ASSERT_NE(store, nullptr);
+  auto keys = RandomKeys(4000, seed, 150);
+  Status status = Status::Ok();
+  auto result = DriveCounts(store.get(), keys, &status);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(result, DirectCounts(keys));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, StoreEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(StoreCase{StoreType::kInMemory, 0},
+                          StoreCase{StoreType::kSpillMerge, 2048},
+                          StoreCase{StoreType::kSpillMerge, 16384},
+                          StoreCase{StoreType::kKvStore, 1024},
+                          StoreCase{StoreType::kKvStore, 65536}),
+        ::testing::Values(1u, 2u, 3u)));
+
+TEST(SpillFileTest, WriterReaderRoundTrip) {
+  ScratchDir scratch;
+  std::string path = scratch.FilePath("f");
+  SpillFileWriter writer(path);
+  ASSERT_TRUE(writer.Open().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer
+                    .Append("key" + std::to_string(i),
+                            std::string(i % 40, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  SpillFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  for (int i = 0; i < 100; ++i) {
+    std::string key, value;
+    bool has = false;
+    ASSERT_TRUE(reader.Next(&key, &value, &has).ok());
+    ASSERT_TRUE(has) << "premature EOF at " << i;
+    EXPECT_EQ(key, "key" + std::to_string(i));
+    EXPECT_EQ(value, std::string(i % 40, 'v'));
+  }
+  std::string key, value;
+  bool has = true;
+  ASSERT_TRUE(reader.Next(&key, &value, &has).ok());
+  EXPECT_FALSE(has);
+}
+
+TEST(SpillFileTest, EmptyFileYieldsNoRecords) {
+  ScratchDir scratch;
+  std::string path = scratch.FilePath("empty");
+  SpillFileWriter writer(path);
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.Close().ok());
+  SpillFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  std::string k, v;
+  bool has = true;
+  ASSERT_TRUE(reader.Next(&k, &v, &has).ok());
+  EXPECT_FALSE(has);
+}
+
+}  // namespace
+}  // namespace bmr::core

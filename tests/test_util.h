@@ -1,0 +1,42 @@
+// Shared helpers for the bmr test suite.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mr/engine.h"
+#include "mr/types.h"
+
+namespace bmr::testutil {
+
+/// A small test cluster: `slaves` workers + master, tiny DFS blocks so
+/// even small inputs produce several map tasks.
+inline std::unique_ptr<mr::ClusterContext> MakeTestCluster(
+    int slaves = 4, uint64_t block_bytes = 64 << 10, int map_slots = 2,
+    int reduce_slots = 2) {
+  cluster::ClusterSpec spec =
+      cluster::SmallCluster(slaves, map_slots, reduce_slots);
+  spec.dfs_block_bytes = block_bytes;
+  return mr::ClusterContext::Create(std::move(spec));
+}
+
+/// Multiset view of job output records, for mode-equivalence checks
+/// that must ignore arrival order and partition boundaries.
+inline std::multiset<std::pair<std::string, std::string>> AsMultiset(
+    const std::vector<mr::Record>& records) {
+  std::multiset<std::pair<std::string, std::string>> out;
+  for (const auto& r : records) out.emplace(r.key, r.value);
+  return out;
+}
+
+/// Key → value map; fails the caller's expectations if keys repeat.
+inline std::map<std::string, std::string> AsMap(
+    const std::vector<mr::Record>& records) {
+  std::map<std::string, std::string> out;
+  for (const auto& r : records) out[r.key] = r.value;
+  return out;
+}
+
+}  // namespace bmr::testutil

@@ -1,0 +1,194 @@
+// Tests for the workload generators: determinism, volume contracts,
+// distributional properties, and placement spreading.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr::workload {
+namespace {
+
+using testutil::MakeTestCluster;
+
+std::vector<std::string> Lines(mr::ClusterContext* cluster,
+                               const std::vector<std::string>& files) {
+  std::vector<std::string> lines;
+  for (const auto& file : files) {
+    auto text = cluster->client(0)->ReadAll(file);
+    EXPECT_TRUE(text.ok());
+    size_t pos = 0;
+    while (pos < text->size()) {
+      size_t nl = text->find('\n', pos);
+      if (nl == std::string::npos) nl = text->size();
+      lines.push_back(text->substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+  }
+  return lines;
+}
+
+TEST(TextGenTest, DeterministicInSeed) {
+  auto a = MakeTestCluster(2);
+  auto b = MakeTestCluster(2);
+  TextGenOptions gen;
+  gen.total_bytes = 32 << 10;
+  gen.seed = 9;
+  auto files_a = GenerateZipfText(a.get(), "/t", gen);
+  auto files_b = GenerateZipfText(b.get(), "/t", gen);
+  ASSERT_TRUE(files_a.ok());
+  ASSERT_TRUE(files_b.ok());
+  EXPECT_EQ(Lines(a.get(), *files_a), Lines(b.get(), *files_b));
+
+  gen.seed = 10;
+  auto files_c = GenerateZipfText(b.get(), "/t2", gen);
+  ASSERT_TRUE(files_c.ok());
+  EXPECT_NE(Lines(a.get(), *files_a), Lines(b.get(), *files_c));
+}
+
+TEST(TextGenTest, HitsSizeAndShapeTargets) {
+  auto cluster = MakeTestCluster(3);
+  TextGenOptions gen;
+  gen.total_bytes = 64 << 10;
+  gen.num_files = 4;
+  gen.words_per_line = 7;
+  auto files = GenerateZipfText(cluster.get(), "/t", gen);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 4u);
+  uint64_t total = 0;
+  for (const auto& f : *files) {
+    auto info = cluster->client(0)->GetFileInfo(f);
+    ASSERT_TRUE(info.ok());
+    total += info->size;
+  }
+  EXPECT_GE(total, gen.total_bytes);
+  EXPECT_LT(total, gen.total_bytes * 5 / 4);
+  // Every line has exactly words_per_line tokens.
+  for (const auto& line : Lines(cluster.get(), *files)) {
+    int spaces = 0;
+    for (char c : line) spaces += c == ' ';
+    EXPECT_EQ(spaces, 6) << line;
+  }
+}
+
+TEST(TextGenTest, WordFrequenciesAreSkewed) {
+  auto cluster = MakeTestCluster(2);
+  TextGenOptions gen;
+  gen.total_bytes = 64 << 10;
+  gen.vocabulary = 1000;
+  auto files = GenerateZipfText(cluster.get(), "/t", gen);
+  ASSERT_TRUE(files.ok());
+  std::map<std::string, int> counts;
+  for (const auto& line : Lines(cluster.get(), *files)) {
+    size_t pos = 0;
+    while (pos < line.size()) {
+      size_t sp = line.find(' ', pos);
+      if (sp == std::string::npos) sp = line.size();
+      counts[line.substr(pos, sp - pos)]++;
+      pos = sp + 1;
+    }
+  }
+  // Zipf: the most common word dwarfs the median word.
+  int max_count = 0;
+  for (const auto& [w, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 50 * std::max<int>(1, counts.size() ? 1 : 0));
+  EXPECT_GT(counts["w0"], counts.count("w500") ? counts["w500"] * 20 : 100);
+}
+
+TEST(IntGenTest, ValuesInRange) {
+  auto cluster = MakeTestCluster(2);
+  IntGenOptions gen;
+  gen.count = 5000;
+  gen.min_value = -50;
+  gen.max_value = 50;
+  auto files = GenerateRandomInts(cluster.get(), "/i", gen);
+  ASSERT_TRUE(files.ok());
+  auto lines = Lines(cluster.get(), *files);
+  EXPECT_EQ(lines.size(), 5000u);
+  std::set<int64_t> seen;
+  for (const auto& line : lines) {
+    int64_t v = std::stoll(line);
+    EXPECT_GE(v, -50);
+    EXPECT_LE(v, 50);
+    seen.insert(v);
+  }
+  EXPECT_GT(seen.size(), 80u);  // covers most of the range
+}
+
+TEST(ListenGenTest, UserAndTrackSpacesRespected) {
+  auto cluster = MakeTestCluster(2);
+  ListenGenOptions gen;
+  gen.count = 4000;
+  gen.num_users = 10;
+  gen.num_tracks = 20;
+  auto files = GenerateListens(cluster.get(), "/l", gen);
+  ASSERT_TRUE(files.ok());
+  std::set<std::string> users, tracks;
+  for (const auto& line : Lines(cluster.get(), *files)) {
+    size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos);
+    users.insert(line.substr(0, sp));
+    tracks.insert(line.substr(sp + 1));
+  }
+  EXPECT_EQ(users.size(), 10u);
+  EXPECT_EQ(tracks.size(), 20u);
+}
+
+TEST(KnnGenTest, TrainingAndExperimentalConsistent) {
+  auto cluster = MakeTestCluster(2);
+  KnnGenOptions gen;
+  gen.training_size = 25;
+  gen.experimental_count = 500;
+  gen.min_value = 0;
+  gen.max_value = 1000;
+  auto data = GenerateKnnData(cluster.get(), "/k", gen);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->training.size(), 25u);
+  for (int64_t t : data->training) {
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, 1000);
+  }
+  size_t exp_lines = 0;
+  for (const auto& f : data->experimental_files) {
+    exp_lines += Lines(cluster.get(), {f}).size();
+  }
+  EXPECT_GE(exp_lines, 500u - gen.num_files);
+}
+
+TEST(GeneratorPlacementTest, FilesSpreadAcrossWriterNodes) {
+  // First replica is the writer's node; rotating writers spread the
+  // data like a populated cluster.
+  auto cluster = MakeTestCluster(4, /*block_bytes=*/8 << 10);
+  TextGenOptions gen;
+  gen.total_bytes = 64 << 10;
+  gen.num_files = 4;
+  auto files = GenerateZipfText(cluster.get(), "/t", gen);
+  ASSERT_TRUE(files.ok());
+  std::set<int> first_replicas;
+  for (const auto& f : *files) {
+    auto info = cluster->client(0)->GetFileInfo(f);
+    ASSERT_TRUE(info.ok());
+    first_replicas.insert(info->blocks.front().replicas.front());
+  }
+  EXPECT_GE(first_replicas.size(), 3u);
+}
+
+TEST(BlackScholesGenTest, OneWorkUnitPerMapper) {
+  auto cluster = MakeTestCluster(2);
+  BlackScholesGenOptions gen;
+  gen.num_mappers = 5;
+  gen.iterations_per_mapper = 123;
+  auto files = GenerateBlackScholesUnits(cluster.get(), "/b", gen);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 5u);
+  for (const auto& f : *files) {
+    auto lines = Lines(cluster.get(), {f});
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find(" 123"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bmr::workload
