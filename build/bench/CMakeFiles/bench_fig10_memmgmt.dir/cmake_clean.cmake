@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_memmgmt.dir/bench_fig10_memmgmt.cc.o"
+  "CMakeFiles/bench_fig10_memmgmt.dir/bench_fig10_memmgmt.cc.o.d"
+  "bench_fig10_memmgmt"
+  "bench_fig10_memmgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_memmgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_timeline.dir/bench_fig4_timeline.cc.o"
+  "CMakeFiles/bench_fig4_timeline.dir/bench_fig4_timeline.cc.o.d"
+  "bench_fig4_timeline"
+  "bench_fig4_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_heap.dir/bench_fig5_heap.cc.o"
+  "CMakeFiles/bench_fig5_heap.dir/bench_fig5_heap.cc.o.d"
+  "bench_fig5_heap"
+  "bench_fig5_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

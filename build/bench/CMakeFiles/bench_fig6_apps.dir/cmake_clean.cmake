@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_apps.dir/bench_fig6_apps.cc.o"
+  "CMakeFiles/bench_fig6_apps.dir/bench_fig6_apps.cc.o.d"
+  "bench_fig6_apps"
+  "bench_fig6_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

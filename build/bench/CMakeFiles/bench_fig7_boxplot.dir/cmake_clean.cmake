@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_boxplot.dir/bench_fig7_boxplot.cc.o"
+  "CMakeFiles/bench_fig7_boxplot.dir/bench_fig7_boxplot.cc.o.d"
+  "bench_fig7_boxplot"
+  "bench_fig7_boxplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

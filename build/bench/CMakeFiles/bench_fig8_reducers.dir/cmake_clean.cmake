@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_reducers.dir/bench_fig8_reducers.cc.o"
+  "CMakeFiles/bench_fig8_reducers.dir/bench_fig8_reducers.cc.o.d"
+  "bench_fig8_reducers"
+  "bench_fig8_reducers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_reducers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

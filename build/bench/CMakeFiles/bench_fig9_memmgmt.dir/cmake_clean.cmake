@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_memmgmt.dir/bench_fig9_memmgmt.cc.o"
+  "CMakeFiles/bench_fig9_memmgmt.dir/bench_fig9_memmgmt.cc.o.d"
+  "bench_fig9_memmgmt"
+  "bench_fig9_memmgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_memmgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_real_engine.dir/bench_real_engine.cc.o"
+  "CMakeFiles/bench_real_engine.dir/bench_real_engine.cc.o.d"
+  "bench_real_engine"
+  "bench_real_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_classes.dir/bench_table1_classes.cc.o"
+  "CMakeFiles/bench_table1_classes.dir/bench_table1_classes.cc.o.d"
+  "bench_table1_classes"
+  "bench_table1_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_loc.dir/bench_table2_loc.cc.o"
+  "CMakeFiles/bench_table2_loc.dir/bench_table2_loc.cc.o.d"
+  "bench_table2_loc"
+  "bench_table2_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_whatif.dir/cluster_whatif.cc.o"
+  "CMakeFiles/cluster_whatif.dir/cluster_whatif.cc.o.d"
+  "cluster_whatif"
+  "cluster_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

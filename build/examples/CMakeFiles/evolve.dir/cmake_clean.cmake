@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolve.dir/evolve.cc.o"
+  "CMakeFiles/evolve.dir/evolve.cc.o.d"
+  "evolve"
+  "evolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_wordcount.dir/incremental_wordcount.cc.o"
+  "CMakeFiles/incremental_wordcount.dir/incremental_wordcount.cc.o.d"
+  "incremental_wordcount"
+  "incremental_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_pricing.dir/options_pricing.cc.o"
+  "CMakeFiles/options_pricing.dir/options_pricing.cc.o.d"
+  "options_pricing"
+  "options_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

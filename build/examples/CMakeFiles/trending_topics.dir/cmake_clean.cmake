@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trending_topics.dir/trending_topics.cc.o"
+  "CMakeFiles/trending_topics.dir/trending_topics.cc.o.d"
+  "trending_topics"
+  "trending_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trending_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unique_listeners.dir/unique_listeners.cc.o"
+  "CMakeFiles/unique_listeners.dir/unique_listeners.cc.o.d"
+  "unique_listeners"
+  "unique_listeners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unique_listeners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unique_listeners.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("concurrency")
+subdirs("sim")
+subdirs("net")
+subdirs("dfs")
+subdirs("cluster")
+subdirs("mr")
+subdirs("core")
+subdirs("workload")
+subdirs("apps")
+subdirs("simmr")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blackscholes.cc" "src/apps/CMakeFiles/bmr_apps.dir/blackscholes.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/blackscholes.cc.o.d"
+  "/root/repo/src/apps/genetic.cc" "src/apps/CMakeFiles/bmr_apps.dir/genetic.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/genetic.cc.o.d"
+  "/root/repo/src/apps/grep.cc" "src/apps/CMakeFiles/bmr_apps.dir/grep.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/grep.cc.o.d"
+  "/root/repo/src/apps/knn.cc" "src/apps/CMakeFiles/bmr_apps.dir/knn.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/knn.cc.o.d"
+  "/root/repo/src/apps/lastfm.cc" "src/apps/CMakeFiles/bmr_apps.dir/lastfm.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/lastfm.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/bmr_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/sort.cc" "src/apps/CMakeFiles/bmr_apps.dir/sort.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/sort.cc.o.d"
+  "/root/repo/src/apps/wordcount.cc" "src/apps/CMakeFiles/bmr_apps.dir/wordcount.cc.o" "gcc" "src/apps/CMakeFiles/bmr_apps.dir/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mr/CMakeFiles/bmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/bmr_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/bmr_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bmr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

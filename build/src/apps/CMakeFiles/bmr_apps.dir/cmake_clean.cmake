@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_apps.dir/blackscholes.cc.o"
+  "CMakeFiles/bmr_apps.dir/blackscholes.cc.o.d"
+  "CMakeFiles/bmr_apps.dir/genetic.cc.o"
+  "CMakeFiles/bmr_apps.dir/genetic.cc.o.d"
+  "CMakeFiles/bmr_apps.dir/grep.cc.o"
+  "CMakeFiles/bmr_apps.dir/grep.cc.o.d"
+  "CMakeFiles/bmr_apps.dir/knn.cc.o"
+  "CMakeFiles/bmr_apps.dir/knn.cc.o.d"
+  "CMakeFiles/bmr_apps.dir/lastfm.cc.o"
+  "CMakeFiles/bmr_apps.dir/lastfm.cc.o.d"
+  "CMakeFiles/bmr_apps.dir/registry.cc.o"
+  "CMakeFiles/bmr_apps.dir/registry.cc.o.d"
+  "CMakeFiles/bmr_apps.dir/sort.cc.o"
+  "CMakeFiles/bmr_apps.dir/sort.cc.o.d"
+  "CMakeFiles/bmr_apps.dir/wordcount.cc.o"
+  "CMakeFiles/bmr_apps.dir/wordcount.cc.o.d"
+  "libbmr_apps.a"
+  "libbmr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_cluster.dir/cluster.cc.o"
+  "CMakeFiles/bmr_cluster.dir/cluster.cc.o.d"
+  "libbmr_cluster.a"
+  "libbmr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

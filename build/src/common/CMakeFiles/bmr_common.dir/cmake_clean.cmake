@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_common.dir/logging.cc.o"
+  "CMakeFiles/bmr_common.dir/logging.cc.o.d"
+  "CMakeFiles/bmr_common.dir/rng.cc.o"
+  "CMakeFiles/bmr_common.dir/rng.cc.o.d"
+  "CMakeFiles/bmr_common.dir/serde.cc.o"
+  "CMakeFiles/bmr_common.dir/serde.cc.o.d"
+  "CMakeFiles/bmr_common.dir/status.cc.o"
+  "CMakeFiles/bmr_common.dir/status.cc.o.d"
+  "CMakeFiles/bmr_common.dir/table.cc.o"
+  "CMakeFiles/bmr_common.dir/table.cc.o.d"
+  "libbmr_common.a"
+  "libbmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_concurrency.dir/thread_pool.cc.o"
+  "CMakeFiles/bmr_concurrency.dir/thread_pool.cc.o.d"
+  "libbmr_concurrency.a"
+  "libbmr_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

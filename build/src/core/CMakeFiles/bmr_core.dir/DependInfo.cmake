@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/barrierless_driver.cc" "src/core/CMakeFiles/bmr_core.dir/barrierless_driver.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/barrierless_driver.cc.o.d"
+  "/root/repo/src/core/inmemory_store.cc" "src/core/CMakeFiles/bmr_core.dir/inmemory_store.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/inmemory_store.cc.o.d"
+  "/root/repo/src/core/job_session.cc" "src/core/CMakeFiles/bmr_core.dir/job_session.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/job_session.cc.o.d"
+  "/root/repo/src/core/kvstore.cc" "src/core/CMakeFiles/bmr_core.dir/kvstore.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/kvstore.cc.o.d"
+  "/root/repo/src/core/scratch_dir.cc" "src/core/CMakeFiles/bmr_core.dir/scratch_dir.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/scratch_dir.cc.o.d"
+  "/root/repo/src/core/spill_file.cc" "src/core/CMakeFiles/bmr_core.dir/spill_file.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/spill_file.cc.o.d"
+  "/root/repo/src/core/spill_merge_store.cc" "src/core/CMakeFiles/bmr_core.dir/spill_merge_store.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/spill_merge_store.cc.o.d"
+  "/root/repo/src/core/store_factory.cc" "src/core/CMakeFiles/bmr_core.dir/store_factory.cc.o" "gcc" "src/core/CMakeFiles/bmr_core.dir/store_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

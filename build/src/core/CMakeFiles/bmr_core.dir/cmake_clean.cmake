@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_core.dir/barrierless_driver.cc.o"
+  "CMakeFiles/bmr_core.dir/barrierless_driver.cc.o.d"
+  "CMakeFiles/bmr_core.dir/inmemory_store.cc.o"
+  "CMakeFiles/bmr_core.dir/inmemory_store.cc.o.d"
+  "CMakeFiles/bmr_core.dir/job_session.cc.o"
+  "CMakeFiles/bmr_core.dir/job_session.cc.o.d"
+  "CMakeFiles/bmr_core.dir/kvstore.cc.o"
+  "CMakeFiles/bmr_core.dir/kvstore.cc.o.d"
+  "CMakeFiles/bmr_core.dir/scratch_dir.cc.o"
+  "CMakeFiles/bmr_core.dir/scratch_dir.cc.o.d"
+  "CMakeFiles/bmr_core.dir/spill_file.cc.o"
+  "CMakeFiles/bmr_core.dir/spill_file.cc.o.d"
+  "CMakeFiles/bmr_core.dir/spill_merge_store.cc.o"
+  "CMakeFiles/bmr_core.dir/spill_merge_store.cc.o.d"
+  "CMakeFiles/bmr_core.dir/store_factory.cc.o"
+  "CMakeFiles/bmr_core.dir/store_factory.cc.o.d"
+  "libbmr_core.a"
+  "libbmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_dfs.dir/dfs.cc.o"
+  "CMakeFiles/bmr_dfs.dir/dfs.cc.o.d"
+  "libbmr_dfs.a"
+  "libbmr_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

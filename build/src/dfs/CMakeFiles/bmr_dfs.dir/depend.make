@@ -1,0 +1,2 @@
+# Empty dependencies file for bmr_dfs.
+# This may be replaced when dependencies are built.

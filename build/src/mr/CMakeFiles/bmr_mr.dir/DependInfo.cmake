@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/engine.cc" "src/mr/CMakeFiles/bmr_mr.dir/engine.cc.o" "gcc" "src/mr/CMakeFiles/bmr_mr.dir/engine.cc.o.d"
+  "/root/repo/src/mr/input.cc" "src/mr/CMakeFiles/bmr_mr.dir/input.cc.o" "gcc" "src/mr/CMakeFiles/bmr_mr.dir/input.cc.o.d"
+  "/root/repo/src/mr/map_output.cc" "src/mr/CMakeFiles/bmr_mr.dir/map_output.cc.o" "gcc" "src/mr/CMakeFiles/bmr_mr.dir/map_output.cc.o.d"
+  "/root/repo/src/mr/shuffle.cc" "src/mr/CMakeFiles/bmr_mr.dir/shuffle.cc.o" "gcc" "src/mr/CMakeFiles/bmr_mr.dir/shuffle.cc.o.d"
+  "/root/repo/src/mr/textio.cc" "src/mr/CMakeFiles/bmr_mr.dir/textio.cc.o" "gcc" "src/mr/CMakeFiles/bmr_mr.dir/textio.cc.o.d"
+  "/root/repo/src/mr/timeline.cc" "src/mr/CMakeFiles/bmr_mr.dir/timeline.cc.o" "gcc" "src/mr/CMakeFiles/bmr_mr.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/bmr_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bmr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/bmr_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bmr_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_mr.dir/engine.cc.o"
+  "CMakeFiles/bmr_mr.dir/engine.cc.o.d"
+  "CMakeFiles/bmr_mr.dir/input.cc.o"
+  "CMakeFiles/bmr_mr.dir/input.cc.o.d"
+  "CMakeFiles/bmr_mr.dir/map_output.cc.o"
+  "CMakeFiles/bmr_mr.dir/map_output.cc.o.d"
+  "CMakeFiles/bmr_mr.dir/shuffle.cc.o"
+  "CMakeFiles/bmr_mr.dir/shuffle.cc.o.d"
+  "CMakeFiles/bmr_mr.dir/textio.cc.o"
+  "CMakeFiles/bmr_mr.dir/textio.cc.o.d"
+  "CMakeFiles/bmr_mr.dir/timeline.cc.o"
+  "CMakeFiles/bmr_mr.dir/timeline.cc.o.d"
+  "libbmr_mr.a"
+  "libbmr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbmr_mr.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_net.dir/rpc.cc.o"
+  "CMakeFiles/bmr_net.dir/rpc.cc.o.d"
+  "libbmr_net.a"
+  "libbmr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_sim.dir/event_queue.cc.o"
+  "CMakeFiles/bmr_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/bmr_sim.dir/flownet.cc.o"
+  "CMakeFiles/bmr_sim.dir/flownet.cc.o.d"
+  "CMakeFiles/bmr_sim.dir/resources.cc.o"
+  "CMakeFiles/bmr_sim.dir/resources.cc.o.d"
+  "libbmr_sim.a"
+  "libbmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_simmr.dir/calibrate.cc.o"
+  "CMakeFiles/bmr_simmr.dir/calibrate.cc.o.d"
+  "CMakeFiles/bmr_simmr.dir/hadoop_sim.cc.o"
+  "CMakeFiles/bmr_simmr.dir/hadoop_sim.cc.o.d"
+  "CMakeFiles/bmr_simmr.dir/profiles.cc.o"
+  "CMakeFiles/bmr_simmr.dir/profiles.cc.o.d"
+  "libbmr_simmr.a"
+  "libbmr_simmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_simmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

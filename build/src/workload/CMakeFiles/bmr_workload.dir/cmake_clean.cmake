@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmr_workload.dir/generators.cc.o"
+  "CMakeFiles/bmr_workload.dir/generators.cc.o.d"
+  "libbmr_workload.a"
+  "libbmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

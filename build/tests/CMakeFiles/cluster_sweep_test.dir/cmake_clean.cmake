@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_sweep_test.dir/cluster_sweep_test.cc.o"
+  "CMakeFiles/cluster_sweep_test.dir/cluster_sweep_test.cc.o.d"
+  "cluster_sweep_test"
+  "cluster_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/driver_test.cc" "tests/CMakeFiles/driver_test.dir/driver_test.cc.o" "gcc" "tests/CMakeFiles/driver_test.dir/driver_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/bmr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/bmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmr/CMakeFiles/bmr_simmr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/bmr_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bmr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/bmr_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

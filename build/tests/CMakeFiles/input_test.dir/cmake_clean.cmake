@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_test.dir/input_test.cc.o"
+  "CMakeFiles/input_test.dir/input_test.cc.o.d"
+  "input_test"
+  "input_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

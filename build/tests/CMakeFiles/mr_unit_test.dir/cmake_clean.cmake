@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_unit_test.dir/mr_unit_test.cc.o"
+  "CMakeFiles/mr_unit_test.dir/mr_unit_test.cc.o.d"
+  "mr_unit_test"
+  "mr_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmr_test.dir/simmr_test.cc.o"
+  "CMakeFiles/simmr_test.dir/simmr_test.cc.o.d"
+  "simmr_test"
+  "simmr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

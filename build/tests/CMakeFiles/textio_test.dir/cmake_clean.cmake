@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textio_test.dir/textio_test.cc.o"
+  "CMakeFiles/textio_test.dir/textio_test.cc.o.d"
+  "textio_test"
+  "textio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
