@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the test suite under one or more CMake presets.
+#
+#   scripts/check.sh              # default preset only
+#   scripts/check.sh asan         # just the asan preset
+#   scripts/check.sh all          # default, asan, tsan in sequence
+#   scripts/check.sh default tsan # any explicit list
+#
+# Sanitizer presets build into their own directories (build-asan,
+# build-tsan) so they never disturb the default build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default)
+elif [ "${presets[0]}" = "all" ]; then
+  presets=(default asan tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+for preset in "${presets[@]}"; do
+  echo "== preset: ${preset} =="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+echo "== all presets passed: ${presets[*]} =="

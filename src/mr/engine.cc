@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
-#include "concurrency/bounded_queue.h"
 #include "concurrency/thread_pool.h"
-#include "core/barrierless_driver.h"
 #include "mr/input.h"
+#include "mr/job_control.h"
 #include "mr/map_output.h"
-#include "mr/shuffle.h"
+#include "mr/shuffle_service.h"
+#include "mr/task_executor.h"
+#include "mr/task_scheduler.h"
 
 namespace bmr::mr {
 
@@ -32,63 +33,16 @@ std::unique_ptr<ClusterContext> ClusterContext::Create(
 }
 
 void ClusterContext::KillNode(int node) {
-  fabric->KillNode(node);       // drops dn.*, shuffle.fetch on that node
+  fabric->KillNode(node);       // drops dn.*, shuffle fetch on that node
   dfs->KillDataNode(node);      // excludes it from future placement
 }
 
 namespace {
 
-constexpr size_t kFifoCapacity = 64 << 10;
-constexpr uint64_t kMemorySampleEvery = 2048;
-
-/// Concrete MapContext: forwards emits to the collector.
-class MapCtx final : public MapContext {
- public:
-  MapCtx(MapOutputCollector* collector, const Config& config,
-         Counters* counters)
-      : collector_(collector), config_(config), counters_(counters) {}
-
-  void Emit(Slice key, Slice value) override { collector_->Emit(key, value); }
-  const Config& config() const override { return config_; }
-  Counters* counters() override { return counters_; }
-
- private:
-  MapOutputCollector* collector_;
-  const Config& config_;
-  Counters* counters_;
-};
-
-/// Concrete ReduceContext: buffers output records.
-class ReduceCtx final : public ReduceContext {
- public:
-  ReduceCtx(const Config& config, Counters* counters)
-      : config_(config), counters_(counters) {}
-
-  void Emit(Slice key, Slice value) override {
-    out_.emplace_back(key.ToString(), value.ToString());
-  }
-  const Config& config() const override { return config_; }
-  Counters* counters() override { return counters_; }
-
-  std::vector<Record>& records() { return out_; }
-
- private:
-  std::vector<Record> out_;
-  const Config& config_;
-  Counters* counters_;
-};
-
-/// ReduceEmitter adapter over ReduceCtx for the barrier-less driver.
-class CtxEmitter final : public ReduceEmitter {
- public:
-  explicit CtxEmitter(ReduceCtx* ctx) : ctx_(ctx) {}
-  void Emit(Slice key, Slice value) override { ctx_->Emit(key, value); }
-
- private:
-  ReduceCtx* ctx_;
-};
-
-/// All mutable state of one job run.
+/// One job run: validates the spec, composes the scheduler / executor /
+/// shuffle-service / metrics layers, submits the tasks, and assembles
+/// the result.  All placement, retry, fetch, and metrics logic lives in
+/// the layers.
 class JobExecution {
  public:
   JobExecution(ClusterContext* cluster, const JobSpec& spec)
@@ -100,63 +54,32 @@ class JobExecution {
 
  private:
   Status Validate() const;
-  int PickNode(const InputSplit& split, int exclude);
-  void RunMapTask(int m, int node);
-  void RelaunchMap(int m, int exclude_node);
-  void RunReduceTask(int r);
-  void RunReduceBarrier(int r, int node, ReduceCtx* ctx);
-  void RunReduceBarrierless(int r, int node, ReduceCtx* ctx);
-  Status WriteOutput(int r, int node, const std::vector<Record>& records);
-  void Fail(const Status& status);
-  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
-  void MergeCounters(const Counters& c) {
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    counters_.MergeFrom(c);
-  }
-  void SampleMemory(int reducer, uint64_t bytes) {
-    std::lock_guard<std::mutex> lock(samples_mu_);
-    samples_.push_back(MemorySample{clock_.ElapsedSeconds(), reducer, bytes});
-  }
-  void NoteMapDone() {
-    std::lock_guard<std::mutex> lock(map_times_mu_);
-    double t = clock_.ElapsedSeconds();
-    if (first_map_done_ == 0) first_map_done_ = t;
-    last_map_done_ = std::max(last_map_done_, t);
+  Status PlanInput();
+
+  /// Lost-output recovery: reopen the task and queue a fresh attempt
+  /// on a node other than the one that lost it.
+  void Relaunch(int map_task, int lost_node) {
+    metrics_.AddCounter(kCtrMapTaskRetries, 1);
+    scheduler_->ReopenTask(map_task);
+    TaskScheduler::Attempt attempt = scheduler_->Assign(map_task, lost_node);
+    map_pool_->Submit(
+        [this, attempt] { map_executor_->Execute(attempt); });
   }
 
   ClusterContext* cluster_;
   const JobSpec& spec_;
   std::vector<int> slaves_;
-  Stopwatch clock_;
-  Timeline timeline_;
-
   std::vector<InputSplit> splits_;
-  std::unique_ptr<MapOutputTracker> tracker_;
-  std::vector<std::unique_ptr<MapOutputStore>> stores_;
 
+  MetricsRegistry metrics_;
+  std::unique_ptr<ShuffleService> shuffle_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<JobControl> control_;
+  std::unique_ptr<MapTaskExecutor> map_executor_;
+  std::unique_ptr<ReduceTaskExecutor> reduce_executor_;
+  // Pools last: destroyed first, so no task can outlive the layers.
   std::unique_ptr<ThreadPool> map_pool_;
   std::unique_ptr<ThreadPool> reduce_pool_;
-
-  std::mutex status_mu_;
-  Status job_status_;
-  std::atomic<bool> cancelled_{false};
-
-  std::mutex counters_mu_;
-  Counters counters_;
-  std::mutex samples_mu_;
-  std::vector<MemorySample> samples_;
-  std::mutex map_times_mu_;
-  double first_map_done_ = 0;
-  double last_map_done_ = 0;
-
-  std::mutex assign_mu_;
-  std::vector<int> node_load_;  // queued/running map tasks per node id
-
-  std::mutex fifo_reg_mu_;
-  std::vector<BoundedQueue<Record>*> live_fifos_;
-
-  std::vector<std::string> output_files_;
-  std::mutex output_mu_;
 };
 
 Status JobExecution::Validate() const {
@@ -178,411 +101,110 @@ Status JobExecution::Validate() const {
   return Status::Ok();
 }
 
-void JobExecution::Fail(const Status& status) {
-  {
-    std::lock_guard<std::mutex> lock(status_mu_);
-    if (job_status_.ok()) job_status_ = status;
-  }
-  cancelled_.store(true, std::memory_order_relaxed);
-  if (tracker_) tracker_->Cancel();
-  std::lock_guard<std::mutex> lock(fifo_reg_mu_);
-  for (auto* q : live_fifos_) q->Close();
-}
-
-int JobExecution::PickNode(const InputSplit& split, int exclude) {
-  std::lock_guard<std::mutex> lock(assign_mu_);
-  if (node_load_.empty()) node_load_.resize(cluster_->spec.nodes.size(), 0);
-  // Least-loaded among the split's replica holders, then least-loaded
-  // slave overall.
-  int best = -1;
-  for (int n : split.preferred_nodes) {
-    if (n == exclude) continue;
-    if (cluster_->spec.nodes[n].is_master) continue;
-    if (best < 0 || node_load_[n] < node_load_[best]) best = n;
-  }
-  if (best < 0) {
-    for (int n : slaves_) {
-      if (n == exclude) continue;
-      if (best < 0 || node_load_[n] < node_load_[best]) best = n;
-    }
-  }
-  if (best >= 0) node_load_[best]++;
-  return best;
+Status JobExecution::PlanInput() {
+  BMR_ASSIGN_OR_RETURN(std::vector<std::string> inputs,
+                       ExpandInputs(cluster_->client(0), spec_.input_files));
+  BMR_ASSIGN_OR_RETURN(splits_,
+                       PlanSplits(cluster_->client(0), inputs,
+                                  spec_.input_kind, spec_.split_bytes));
+  if (splits_.empty()) return Status::InvalidArgument("input is empty");
+  return Status::Ok();
 }
 
 JobResult JobExecution::Run() {
   JobResult result;
-  Status valid = Validate();
-  if (!valid.ok()) {
-    result.status = valid;
-    return result;
-  }
+  result.status = Validate();
+  if (!result.status.ok()) return result;
+  result.status = PlanInput();
+  if (!result.status.ok()) return result;
 
-  auto inputs = ExpandInputs(cluster_->client(0), spec_.input_files);
-  if (!inputs.ok()) {
-    result.status = inputs.status();
-    return result;
-  }
-  auto splits = PlanSplits(cluster_->client(0), *inputs, spec_.input_kind,
-                           spec_.split_bytes);
-  if (!splits.ok()) {
-    result.status = splits.status();
-    return result;
-  }
-  splits_ = std::move(*splits);
-  if (splits_.empty()) {
-    result.status = Status::InvalidArgument("input is empty");
-    return result;
-  }
-
+  // Compose the layers.
   int nmaps = static_cast<int>(splits_.size());
-  tracker_ = std::make_unique<MapOutputTracker>(nmaps);
-
-  stores_.resize(cluster_->spec.nodes.size());
-  for (size_t n = 0; n < stores_.size(); ++n) {
-    stores_[n] = std::make_unique<MapOutputStore>();
-    RegisterShuffleService(cluster_->fabric.get(), static_cast<int>(n),
-                           stores_[n].get());
-  }
-
+  shuffle_ = std::make_unique<ShuffleService>(
+      cluster_->fabric.get(), static_cast<int>(cluster_->spec.nodes.size()),
+      nmaps, cluster_->AllocateJobId());
+  TaskScheduler::Options sched_options;
+  sched_options.speculative = spec_.speculative_maps;
+  sched_options.slowness = spec_.speculation_slowness;
+  sched_options.min_runtime = spec_.speculation_min_runtime;
+  scheduler_ =
+      std::make_unique<TaskScheduler>(cluster_->spec, &splits_, sched_options);
+  control_ = std::make_unique<JobControl>(shuffle_.get());
+  auto relaunch = [this](int m, int node) { Relaunch(m, node); };
+  map_executor_ = std::make_unique<MapTaskExecutor>(
+      cluster_, spec_, &splits_, scheduler_.get(), shuffle_.get(), &metrics_,
+      control_.get());
+  reduce_executor_ = std::make_unique<ReduceTaskExecutor>(
+      cluster_, spec_, shuffle_.get(), &metrics_, control_.get(), relaunch);
   map_pool_ =
       std::make_unique<ThreadPool>(cluster_->spec.total_map_slots());
   reduce_pool_ =
       std::make_unique<ThreadPool>(cluster_->spec.total_reduce_slots());
 
-  clock_.Restart();
+  // Launch.
+  metrics_.RestartClock();
   for (int m = 0; m < nmaps; ++m) {
-    int node = PickNode(splits_[m], -1);
-    map_pool_->Submit([this, m, node] { RunMapTask(m, node); });
+    TaskScheduler::Attempt attempt = scheduler_->Assign(m);
+    map_pool_->Submit(
+        [this, attempt] { map_executor_->Execute(attempt); });
   }
   for (int r = 0; r < spec_.num_reducers; ++r) {
-    reduce_pool_->Submit([this, r] { RunReduceTask(r); });
+    int node = slaves_[r % slaves_.size()];
+    reduce_pool_->Submit(
+        [this, r, node] { reduce_executor_->Execute(r, node); });
   }
-  reduce_pool_->Wait();
-  map_pool_->Wait();
 
-  result.elapsed_seconds = clock_.ElapsedSeconds();
-  {
-    std::lock_guard<std::mutex> lock(status_mu_);
-    result.status = job_status_;
-  }
-  result.counters = counters_;
-  result.events = timeline_.Snapshot();
-  result.memory_samples = std::move(samples_);
-  result.output_files = std::move(output_files_);
-  result.first_map_done = first_map_done_;
-  result.last_map_done = last_map_done_;
-  return result;
-}
-
-void JobExecution::RunMapTask(int m, int node) {
-  if (cancelled()) return;
-  if (node < 0) {
-    Fail(Status::Unavailable("no node available for map task"));
-    return;
-  }
-  double start = clock_.ElapsedSeconds();
-  Counters local;
-  local.Add(kCtrMapTasksLaunched, 1);
-
-  auto reader = MakeReader(cluster_->client(node), spec_.input_kind,
-                           splits_[m]);
-  auto mapper = spec_.mapper();
-  MapOutputCollector collector(spec_.num_reducers, spec_.partitioner);
-  MapCtx ctx(&collector, spec_.config, &local);
-  mapper->Setup(&ctx);
-  Record record;
-  bool has = false;
-  for (;;) {
-    Status st = reader->Next(&record, &has);
-    if (!st.ok()) {
-      Fail(st);
-      return;
-    }
-    if (!has) break;
-    local.Add(kCtrMapInputRecords, 1);
-    mapper->Map(Slice(record.key), Slice(record.value), &ctx);
-    if (cancelled()) return;
-  }
-  mapper->Cleanup(&ctx);
-
-  // Barrier-less mode bypasses the sort (§3.1) — unless a combiner is
-  // configured, which needs sorted runs to group keys at the mapper.
-  bool sort = spec_.combiner ? true
-                             : (spec_.barrierless ? false : spec_.map_side_sort);
-  std::unique_ptr<Combiner> combiner;
-  if (spec_.combiner) combiner = spec_.combiner();
-  auto finished = collector.Finish(sort, spec_.sort_cmp, combiner.get());
-  if (!finished.ok()) {
-    Fail(finished.status());
-    return;
-  }
-  for (int p = 0; p < spec_.num_reducers; ++p) {
-    stores_[node]->Put(m, p, std::move(finished->segments[p]));
-  }
-  local.Add(kCtrMapOutputRecords, finished->output_records);
-  local.Add(kCtrMapOutputBytes, finished->output_bytes);
-  local.Add(kCtrCombineInputRecords, finished->combine_in);
-  local.Add(kCtrCombineOutputRecords, finished->combine_out);
-  MergeCounters(local);
-
-  timeline_.Record(Phase::kMap, m, node, start, clock_.ElapsedSeconds());
-  NoteMapDone();
-  tracker_->MarkDone(m, node);
-}
-
-void JobExecution::RelaunchMap(int m, int exclude_node) {
-  {
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    counters_.Add(kCtrMapTaskRetries, 1);
-  }
-  int node = PickNode(splits_[m], exclude_node);
-  map_pool_->Submit([this, m, node] { RunMapTask(m, node); });
-}
-
-void JobExecution::RunReduceTask(int r) {
-  if (cancelled()) return;
-  // Reducers are placed round-robin over slaves (Hadoop assigns them to
-  // free reduce slots; placement does not depend on data locality).
-  int node = slaves_[r % slaves_.size()];
-  Counters local;
-  ReduceCtx ctx(spec_.config, &local);
-  if (spec_.barrierless) {
-    RunReduceBarrierless(r, node, &ctx);
-  } else {
-    RunReduceBarrier(r, node, &ctx);
-  }
-  if (cancelled()) return;
-  local.Add(kCtrReduceOutputRecords, ctx.records().size());
-  MergeCounters(local);
-
-  double out_start = clock_.ElapsedSeconds();
-  Status st = WriteOutput(r, node, ctx.records());
-  if (!st.ok()) {
-    Fail(st);
-    return;
-  }
-  timeline_.Record(Phase::kOutput, r, node, out_start,
-                   clock_.ElapsedSeconds());
-}
-
-void JobExecution::RunReduceBarrier(int r, int node, ReduceCtx* ctx) {
-  int nmaps = tracker_->num_map_tasks();
-  double shuffle_start = clock_.ElapsedSeconds();
-
-  // One asynchronous fetch thread and one buffer per mapper (§3.1).
-  std::vector<std::vector<Record>> runs(nmaps);
-  std::atomic<uint64_t> shuffle_bytes{0};
-  std::vector<std::thread> fetchers;
-  fetchers.reserve(nmaps);
-  for (int m = 0; m < nmaps; ++m) {
-    fetchers.emplace_back([this, m, r, node, &runs, &shuffle_bytes] {
-      for (;;) {
-        MapOutputTracker::Location loc = tracker_->WaitForMapDone(m);
-        if (loc.version < 0) return;  // cancelled
-        std::string segment;
-        Status st = FetchSegment(cluster_->fabric.get(), loc.node, node, m, r,
-                                 &segment);
-        if (st.ok()) {
-          shuffle_bytes.fetch_add(segment.size());
-          Status dst = DecodeSegment(Slice(segment), &runs[m]);
-          if (!dst.ok()) Fail(dst);
-          return;
+  // Straggler watchdog: poll the scheduler for backup attempts while
+  // map tasks are still uncommitted.
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog;
+  if (spec_.speculative_maps) {
+    watchdog = std::thread([this, &stop_watchdog] {
+      while (!stop_watchdog.load(std::memory_order_relaxed)) {
+        if (control_->cancelled() || scheduler_->AllCommitted()) break;
+        for (const TaskScheduler::Attempt& backup :
+             scheduler_->PollSpeculation(metrics_.Now())) {
+          map_pool_->Submit(
+              [this, backup] { map_executor_->Execute(backup); });
         }
-        // Output lost (e.g. node died): trigger re-execution and wait
-        // for the new attempt.
-        if (tracker_->ReportLost(m, loc.version)) RelaunchMap(m, loc.node);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
     });
   }
-  for (auto& t : fetchers) t.join();
-  if (cancelled()) return;
-  double barrier_time = clock_.ElapsedSeconds();
-  timeline_.Record(Phase::kShuffle, r, node, shuffle_start, barrier_time);
-  ctx->counters()->Add(kCtrShuffleBytes, shuffle_bytes.load());
 
-  // Barrier reached: merge-sort the per-mapper buffers (Fig. 2(c)).
-  std::vector<Record> records;
-  if (spec_.map_side_sort) {
-    records = MergeSortedRuns(std::move(runs), spec_.sort_cmp);
-  } else {
-    for (auto& run : runs) {
-      records.insert(records.end(), std::make_move_iterator(run.begin()),
-                     std::make_move_iterator(run.end()));
-    }
-    const KeyCompareFn& cmp = spec_.sort_cmp;
-    std::stable_sort(records.begin(), records.end(),
-                     [&cmp](const Record& a, const Record& b) {
-                       return cmp ? cmp(Slice(a.key), Slice(b.key)) < 0
-                                  : a.key < b.key;
-                     });
-  }
-  double sort_done = clock_.ElapsedSeconds();
-  timeline_.Record(Phase::kSortMerge, r, node, barrier_time, sort_done);
-  SampleMemory(r, records.size() == 0
-                      ? 0
-                      : [&records] {
-                          uint64_t b = 0;
-                          for (const auto& rec : records) {
-                            b += core::EntryFootprint(rec.key.size(),
-                                                      rec.value.size());
-                          }
-                          return b;
-                        }());
+  // Reducers finish only once every map output has been fetched, so
+  // the watchdog can be retired before draining the map pool.
+  reduce_pool_->Wait();
+  stop_watchdog.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
+  map_pool_->Wait();
 
-  // Grouped reduce execution (Fig. 2(d)).
-  ctx->counters()->Add(kCtrReduceInputRecords, records.size());
-  auto reducer = spec_.reducer();
-  reducer->Setup(ctx);
-  const KeyCompareFn& group =
-      spec_.group_cmp ? spec_.group_cmp : spec_.sort_cmp;
-  Status st = ReduceGroups(records, group, reducer.get(), ctx);
-  if (!st.ok()) {
-    Fail(st);
-    return;
-  }
-  reducer->Cleanup(ctx);
-  timeline_.Record(Phase::kReduce, r, node, sort_done,
-                   clock_.ElapsedSeconds());
-}
-
-void JobExecution::RunReduceBarrierless(int r, int node, ReduceCtx* ctx) {
-  int nmaps = tracker_->num_map_tasks();
-  double start = clock_.ElapsedSeconds();
-
-  // Single FIFO buffer shared by all fetchers; the reduce thread (this
-  // one) drains it record by record (§3.1 design decision (2)).
-  BoundedQueue<Record> fifo(kFifoCapacity);
-  {
-    std::lock_guard<std::mutex> lock(fifo_reg_mu_);
-    live_fifos_.push_back(&fifo);
-  }
-  std::atomic<int> fetchers_left{nmaps};
-  std::atomic<uint64_t> shuffle_bytes{0};
-  std::vector<std::thread> fetchers;
-  fetchers.reserve(nmaps);
-  for (int m = 0; m < nmaps; ++m) {
-    fetchers.emplace_back(
-        [this, m, r, node, &fifo, &fetchers_left, &shuffle_bytes] {
-          for (;;) {
-            MapOutputTracker::Location loc = tracker_->WaitForMapDone(m);
-            if (loc.version < 0) break;  // cancelled
-            std::string segment;
-            Status st = FetchSegment(cluster_->fabric.get(), loc.node, node,
-                                     m, r, &segment);
-            if (st.ok()) {
-              shuffle_bytes.fetch_add(segment.size());
-              std::vector<Record> records;
-              Status dst = DecodeSegment(Slice(segment), &records);
-              if (!dst.ok()) {
-                Fail(dst);
-              } else {
-                for (auto& rec : records) {
-                  if (!fifo.Push(std::move(rec))) break;  // closed
-                }
-              }
-              break;
-            }
-            if (tracker_->ReportLost(m, loc.version)) RelaunchMap(m, loc.node);
-          }
-          if (fetchers_left.fetch_sub(1) == 1) fifo.Close();
-        });
-  }
-
-  // Pipelined reduce: pop records in arrival order and fold them into
-  // partial results.
-  core::StoreConfig store_config = spec_.store;
-  if (!store_config.key_cmp && spec_.sort_cmp) {
-    store_config.key_cmp = spec_.sort_cmp;
-  }
-  auto reducer = spec_.incremental();
-  core::BarrierlessDriver driver(reducer.get(), store_config, spec_.config);
-  CtxEmitter emitter(ctx);
-  // Memoization: seed the store from the previous run's snapshot.
-  if (spec_.session != nullptr) {
-    if (const auto* snapshot = spec_.session->Get(r)) {
-      for (const Record& p : *snapshot) {
-        Status st = driver.PreloadPartial(Slice(p.key), Slice(p.value));
-        if (!st.ok()) {
-          Fail(st);
-          return;
-        }
-      }
-    }
-  }
-  uint64_t consumed = 0;
-  while (auto item = fifo.Pop()) {
-    Status st = driver.Consume(Slice(item->key), Slice(item->value), &emitter);
-    if (!st.ok()) {
-      SampleMemory(r, driver.MemoryBytes());
-      Fail(st);
-      break;
-    }
-    if (++consumed % kMemorySampleEvery == 0) {
-      SampleMemory(r, driver.MemoryBytes());
-    }
-  }
-  for (auto& t : fetchers) t.join();
-  {
-    std::lock_guard<std::mutex> lock(fifo_reg_mu_);
-    live_fifos_.erase(std::find(live_fifos_.begin(), live_fifos_.end(), &fifo));
-  }
-  if (cancelled()) return;
-
-  ctx->counters()->Add(kCtrShuffleBytes, shuffle_bytes.load());
-  ctx->counters()->Add(kCtrReduceInputRecords, driver.records_consumed());
-  Status st;
-  if (spec_.session != nullptr) {
-    std::vector<Record> snapshot;
-    st = driver.FinalizeWithSnapshot(&emitter, &snapshot);
-    if (st.ok()) spec_.session->Save(r, std::move(snapshot));
-  } else {
-    st = driver.Finalize(&emitter);
-  }
-  if (const core::PartialStore* store = driver.store()) {
-    ctx->counters()->Add(kCtrSpills, store->stats().spills);
-    ctx->counters()->Add(kCtrSpilledBytes, store->stats().spilled_bytes);
-    ctx->counters()->Add(kCtrKvStoreOps,
-                         store->stats().gets + store->stats().puts);
-  }
-  if (!st.ok()) {
-    Fail(st);
-    return;
-  }
-  SampleMemory(r, driver.MemoryBytes());
-  timeline_.Record(Phase::kShuffleReduce, r, node, start,
-                   clock_.ElapsedSeconds());
-}
-
-Status JobExecution::WriteOutput(int r, int node,
-                                 const std::vector<Record>& records) {
-  char name[32];
-  std::snprintf(name, sizeof(name), "/part-r-%05d", r);
-  std::string path = spec_.output_path + name;
-  auto writer = cluster_->client(node)->Create(path);
-  if (!writer.ok()) return writer.status();
-  ByteBuffer buf;
-  for (const Record& rec : records) {
-    if (spec_.output_format == OutputFormat::kTextTsv) {
-      AppendTsvRecord(&buf, Slice(rec.key), Slice(rec.value));
-    } else {
-      AppendFramedRecord(&buf, Slice(rec.key), Slice(rec.value));
-    }
-    if (buf.size() >= (1 << 20)) {
-      BMR_RETURN_IF_ERROR((*writer)->Append(buf.AsSlice()));
-      buf.Clear();
-    }
-  }
-  BMR_RETURN_IF_ERROR((*writer)->Append(buf.AsSlice()));
-  BMR_RETURN_IF_ERROR((*writer)->Close());
-  {
-    std::lock_guard<std::mutex> lock(output_mu_);
-    output_files_.push_back(path);
-  }
-  return Status::Ok();
+  // Assemble the result from the metrics layer.
+  JobMetrics metrics = metrics_.Snapshot();
+  result.status = control_->status();
+  result.elapsed_seconds = metrics.elapsed_seconds;
+  result.first_map_done = metrics.first_map_done;
+  result.last_map_done = metrics.last_map_done;
+  result.counters = std::move(metrics.counters);
+  result.events = std::move(metrics.events);
+  result.memory_samples = std::move(metrics.memory_samples);
+  result.output_files = std::move(metrics.output_files);
+  return result;
 }
 
 }  // namespace
+
+JobMetrics JobResult::ToMetrics() const {
+  JobMetrics m;
+  m.counters = counters;
+  m.events = events;
+  m.memory_samples = memory_samples;
+  m.output_files = output_files;
+  m.elapsed_seconds = elapsed_seconds;
+  m.first_map_done = first_map_done;
+  m.last_map_done = last_map_done;
+  return m;
+}
 
 JobResult JobRunner::Run(const JobSpec& spec) {
   JobExecution execution(cluster_, spec);

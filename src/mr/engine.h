@@ -2,50 +2,62 @@
 // (RPC fabric + DFS + per-node slots), in either with-barrier or
 // barrier-less mode, on real data.
 //
-// Structure mirrors Hadoop 0.20 as described in §3.1 of the paper:
+// JobRunner::Run is a thin composition of four layers, each its own
+// translation unit with a narrow interface:
+//   TaskScheduler   (task_scheduler.h)  placement, attempts, retry,
+//                                       speculative backup tasks
+//   executors       (task_executor.h)   one map / reduce attempt body
+//   ShuffleService  (shuffle_service.h) job-scoped segment stores,
+//                                       tracker, fetch threads, sinks
+//   MetricsRegistry (metrics.h)         counters, samples, timeline
+//
+// Mode structure mirrors Hadoop 0.20 as described in §3.1 of the
+// paper:
 //   with barrier  — map tasks sort+store output locally; each reducer
 //                   runs one asynchronous fetch thread per mapper into
-//                   per-mapper buffers; when all are in (the barrier),
-//                   buffers are merge-sorted and Reduce runs per key
-//                   group.
-//   barrier-less  — fetch threads push records into a single FIFO
-//                   buffer; a separate thread runs the single-record
-//                   Reduce on them in arrival order via the
-//                   core::BarrierlessDriver (sort bypassed).
+//                   per-mapper buffers (BarrierSink); when all are in
+//                   (the barrier), buffers are merge-sorted and Reduce
+//                   runs per key group.
+//   barrier-less  — the same fetch threads push records into a single
+//                   FIFO buffer (FifoSink); the reduce thread runs the
+//                   single-record Reduce on them in arrival order via
+//                   the core::BarrierlessDriver (sort bypassed).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "dfs/dfs.h"
 #include "mr/job.h"
+#include "mr/metrics.h"
 #include "mr/timeline.h"
 #include "mr/types.h"
 #include "net/rpc.h"
 
 namespace bmr::mr {
 
-/// Wires the substrates into one in-process cluster.
+/// Wires the substrates into one in-process cluster.  Shared-cluster
+/// mode: any number of JobRunners may run concurrently against one
+/// context — every job draws a unique id from AllocateJobId() and all
+/// of its shuffle state is scoped to that id.
 struct ClusterContext {
   cluster::ClusterSpec spec;
   std::unique_ptr<net::RpcFabric> fabric;
   std::unique_ptr<dfs::Dfs> dfs;
   std::vector<std::unique_ptr<dfs::DfsClient>> clients;
+  std::atomic<int> next_job_id{0};
 
   static std::unique_ptr<ClusterContext> Create(cluster::ClusterSpec spec);
 
   dfs::DfsClient* client(int node) { return clients[node].get(); }
 
+  /// Next unique job id on this cluster (shuffle-service scoping).
+  int AllocateJobId() { return next_job_id.fetch_add(1); }
+
   /// Simulate a machine loss: DFS blocks gone, shuffle service gone.
   void KillNode(int node);
-};
-
-/// One (elapsed-time, reducer, bytes) heap sample — Fig. 5's raw data.
-struct MemorySample {
-  double t = 0;
-  int reducer = 0;
-  uint64_t bytes = 0;
 };
 
 struct JobResult {
@@ -63,6 +75,10 @@ struct JobResult {
   bool failed_oom() const {
     return status.code() == StatusCode::kResourceExhausted;
   }
+
+  /// The run's metrics in the schema shared with the simulator
+  /// (simmr::ToJobMetrics), for uniform reporting.
+  JobMetrics ToMetrics() const;
 };
 
 class JobRunner {

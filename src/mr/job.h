@@ -53,6 +53,18 @@ struct JobSpec {
   KeyCompareFn group_cmp;
   PartitionFn partitioner;  // null = hash of whole key
 
+  // -- Scheduling -------------------------------------------------------
+  /// Hadoop-0.20-style backup tasks: launch a speculative copy of a
+  /// straggler map task on another node; the first attempt to commit
+  /// wins and the loser's output is discarded.
+  bool speculative_maps = false;
+  /// A running map attempt is a straggler once its runtime exceeds
+  /// `speculation_slowness` x the median completed map runtime.
+  double speculation_slowness = 1.5;
+  /// Attempts younger than this many (wall-clock) seconds are never
+  /// speculated.
+  double speculation_min_runtime = 0.05;
+
   // -- Execution mode (the paper's setIncrementalReduction(true)) -------
   bool barrierless = false;
   /// Optional memoization session (§8 / DryadInc-style): barrier-less

@@ -1,0 +1,48 @@
+// First-failure latch shared by every task of one job run: records
+// the first non-OK status, flips the cancellation flag, and cancels
+// the shuffle layer (tracker waiters and live sinks) so every blocked
+// thread unwinds promptly.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "common/status.h"
+#include "mr/shuffle_service.h"
+
+namespace bmr::mr {
+
+class JobControl {
+ public:
+  explicit JobControl(ShuffleService* shuffle) : shuffle_(shuffle) {}
+
+  JobControl(const JobControl&) = delete;
+  JobControl& operator=(const JobControl&) = delete;
+
+  void Fail(const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status_.ok()) status_ = status;
+    }
+    cancelled_.store(true, std::memory_order_relaxed);
+    shuffle_->Cancel();
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// The first failure, or OK if the job succeeded.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+ private:
+  ShuffleService* shuffle_;
+  mutable std::mutex mu_;
+  Status status_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace bmr::mr

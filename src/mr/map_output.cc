@@ -127,9 +127,13 @@ uint64_t MapOutputStore::stored_bytes() const {
   return stored_bytes_;
 }
 
+std::string ShuffleMethodName(int job_id) {
+  return "shuffle.fetch." + std::to_string(job_id);
+}
+
 void RegisterShuffleService(net::RpcFabric* fabric, int node,
-                            MapOutputStore* store) {
-  fabric->Register(node, "shuffle.fetch",
+                            MapOutputStore* store, int job_id) {
+  fabric->Register(node, ShuffleMethodName(job_id),
                    [store](Slice req, ByteBuffer* resp) {
                      Decoder dec(req);
                      uint64_t map_task, partition;
@@ -145,15 +149,21 @@ void RegisterShuffleService(net::RpcFabric* fabric, int node,
                    });
 }
 
+void UnregisterShuffleService(net::RpcFabric* fabric, int node, int job_id) {
+  fabric->Unregister(node, ShuffleMethodName(job_id));
+}
+
 Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
-                    int map_task, int partition, std::string* segment) {
+                    int map_task, int partition, std::string* segment,
+                    int job_id) {
   ByteBuffer req;
   Encoder enc(&req);
   enc.PutVarint64(static_cast<uint64_t>(map_task));
   enc.PutVarint64(static_cast<uint64_t>(partition));
   ByteBuffer resp;
-  BMR_RETURN_IF_ERROR(
-      fabric->Call(at_node, from_node, "shuffle.fetch", req.AsSlice(), &resp));
+  BMR_RETURN_IF_ERROR(fabric->Call(at_node, from_node,
+                                   ShuffleMethodName(job_id), req.AsSlice(),
+                                   &resp));
   *segment = resp.ToString();
   return Status::Ok();
 }

@@ -51,8 +51,8 @@ class MapOutputCollector {
 
 /// Per-node storage of finished map-output segments — the "local disk"
 /// the mappers write to and reducers remotely read from.  One instance
-/// per node per job; fetch is exposed on the RPC fabric as
-/// "shuffle.fetch".
+/// per node per job; fetch is exposed on the RPC fabric under the
+/// job-scoped method name ShuffleMethodName(job_id).
 class MapOutputStore {
  public:
   void Put(int map_task, int partition, std::string segment);
@@ -65,14 +65,24 @@ class MapOutputStore {
   uint64_t stored_bytes_ = 0;
 };
 
-/// Register the shuffle.fetch handler for `store` on `node`.
-/// Request: varint map_task, varint partition.  Response: segment.
-void RegisterShuffleService(net::RpcFabric* fabric, int node,
-                            MapOutputStore* store);
+/// RPC method name of job `job_id`'s shuffle service.  Fetches are
+/// job-scoped so concurrent jobs on one shared cluster cannot clobber
+/// or serve each other's segments.
+std::string ShuffleMethodName(int job_id);
 
-/// Client side of shuffle.fetch.
+/// Register the shuffle-fetch handler for `store` on `node` under job
+/// `job_id`.  Request: varint map_task, varint partition.  Response:
+/// segment.
+void RegisterShuffleService(net::RpcFabric* fabric, int node,
+                            MapOutputStore* store, int job_id = 0);
+
+/// Remove job `job_id`'s shuffle-fetch handler from `node`.
+void UnregisterShuffleService(net::RpcFabric* fabric, int node, int job_id);
+
+/// Client side of the shuffle fetch.
 Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
-                    int map_task, int partition, std::string* segment);
+                    int map_task, int partition, std::string* segment,
+                    int job_id = 0);
 
 /// Decode a framed segment into records, appending to `out`.
 Status DecodeSegment(Slice segment, std::vector<Record>* out);

@@ -1,0 +1,79 @@
+#include "mr/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bmr::mr {
+
+void MetricsRegistry::AddCounter(const char* name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.Add(name, delta);
+}
+
+void MetricsRegistry::MergeCounters(const Counters& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.MergeFrom(c);
+}
+
+uint64_t MetricsRegistry::GetCounter(const char* name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.Get(name);
+}
+
+void MetricsRegistry::SampleMemory(int reducer, uint64_t bytes) {
+  double t = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(MemorySample{t, reducer, bytes});
+}
+
+void MetricsRegistry::NoteMapDone() {
+  double t = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_map_done_ == 0) first_map_done_ = t;
+  last_map_done_ = std::max(last_map_done_, t);
+}
+
+void MetricsRegistry::NoteOutputFile(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  output_files_.push_back(std::move(path));
+}
+
+void MetricsRegistry::RecordEvent(Phase phase, int task_id, int node,
+                                  double start, double end) {
+  timeline_.Record(phase, task_id, node, start, end);
+}
+
+JobMetrics MetricsRegistry::Snapshot() const {
+  JobMetrics m;
+  m.events = timeline_.Snapshot();
+  m.elapsed_seconds = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  m.counters = counters_;
+  m.memory_samples = samples_;
+  m.output_files = output_files_;
+  m.first_map_done = first_map_done_;
+  m.last_map_done = last_map_done_;
+  return m;
+}
+
+std::string FormatJobMetrics(const std::string& label, const JobMetrics& m) {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "[%s] elapsed %.3fs  maps done %.3fs..%.3fs\n",
+                label.c_str(), m.elapsed_seconds, m.first_map_done,
+                m.last_map_done);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "[%s] %zu task events, %zu memory samples, %zu output files\n",
+                label.c_str(), m.events.size(), m.memory_samples.size(),
+                m.output_files.size());
+  out += line;
+  for (const auto& [name, value] : m.counters.values()) {
+    std::snprintf(line, sizeof(line), "[%s]   %-32s %llu\n", label.c_str(),
+                  name.c_str(), static_cast<unsigned long long>(value));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bmr::mr

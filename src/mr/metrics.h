@@ -1,0 +1,78 @@
+// Job-scoped metrics: one registry that every task of a run reports
+// into (counters, heap samples, map completion times, output files,
+// task timeline) and one snapshot schema (`JobMetrics`) shared by the
+// real engine, the benches, and the simulator, so real and simulated
+// runs can be printed and compared through the same code path.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "mr/timeline.h"
+#include "mr/types.h"
+
+namespace bmr::mr {
+
+/// One (elapsed-time, reducer, bytes) heap sample — Fig. 5's raw data.
+struct MemorySample {
+  double t = 0;
+  int reducer = 0;
+  uint64_t bytes = 0;
+};
+
+/// The common reporting schema of a job run — real (engine) or virtual
+/// (simmr::ToJobMetrics).
+struct JobMetrics {
+  Counters counters;
+  std::vector<TaskEvent> events;
+  std::vector<MemorySample> memory_samples;
+  std::vector<std::string> output_files;
+  double elapsed_seconds = 0;
+  double first_map_done = 0;
+  double last_map_done = 0;
+};
+
+/// Render the headline numbers of a JobMetrics as an aligned text
+/// block; `label` distinguishes e.g. "real" from "simulated" runs.
+std::string FormatJobMetrics(const std::string& label, const JobMetrics& m);
+
+/// Thread-safe sink for everything a running job reports.  Owns the
+/// job clock so that every sample and event shares one time base.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Seconds since the job clock (re)started.
+  double Now() const { return clock_.ElapsedSeconds(); }
+  void RestartClock() { clock_.Restart(); }
+
+  void AddCounter(const char* name, uint64_t delta);
+  void MergeCounters(const Counters& c);
+  uint64_t GetCounter(const char* name) const;
+
+  void SampleMemory(int reducer, uint64_t bytes);
+  void NoteMapDone();
+  void NoteOutputFile(std::string path);
+  void RecordEvent(Phase phase, int task_id, int node, double start,
+                   double end);
+
+  /// Consistent copy of everything reported so far; stamps
+  /// elapsed_seconds with Now().
+  JobMetrics Snapshot() const;
+
+ private:
+  Stopwatch clock_;
+  Timeline timeline_;
+  mutable std::mutex mu_;
+  Counters counters_;
+  std::vector<MemorySample> samples_;
+  std::vector<std::string> output_files_;
+  double first_map_done_ = 0;
+  double last_map_done_ = 0;
+};
+
+}  // namespace bmr::mr

@@ -1,0 +1,99 @@
+#include "mr/shuffle_service.h"
+
+#include <algorithm>
+
+namespace bmr::mr {
+
+ShuffleService::ShuffleService(net::RpcFabric* fabric, int num_nodes,
+                               int num_map_tasks, int job_id)
+    : fabric_(fabric),
+      num_nodes_(num_nodes),
+      job_id_(job_id),
+      tracker_(num_map_tasks) {
+  stores_.resize(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    stores_[n] = std::make_unique<MapOutputStore>();
+    RegisterShuffleService(fabric_, n, stores_[n].get(), job_id_);
+  }
+}
+
+ShuffleService::~ShuffleService() {
+  for (int n = 0; n < num_nodes_; ++n) {
+    UnregisterShuffleService(fabric_, n, job_id_);
+  }
+}
+
+void ShuffleService::Publish(int map_task, int node,
+                             std::vector<std::string> segments) {
+  for (size_t p = 0; p < segments.size(); ++p) {
+    stores_[node]->Put(map_task, static_cast<int>(p), std::move(segments[p]));
+  }
+  tracker_.MarkDone(map_task, node);
+}
+
+ShuffleService::Fetch::~Fetch() {
+  Join();
+  service_->Unregister(sink_);
+}
+
+void ShuffleService::Fetch::Join() {
+  if (joined_) return;
+  for (auto& t : fetchers_) t.join();
+  joined_ = true;
+}
+
+std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
+    int r, int node, ShuffleSink* sink, RelaunchFn relaunch,
+    ErrorFn on_error) {
+  {
+    std::lock_guard<std::mutex> lock(sinks_mu_);
+    live_sinks_.push_back(sink);
+  }
+  // No public constructor: make_unique can't reach it.
+  auto fetch = std::unique_ptr<Fetch>(new Fetch(this, sink));
+  int nmaps = tracker_.num_map_tasks();
+  fetch->fetchers_left_.store(nmaps);
+  fetch->fetchers_.reserve(nmaps);
+  Fetch* f = fetch.get();
+  for (int m = 0; m < nmaps; ++m) {
+    fetch->fetchers_.emplace_back([this, f, m, r, node, sink, relaunch,
+                                   on_error] {
+      for (;;) {
+        MapOutputTracker::Location loc = tracker_.WaitForMapDone(m);
+        if (loc.version < 0) break;  // job cancelled
+        std::string segment;
+        Status st = FetchSegment(fabric_, loc.node, node, m, r, &segment,
+                                 job_id_);
+        if (st.ok()) {
+          f->bytes_.fetch_add(segment.size());
+          std::vector<Record> records;
+          Status dst = DecodeSegment(Slice(segment), &records);
+          if (!dst.ok()) {
+            on_error(dst);
+          } else {
+            sink->Accept(m, std::move(records));
+          }
+          break;
+        }
+        // Output lost (e.g. node died): trigger re-execution and wait
+        // for the new attempt.
+        if (tracker_.ReportLost(m, loc.version)) relaunch(m, loc.node);
+      }
+      if (f->fetchers_left_.fetch_sub(1) == 1) sink->AllDelivered();
+    });
+  }
+  return fetch;
+}
+
+void ShuffleService::Cancel() {
+  tracker_.Cancel();
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  for (ShuffleSink* sink : live_sinks_) sink->Cancel();
+}
+
+void ShuffleService::Unregister(ShuffleSink* sink) {
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  live_sinks_.erase(std::find(live_sinks_.begin(), live_sinks_.end(), sink));
+}
+
+}  // namespace bmr::mr

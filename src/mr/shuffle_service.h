@@ -1,0 +1,153 @@
+// Per-job shuffle layer: owns the per-node map-output segment stores
+// and their job-scoped RPC registration, the map-output tracker, and
+// the reduce-side fetch machinery (one asynchronous fetch thread per
+// mapper, §3.1).  The with-barrier and barrier-less reduce paths run
+// the *same* fetch code and differ only in the ShuffleSink they plug
+// in: per-mapper buffers that complete at the barrier, or one bounded
+// FIFO drained while fetchers still produce.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "concurrency/bounded_queue.h"
+#include "mr/map_output.h"
+#include "mr/shuffle.h"
+#include "mr/types.h"
+#include "net/rpc.h"
+
+namespace bmr::mr {
+
+/// Destination of one reducer's fetched records.
+class ShuffleSink {
+ public:
+  virtual ~ShuffleSink() = default;
+  /// Deliver one mapper's decoded records.  Returns false once the
+  /// sink has stopped accepting (job cancelled).
+  virtual bool Accept(int map_task, std::vector<Record> records) = 0;
+  /// Every mapper's output has been delivered.
+  virtual void AllDelivered() {}
+  /// Unblock any producer or consumer immediately (job failure).
+  virtual void Cancel() = 0;
+};
+
+/// With-barrier sink: per-mapper runs, consumed only after all arrive.
+class BarrierSink final : public ShuffleSink {
+ public:
+  explicit BarrierSink(int num_map_tasks) : runs_(num_map_tasks) {}
+
+  bool Accept(int map_task, std::vector<Record> records) override {
+    runs_[map_task] = std::move(records);  // one producer per slot
+    return true;
+  }
+  void Cancel() override {}  // fetchers unblock via the tracker
+
+  std::vector<std::vector<Record>>& runs() { return runs_; }
+
+ private:
+  std::vector<std::vector<Record>> runs_;
+};
+
+/// Barrier-less sink: the single FIFO record buffer of §3.1; fetchers
+/// push while the reduce thread pops in arrival order.
+class FifoSink final : public ShuffleSink {
+ public:
+  explicit FifoSink(size_t capacity) : fifo_(capacity) {}
+
+  bool Accept(int map_task, std::vector<Record> records) override {
+    (void)map_task;
+    for (auto& record : records) {
+      if (!fifo_.Push(std::move(record))) return false;  // closed
+    }
+    return true;
+  }
+  void AllDelivered() override { fifo_.Close(); }
+  void Cancel() override { fifo_.Close(); }
+
+  BoundedQueue<Record>& fifo() { return fifo_; }
+
+ private:
+  BoundedQueue<Record> fifo_;
+};
+
+class ShuffleService {
+ public:
+  /// Invoked when a fetcher discovers `map_task`'s committed output
+  /// lost on `node` (node death): must arrange re-execution.
+  using RelaunchFn = std::function<void(int map_task, int node)>;
+  /// Invoked on unrecoverable shuffle errors (segment decode failure).
+  using ErrorFn = std::function<void(const Status&)>;
+
+  /// Registers a segment store for every node under the job-scoped
+  /// fetch method, so concurrent jobs on one fabric don't interfere.
+  ShuffleService(net::RpcFabric* fabric, int num_nodes, int num_map_tasks,
+                 int job_id);
+  ~ShuffleService();  // unregisters the job's fetch handlers
+
+  ShuffleService(const ShuffleService&) = delete;
+  ShuffleService& operator=(const ShuffleService&) = delete;
+
+  int job_id() const { return job_id_; }
+  MapOutputTracker& tracker() { return tracker_; }
+  MapOutputStore& store(int node) { return *stores_[node]; }
+
+  /// Publish one committed map attempt's per-partition segments from
+  /// `node` and mark the task fetchable.
+  void Publish(int map_task, int node, std::vector<std::string> segments);
+
+  /// One reducer's in-flight fetch: per-mapper threads delivering into
+  /// `sink`.  The sink is registered for job-failure cancellation for
+  /// exactly the lifetime of this object (RAII) — a reducer returning
+  /// early can never leave a dangling sink behind for Cancel().
+  class Fetch {
+   public:
+    ~Fetch();
+
+    Fetch(const Fetch&) = delete;
+    Fetch& operator=(const Fetch&) = delete;
+
+    /// Block until every fetcher thread has finished.  Idempotent.
+    void Join();
+    uint64_t bytes_fetched() const { return bytes_.load(); }
+
+   private:
+    friend class ShuffleService;
+    Fetch(ShuffleService* service, ShuffleSink* sink) :
+        service_(service), sink_(sink) {}
+
+    ShuffleService* service_;
+    ShuffleSink* sink_;
+    std::vector<std::thread> fetchers_;
+    std::atomic<uint64_t> bytes_{0};
+    std::atomic<int> fetchers_left_{0};
+    bool joined_ = false;
+  };
+
+  /// Start reducer `r` (running on `node`)'s fetch of every mapper's
+  /// partition-`r` segment into `sink`.
+  std::unique_ptr<Fetch> StartFetch(int r, int node, ShuffleSink* sink,
+                                    RelaunchFn relaunch, ErrorFn on_error);
+
+  /// Job failure: wake every tracker waiter and cancel every sink with
+  /// a fetch in flight.
+  void Cancel();
+
+ private:
+  void Unregister(ShuffleSink* sink);
+
+  net::RpcFabric* fabric_;
+  int num_nodes_;
+  int job_id_;
+  MapOutputTracker tracker_;
+  std::vector<std::unique_ptr<MapOutputStore>> stores_;
+
+  std::mutex sinks_mu_;
+  std::vector<ShuffleSink*> live_sinks_;
+};
+
+}  // namespace bmr::mr

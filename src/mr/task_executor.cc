@@ -1,0 +1,328 @@
+#include "mr/task_executor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/barrierless_driver.h"
+#include "mr/map_output.h"
+#include "mr/textio.h"
+
+namespace bmr::mr {
+
+namespace {
+
+constexpr size_t kFifoCapacity = 64 << 10;
+constexpr uint64_t kMemorySampleEvery = 2048;
+
+/// Concrete MapContext: forwards emits to the collector.
+class MapCtx final : public MapContext {
+ public:
+  MapCtx(MapOutputCollector* collector, const Config& config,
+         Counters* counters)
+      : collector_(collector), config_(config), counters_(counters) {}
+
+  void Emit(Slice key, Slice value) override { collector_->Emit(key, value); }
+  const Config& config() const override { return config_; }
+  Counters* counters() override { return counters_; }
+
+ private:
+  MapOutputCollector* collector_;
+  const Config& config_;
+  Counters* counters_;
+};
+
+}  // namespace
+
+/// Concrete ReduceContext: buffers output records.
+class ReduceTaskContext final : public ReduceContext {
+ public:
+  ReduceTaskContext(const Config& config, Counters* counters)
+      : config_(config), counters_(counters) {}
+
+  void Emit(Slice key, Slice value) override {
+    out_.emplace_back(key.ToString(), value.ToString());
+  }
+  const Config& config() const override { return config_; }
+  Counters* counters() override { return counters_; }
+
+  std::vector<Record>& records() { return out_; }
+
+ private:
+  std::vector<Record> out_;
+  const Config& config_;
+  Counters* counters_;
+};
+
+namespace {
+
+/// ReduceEmitter adapter over ReduceTaskContext for the barrier-less
+/// driver.
+class CtxEmitter final : public ReduceEmitter {
+ public:
+  explicit CtxEmitter(ReduceTaskContext* ctx) : ctx_(ctx) {}
+  void Emit(Slice key, Slice value) override { ctx_->Emit(key, value); }
+
+ private:
+  ReduceTaskContext* ctx_;
+};
+
+}  // namespace
+
+void MapTaskExecutor::Execute(TaskScheduler::Attempt attempt) {
+  if (control_->cancelled()) return;
+  if (attempt.node < 0) {
+    control_->Fail(Status::Unavailable("no node available for map task"));
+    return;
+  }
+  scheduler_->Begin(attempt, metrics_->Now());
+  double start = metrics_->Now();
+  Counters local;
+  local.Add(kCtrMapTasksLaunched, 1);
+  if (attempt.speculative) local.Add(kCtrSpeculativeMapsLaunched, 1);
+
+  auto finish = [&](bool merge_counters) {
+    if (merge_counters) metrics_->MergeCounters(local);
+    scheduler_->Finish(attempt, metrics_->Now());
+  };
+
+  auto reader = MakeReader(cluster_->client(attempt.node), spec_.input_kind,
+                           (*splits_)[attempt.task]);
+  auto mapper = spec_.mapper();
+  MapOutputCollector collector(spec_.num_reducers, spec_.partitioner);
+  MapCtx ctx(&collector, spec_.config, &local);
+  mapper->Setup(&ctx);
+  Record record;
+  bool has = false;
+  for (;;) {
+    Status st = reader->Next(&record, &has);
+    if (!st.ok()) {
+      control_->Fail(st);
+      finish(false);
+      return;
+    }
+    if (!has) break;
+    local.Add(kCtrMapInputRecords, 1);
+    mapper->Map(Slice(record.key), Slice(record.value), &ctx);
+    if (control_->cancelled()) {
+      finish(false);
+      return;
+    }
+  }
+  mapper->Cleanup(&ctx);
+
+  // Barrier-less mode bypasses the sort (§3.1) — unless a combiner is
+  // configured, which needs sorted runs to group keys at the mapper.
+  bool sort = spec_.combiner ? true
+                             : (spec_.barrierless ? false : spec_.map_side_sort);
+  std::unique_ptr<Combiner> combiner;
+  if (spec_.combiner) combiner = spec_.combiner();
+  auto finished = collector.Finish(sort, spec_.sort_cmp, combiner.get());
+  if (!finished.ok()) {
+    control_->Fail(finished.status());
+    finish(false);
+    return;
+  }
+
+  // First attempt to commit wins; the loser (a speculative race or a
+  // stale retry) discards its output without publishing.
+  if (scheduler_->TryCommit(attempt)) {
+    local.Add(kCtrMapOutputRecords, finished->output_records);
+    local.Add(kCtrMapOutputBytes, finished->output_bytes);
+    local.Add(kCtrCombineInputRecords, finished->combine_in);
+    local.Add(kCtrCombineOutputRecords, finished->combine_out);
+    if (attempt.speculative) local.Add(kCtrSpeculativeMapsWon, 1);
+    // Record the completion BEFORE publishing: Publish wakes waiting
+    // fetchers, and any reduce event they record must not predate this
+    // map's recorded end (the barrier-ordering invariant).
+    metrics_->RecordEvent(Phase::kMap, attempt.task, attempt.node, start,
+                          metrics_->Now());
+    metrics_->NoteMapDone();
+    shuffle_->Publish(attempt.task, attempt.node,
+                      std::move(finished->segments));
+  } else {
+    local.Add(kCtrMapAttemptsDiscarded, 1);
+  }
+  finish(true);
+}
+
+void ReduceTaskExecutor::Execute(int r, int node) {
+  if (control_->cancelled()) return;
+  Counters local;
+  ReduceTaskContext ctx(spec_.config, &local);
+  if (spec_.barrierless) {
+    RunBarrierless(r, node, &ctx);
+  } else {
+    RunBarrier(r, node, &ctx);
+  }
+  if (control_->cancelled()) return;
+  local.Add(kCtrReduceOutputRecords, ctx.records().size());
+  metrics_->MergeCounters(local);
+
+  double out_start = metrics_->Now();
+  Status st = WriteOutput(r, node, ctx.records());
+  if (!st.ok()) {
+    control_->Fail(st);
+    return;
+  }
+  metrics_->RecordEvent(Phase::kOutput, r, node, out_start, metrics_->Now());
+}
+
+void ReduceTaskExecutor::RunBarrier(int r, int node, ReduceTaskContext* ctx) {
+  double shuffle_start = metrics_->Now();
+
+  // Per-mapper buffers filled by the shared fetch substrate; complete
+  // only when every fetcher is in — the barrier.
+  BarrierSink sink(shuffle_->tracker().num_map_tasks());
+  {
+    auto fetch = shuffle_->StartFetch(
+        r, node, &sink, relaunch_,
+        [this](const Status& st) { control_->Fail(st); });
+    fetch->Join();
+    ctx->counters()->Add(kCtrShuffleBytes, fetch->bytes_fetched());
+  }
+  if (control_->cancelled()) return;
+  double barrier_time = metrics_->Now();
+  metrics_->RecordEvent(Phase::kShuffle, r, node, shuffle_start, barrier_time);
+
+  // Barrier reached: merge-sort the per-mapper buffers (Fig. 2(c)).
+  std::vector<std::vector<Record>>& runs = sink.runs();
+  std::vector<Record> records;
+  if (spec_.map_side_sort) {
+    records = MergeSortedRuns(std::move(runs), spec_.sort_cmp);
+  } else {
+    for (auto& run : runs) {
+      records.insert(records.end(), std::make_move_iterator(run.begin()),
+                     std::make_move_iterator(run.end()));
+    }
+    const KeyCompareFn& cmp = spec_.sort_cmp;
+    std::stable_sort(records.begin(), records.end(),
+                     [&cmp](const Record& a, const Record& b) {
+                       return cmp ? cmp(Slice(a.key), Slice(b.key)) < 0
+                                  : a.key < b.key;
+                     });
+  }
+  double sort_done = metrics_->Now();
+  metrics_->RecordEvent(Phase::kSortMerge, r, node, barrier_time, sort_done);
+  uint64_t heap_bytes = 0;
+  for (const auto& rec : records) {
+    heap_bytes += core::EntryFootprint(rec.key.size(), rec.value.size());
+  }
+  metrics_->SampleMemory(r, heap_bytes);
+
+  // Grouped reduce execution (Fig. 2(d)).
+  ctx->counters()->Add(kCtrReduceInputRecords, records.size());
+  auto reducer = spec_.reducer();
+  reducer->Setup(ctx);
+  const KeyCompareFn& group =
+      spec_.group_cmp ? spec_.group_cmp : spec_.sort_cmp;
+  Status st = ReduceGroups(records, group, reducer.get(), ctx);
+  if (!st.ok()) {
+    control_->Fail(st);
+    return;
+  }
+  reducer->Cleanup(ctx);
+  metrics_->RecordEvent(Phase::kReduce, r, node, sort_done, metrics_->Now());
+}
+
+void ReduceTaskExecutor::RunBarrierless(int r, int node,
+                                        ReduceTaskContext* ctx) {
+  double start = metrics_->Now();
+
+  // Single FIFO buffer shared by all fetchers; the reduce thread (this
+  // one) drains it record by record (§3.1 design decision (2)).  The
+  // sink registration lives exactly as long as `fetch` (RAII), so an
+  // early return can never leave a dangling queue behind for a
+  // concurrent JobControl::Fail to close.
+  FifoSink sink(kFifoCapacity);
+  auto fetch = shuffle_->StartFetch(
+      r, node, &sink, relaunch_,
+      [this](const Status& st) { control_->Fail(st); });
+
+  // Pipelined reduce: pop records in arrival order and fold them into
+  // partial results.
+  core::StoreConfig store_config = spec_.store;
+  if (!store_config.key_cmp && spec_.sort_cmp) {
+    store_config.key_cmp = spec_.sort_cmp;
+  }
+  auto reducer = spec_.incremental();
+  core::BarrierlessDriver driver(reducer.get(), store_config, spec_.config);
+  CtxEmitter emitter(ctx);
+  // Memoization: seed the store from the previous run's snapshot.
+  if (spec_.session != nullptr) {
+    if (const auto* snapshot = spec_.session->Get(r)) {
+      for (const Record& p : *snapshot) {
+        Status st = driver.PreloadPartial(Slice(p.key), Slice(p.value));
+        if (!st.ok()) {
+          control_->Fail(st);
+          return;  // fetch's destructor joins and unregisters the sink
+        }
+      }
+    }
+  }
+  uint64_t consumed = 0;
+  while (auto item = sink.fifo().Pop()) {
+    Status st = driver.Consume(Slice(item->key), Slice(item->value), &emitter);
+    if (!st.ok()) {
+      metrics_->SampleMemory(r, driver.MemoryBytes());
+      control_->Fail(st);
+      break;
+    }
+    if (++consumed % kMemorySampleEvery == 0) {
+      metrics_->SampleMemory(r, driver.MemoryBytes());
+    }
+  }
+  fetch->Join();
+  ctx->counters()->Add(kCtrShuffleBytes, fetch->bytes_fetched());
+  fetch.reset();  // deregister the sink before it goes out of scope
+  if (control_->cancelled()) return;
+
+  ctx->counters()->Add(kCtrReduceInputRecords, driver.records_consumed());
+  Status st;
+  if (spec_.session != nullptr) {
+    std::vector<Record> snapshot;
+    st = driver.FinalizeWithSnapshot(&emitter, &snapshot);
+    if (st.ok()) spec_.session->Save(r, std::move(snapshot));
+  } else {
+    st = driver.Finalize(&emitter);
+  }
+  if (const core::PartialStore* store = driver.store()) {
+    ctx->counters()->Add(kCtrSpills, store->stats().spills);
+    ctx->counters()->Add(kCtrSpilledBytes, store->stats().spilled_bytes);
+    ctx->counters()->Add(kCtrKvStoreOps,
+                         store->stats().gets + store->stats().puts);
+  }
+  if (!st.ok()) {
+    control_->Fail(st);
+    return;
+  }
+  metrics_->SampleMemory(r, driver.MemoryBytes());
+  metrics_->RecordEvent(Phase::kShuffleReduce, r, node, start,
+                        metrics_->Now());
+}
+
+Status ReduceTaskExecutor::WriteOutput(int r, int node,
+                                       const std::vector<Record>& records) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/part-r-%05d", r);
+  std::string path = spec_.output_path + name;
+  auto writer = cluster_->client(node)->Create(path);
+  if (!writer.ok()) return writer.status();
+  ByteBuffer buf;
+  for (const Record& rec : records) {
+    if (spec_.output_format == OutputFormat::kTextTsv) {
+      AppendTsvRecord(&buf, Slice(rec.key), Slice(rec.value));
+    } else {
+      AppendFramedRecord(&buf, Slice(rec.key), Slice(rec.value));
+    }
+    if (buf.size() >= (1 << 20)) {
+      BMR_RETURN_IF_ERROR((*writer)->Append(buf.AsSlice()));
+      buf.Clear();
+    }
+  }
+  BMR_RETURN_IF_ERROR((*writer)->Append(buf.AsSlice()));
+  BMR_RETURN_IF_ERROR((*writer)->Close());
+  metrics_->NoteOutputFile(std::move(path));
+  return Status::Ok();
+}
+
+}  // namespace bmr::mr

@@ -1,0 +1,149 @@
+#include "mr/task_scheduler.h"
+
+#include <algorithm>
+
+namespace bmr::mr {
+
+TaskScheduler::TaskScheduler(const cluster::ClusterSpec& cluster,
+                             const std::vector<InputSplit>* splits,
+                             Options options)
+    : splits_(splits),
+      slaves_(cluster.SlaveIds()),
+      options_(options),
+      tasks_(splits->size()),
+      node_load_(cluster.nodes.size(), 0) {
+  is_master_.resize(cluster.nodes.size(), false);
+  for (const auto& node : cluster.nodes) is_master_[node.id] = node.is_master;
+}
+
+int TaskScheduler::PickNodeLocked(const InputSplit& split, int exclude) {
+  // Least-loaded among the split's replica holders, then least-loaded
+  // slave overall.
+  int best = -1;
+  for (int n : split.preferred_nodes) {
+    if (n == exclude) continue;
+    if (is_master_[n]) continue;
+    if (best < 0 || node_load_[n] < node_load_[best]) best = n;
+  }
+  if (best < 0) {
+    for (int n : slaves_) {
+      if (n == exclude) continue;
+      if (best < 0 || node_load_[n] < node_load_[best]) best = n;
+    }
+  }
+  if (best >= 0) node_load_[best]++;
+  return best;
+}
+
+int TaskScheduler::PickNode(const InputSplit& split, int exclude) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PickNodeLocked(split, exclude);
+}
+
+void TaskScheduler::ReleaseNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node >= 0 && node_load_[node] > 0) node_load_[node]--;
+}
+
+TaskScheduler::Attempt TaskScheduler::Assign(int task, int exclude_node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Attempt attempt;
+  attempt.task = task;
+  attempt.node = PickNodeLocked((*splits_)[task], exclude_node);
+  attempt.id = static_cast<int>(tasks_[task].attempts.size());
+  AttemptState state;
+  state.node = attempt.node;
+  tasks_[task].attempts.push_back(state);
+  return attempt;
+}
+
+void TaskScheduler::Begin(const Attempt& attempt, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_[attempt.task].attempts[attempt.id].begin = now;
+}
+
+bool TaskScheduler::TryCommit(const Attempt& attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TaskState& task = tasks_[attempt.task];
+  if (task.committed) return false;
+  task.committed = true;
+  return true;
+}
+
+void TaskScheduler::Finish(const Attempt& attempt, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AttemptState& state = tasks_[attempt.task].attempts[attempt.id];
+  state.end = now;
+  if (state.begin >= 0) completed_durations_.push_back(now - state.begin);
+  if (attempt.node >= 0 && node_load_[attempt.node] > 0) {
+    node_load_[attempt.node]--;
+  }
+}
+
+void TaskScheduler::ReopenTask(int task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_[task].committed = false;
+}
+
+std::vector<TaskScheduler::Attempt> TaskScheduler::PollSpeculation(
+    double now) {
+  std::vector<Attempt> backups;
+  if (!options_.speculative) return backups;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completed_durations_.empty()) return backups;
+  std::vector<double> durations = completed_durations_;
+  std::nth_element(durations.begin(),
+                   durations.begin() + durations.size() / 2, durations.end());
+  double median = durations[durations.size() / 2];
+  double threshold = std::max(options_.slowness * median, options_.min_runtime);
+
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    TaskState& task = tasks_[t];
+    if (task.committed) continue;
+    if (static_cast<int>(task.attempts.size()) >= options_.max_attempts) {
+      continue;
+    }
+    // Only a lone running attempt can be a straggler: queued attempts
+    // are waiting on a slot, not slow.
+    bool straggling = false;
+    int running_node = -1;
+    for (const AttemptState& a : task.attempts) {
+      if (a.end >= 0 || a.begin < 0) continue;  // finished or queued
+      running_node = a.node;
+      straggling = (now - a.begin) > threshold;
+    }
+    if (!straggling) continue;
+    Attempt backup;
+    backup.task = static_cast<int>(t);
+    backup.node = PickNodeLocked((*splits_)[t], running_node);
+    if (backup.node < 0) continue;
+    backup.id = static_cast<int>(task.attempts.size());
+    backup.speculative = true;
+    AttemptState state;
+    state.node = backup.node;
+    state.speculative = true;
+    task.attempts.push_back(state);
+    backups.push_back(backup);
+  }
+  return backups;
+}
+
+bool TaskScheduler::AllCommitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TaskState& task : tasks_) {
+    if (!task.committed) return false;
+  }
+  return true;
+}
+
+int TaskScheduler::attempts_started(int task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tasks_[task].attempts.size());
+}
+
+int TaskScheduler::load(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_load_[node];
+}
+
+}  // namespace bmr::mr

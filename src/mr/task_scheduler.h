@@ -1,0 +1,107 @@
+// Map-task scheduling, extracted from the old monolithic JobExecution:
+// data-local placement with least-loaded tie-break, per-task attempt
+// tracking, retry placement that excludes the failed node, and
+// Hadoop-0.20-style speculative execution of straggler map tasks
+// (backup attempts; the first attempt to commit wins, the loser's
+// output is discarded).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mr/input.h"
+
+namespace bmr::mr {
+
+struct TaskSchedulerOptions {
+  /// Launch backup attempts for straggler map tasks.
+  bool speculative = false;
+  /// A running attempt is a straggler once its runtime exceeds
+  /// `slowness` x the median runtime of completed map attempts.
+  double slowness = 1.5;
+  /// Never speculate an attempt younger than this many seconds
+  /// (guards against speculating everything on a cold start).
+  double min_runtime = 0.05;
+  /// Original + at most one backup, as in Hadoop 0.20.
+  int max_attempts = 2;
+};
+
+class TaskScheduler {
+ public:
+  using Options = TaskSchedulerOptions;
+
+  /// One scheduled execution of one map task.
+  struct Attempt {
+    int task = -1;
+    int id = -1;    // per-task attempt ordinal, 0 = original
+    int node = -1;  // -1 = no node available
+    bool speculative = false;
+  };
+
+  TaskScheduler(const cluster::ClusterSpec& cluster,
+                const std::vector<InputSplit>* splits, Options options = {});
+
+  /// Data-local placement: least-loaded among the split's replica
+  /// holders, then least-loaded slave overall; `exclude` (a failed or
+  /// already-running node) is never chosen.  Bumps the chosen node's
+  /// load; placement-only callers must pair with ReleaseNode.
+  int PickNode(const InputSplit& split, int exclude = -1);
+  void ReleaseNode(int node);
+
+  /// Plan a new attempt of `task` on a node other than `exclude_node`
+  /// (pass the failed node for retries, -1 for first launches).
+  Attempt Assign(int task, int exclude_node = -1);
+
+  /// The attempt started running at `now` (call from the worker, not
+  /// at submit time, so pool queueing does not count as runtime).
+  void Begin(const Attempt& attempt, double now);
+
+  /// First committer of a task wins; a false return means another
+  /// attempt already committed and the caller must discard its output.
+  bool TryCommit(const Attempt& attempt);
+
+  /// The attempt stopped running (after winning, losing, or erroring).
+  void Finish(const Attempt& attempt, double now);
+
+  /// The task's committed output was lost (node death discovered by a
+  /// fetcher): clear the commit so a retry attempt can commit again.
+  void ReopenTask(int task);
+
+  /// Straggler scan: returns newly planned backup attempts (already
+  /// assigned to nodes); the caller submits them for execution.  Each
+  /// task is backed up at most once per commit generation.
+  std::vector<Attempt> PollSpeculation(double now);
+
+  bool AllCommitted() const;
+
+  // Introspection (tests, metrics).
+  int attempts_started(int task) const;
+  int load(int node) const;
+
+ private:
+  int PickNodeLocked(const InputSplit& split, int exclude);
+
+  struct AttemptState {
+    int node = -1;
+    double begin = -1;  // <0: queued, not yet running
+    double end = -1;    // <0: still running or queued
+    bool speculative = false;
+  };
+  struct TaskState {
+    std::vector<AttemptState> attempts;
+    bool committed = false;
+  };
+
+  const std::vector<InputSplit>* splits_;
+  std::vector<int> slaves_;
+  std::vector<bool> is_master_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<TaskState> tasks_;
+  std::vector<int> node_load_;  // queued + running attempts per node
+  std::vector<double> completed_durations_;
+};
+
+}  // namespace bmr::mr

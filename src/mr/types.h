@@ -66,5 +66,10 @@ inline constexpr const char* kCtrSpilledBytes = "partial_result_spilled_bytes";
 inline constexpr const char* kCtrKvStoreOps = "kv_store_ops";
 inline constexpr const char* kCtrMapTasksLaunched = "map_tasks_launched";
 inline constexpr const char* kCtrMapTaskRetries = "map_task_retries";
+inline constexpr const char* kCtrSpeculativeMapsLaunched =
+    "speculative_maps_launched";
+inline constexpr const char* kCtrSpeculativeMapsWon = "speculative_maps_won";
+inline constexpr const char* kCtrMapAttemptsDiscarded =
+    "map_attempts_discarded";
 
 }  // namespace bmr::mr

@@ -8,6 +8,11 @@ void RpcFabric::Register(int node, const std::string& method,
   handlers_[{node, method}] = std::move(handler);
 }
 
+void RpcFabric::Unregister(int node, const std::string& method) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase({node, method});
+}
+
 void RpcFabric::KillNode(int node) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = handlers_.lower_bound({node, ""});

@@ -43,6 +43,10 @@ class RpcFabric {
   /// the DFS re-registers DataNode services on restart after a failure.
   void Register(int node, const std::string& method, RpcHandler handler);
 
+  /// Remove one handler (job teardown: shuffle services are job-scoped
+  /// so concurrent jobs on a shared fabric don't clobber each other).
+  void Unregister(int node, const std::string& method);
+
   /// Remove every handler on `node` (simulated node crash).
   void KillNode(int node);
 

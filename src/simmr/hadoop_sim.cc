@@ -587,6 +587,26 @@ SimResult SimulateJob(const cluster::ClusterSpec& cluster, const SimJob& job) {
   return sim.Run();
 }
 
+mr::JobMetrics ToJobMetrics(const SimResult& result) {
+  mr::JobMetrics m;
+  m.events = result.events;
+  m.elapsed_seconds = result.completion_seconds;
+  m.first_map_done = result.first_map_done;
+  m.last_map_done = result.last_map_done;
+  m.counters.Add(mr::kCtrShuffleBytes,
+                 static_cast<uint64_t>(result.shuffle_bytes));
+  m.counters.Add(mr::kCtrSpeculativeMapsLaunched,
+                 static_cast<uint64_t>(result.backups_launched));
+  m.counters.Add(mr::kCtrSpeculativeMapsWon,
+                 static_cast<uint64_t>(result.backups_won));
+  m.memory_samples.reserve(result.memory_samples.size());
+  for (const SimMemorySample& s : result.memory_samples) {
+    m.memory_samples.push_back(
+        mr::MemorySample{s.t, s.reducer, static_cast<uint64_t>(s.bytes)});
+  }
+  return m;
+}
+
 double ImprovementPercent(const cluster::ClusterSpec& cluster, SimJob job) {
   job.barrierless = false;
   SimResult with = SimulateJob(cluster, job);

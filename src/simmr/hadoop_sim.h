@@ -18,6 +18,7 @@
 
 #include "cluster/cluster.h"
 #include "common/status.h"
+#include "mr/metrics.h"
 #include "mr/timeline.h"
 #include "simmr/model.h"
 
@@ -51,5 +52,11 @@ SimResult SimulateJob(const cluster::ClusterSpec& cluster, const SimJob& job);
 /// Convenience: percentage improvement of barrier-less over barrier for
 /// the same job description ((with - without) / with * 100).
 double ImprovementPercent(const cluster::ClusterSpec& cluster, SimJob job);
+
+/// Project a SimResult onto the reporting schema shared with the real
+/// engine (mr::MetricsRegistry::Snapshot / mr::JobResult::ToMetrics),
+/// using the engine's counter names, so real and simulated runs print
+/// and compare through one code path.
+mr::JobMetrics ToJobMetrics(const SimResult& result);
 
 }  // namespace bmr::simmr

@@ -1,0 +1,134 @@
+// MetricsRegistry and the shared JobMetrics reporting schema: counter
+// aggregation, map-completion bookkeeping, snapshot consistency, and
+// the simulator's projection onto the same schema as the real engine.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mr/metrics.h"
+#include "mr/types.h"
+#include "simmr/hadoop_sim.h"
+
+namespace bmr {
+namespace {
+
+using mr::JobMetrics;
+using mr::MetricsRegistry;
+
+TEST(MetricsRegistryTest, CountersAddAndMerge) {
+  MetricsRegistry metrics;
+  metrics.AddCounter(mr::kCtrMapTasksLaunched, 2);
+  metrics.AddCounter(mr::kCtrMapTasksLaunched, 3);
+
+  mr::Counters task_local;
+  task_local.Add(mr::kCtrMapInputRecords, 10);
+  task_local.Add(mr::kCtrMapTasksLaunched, 1);
+  metrics.MergeCounters(task_local);
+
+  EXPECT_EQ(metrics.GetCounter(mr::kCtrMapTasksLaunched), 6u);
+  EXPECT_EQ(metrics.GetCounter(mr::kCtrMapInputRecords), 10u);
+  EXPECT_EQ(metrics.GetCounter(mr::kCtrShuffleBytes), 0u);
+}
+
+TEST(MetricsRegistryTest, MapDoneTracksFirstAndLast) {
+  MetricsRegistry metrics;
+  metrics.RestartClock();
+  metrics.NoteMapDone();
+  JobMetrics after_first = metrics.Snapshot();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  metrics.NoteMapDone();
+  JobMetrics after_second = metrics.Snapshot();
+
+  EXPECT_GT(after_first.first_map_done, 0);
+  EXPECT_EQ(after_first.first_map_done, after_first.last_map_done);
+  // The first completion time is pinned; the last one advances.
+  EXPECT_EQ(after_second.first_map_done, after_first.first_map_done);
+  EXPECT_GT(after_second.last_map_done, after_second.first_map_done);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesEverythingReported) {
+  MetricsRegistry metrics;
+  metrics.RestartClock();
+  metrics.SampleMemory(/*reducer=*/1, /*bytes=*/4096);
+  metrics.NoteOutputFile("/out/part-r-00000");
+  metrics.NoteOutputFile("/out/part-r-00001");
+  metrics.RecordEvent(mr::Phase::kMap, /*task_id=*/3, /*node=*/2, 0.1, 0.4);
+
+  JobMetrics m = metrics.Snapshot();
+  ASSERT_EQ(m.memory_samples.size(), 1u);
+  EXPECT_EQ(m.memory_samples[0].reducer, 1);
+  EXPECT_EQ(m.memory_samples[0].bytes, 4096u);
+  EXPECT_GE(m.memory_samples[0].t, 0);
+  ASSERT_EQ(m.output_files.size(), 2u);
+  EXPECT_EQ(m.output_files[0], "/out/part-r-00000");
+  ASSERT_EQ(m.events.size(), 1u);
+  EXPECT_EQ(m.events[0].phase, mr::Phase::kMap);
+  EXPECT_EQ(m.events[0].task_id, 3);
+  EXPECT_EQ(m.events[0].node, 2);
+  EXPECT_GT(m.elapsed_seconds, 0);
+
+  // Snapshot is a copy: later reports don't mutate it.
+  metrics.NoteOutputFile("/out/part-r-00002");
+  EXPECT_EQ(m.output_files.size(), 2u);
+  EXPECT_EQ(metrics.Snapshot().output_files.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentReportersDontLoseUpdates) {
+  MetricsRegistry metrics;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&metrics] {
+      for (int j = 0; j < kPerThread; ++j) {
+        metrics.AddCounter(mr::kCtrShuffleBytes, 1);
+        metrics.SampleMemory(0, 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  JobMetrics m = metrics.Snapshot();
+  EXPECT_EQ(m.counters.Get(mr::kCtrShuffleBytes),
+            uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(m.memory_samples.size(), size_t{kThreads} * kPerThread);
+}
+
+TEST(JobMetricsTest, FormatNamesTheLabelAndCounters) {
+  JobMetrics m;
+  m.elapsed_seconds = 1.5;
+  m.counters.Add(mr::kCtrShuffleBytes, 12345);
+  std::string text = mr::FormatJobMetrics("simulated", m);
+  EXPECT_NE(text.find("simulated"), std::string::npos);
+  EXPECT_NE(text.find(mr::kCtrShuffleBytes), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+}
+
+TEST(JobMetricsTest, SimResultProjectsOntoTheEngineSchema) {
+  // The simulator reports through the same schema and counter names as
+  // the real engine, so one formatter serves both.
+  simmr::SimResult sim;
+  sim.completion_seconds = 42.0;
+  sim.first_map_done = 3.0;
+  sim.last_map_done = 9.0;
+  sim.shuffle_bytes = 1 << 20;
+  sim.backups_launched = 2;
+  sim.backups_won = 1;
+  sim.events.push_back({mr::Phase::kMap, 0, 1, 0.0, 3.0});
+  sim.memory_samples.push_back({/*t=*/1.0, /*reducer=*/0, /*bytes=*/512});
+
+  mr::JobMetrics m = simmr::ToJobMetrics(sim);
+  EXPECT_DOUBLE_EQ(m.elapsed_seconds, 42.0);
+  EXPECT_DOUBLE_EQ(m.first_map_done, 3.0);
+  EXPECT_DOUBLE_EQ(m.last_map_done, 9.0);
+  EXPECT_EQ(m.counters.Get(mr::kCtrShuffleBytes), uint64_t{1} << 20);
+  EXPECT_EQ(m.counters.Get(mr::kCtrSpeculativeMapsLaunched), 2u);
+  EXPECT_EQ(m.counters.Get(mr::kCtrSpeculativeMapsWon), 1u);
+  ASSERT_EQ(m.events.size(), 1u);
+  EXPECT_EQ(m.events[0].phase, mr::Phase::kMap);
+  ASSERT_EQ(m.memory_samples.size(), 1u);
+  EXPECT_EQ(m.memory_samples[0].bytes, 512u);
+}
+
+}  // namespace
+}  // namespace bmr

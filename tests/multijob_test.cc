@@ -1,0 +1,150 @@
+// Shared-cluster mode: two JobRunners drive jobs concurrently on ONE
+// ClusterContext.  Job-scoped shuffle registration (shuffle.fetch.<id>)
+// must keep the jobs' intermediate data apart, so each concurrent run
+// reproduces its solo-run output exactly, with no cross-job leakage.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/sort.h"
+#include "apps/wordcount.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+using mr::ClusterContext;
+using mr::JobResult;
+using mr::JobRunner;
+using testutil::MakeTestCluster;
+
+TEST(MultiJobTest, JobIdsAreUniquePerCluster) {
+  auto cluster = MakeTestCluster(2);
+  EXPECT_EQ(cluster->AllocateJobId(), 0);
+  EXPECT_EQ(cluster->AllocateJobId(), 1);
+  EXPECT_EQ(cluster->AllocateJobId(), 2);
+}
+
+TEST(MultiJobTest, SequentialJobsDontLeakShuffleState) {
+  // Regression guard for the job-scoped RPC registration: running the
+  // same runner twice must tear down job N's shuffle service before job
+  // N+1 registers its own.
+  auto cluster = MakeTestCluster(3);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 96 << 10;
+  gen.vocabulary = 200;
+  gen.seed = 5;
+  auto files = workload::GenerateZipfText(cluster.get(), "/in", gen);
+  ASSERT_TRUE(files.ok());
+
+  JobRunner runner(cluster.get());
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.num_reducers = 2;
+  options.output_path = "/out-first";
+  JobResult first = runner.Run(apps::MakeWordCountJob(options));
+  ASSERT_TRUE(first.ok()) << first.status;
+  options.output_path = "/out-second";
+  JobResult second = runner.Run(apps::MakeWordCountJob(options));
+  ASSERT_TRUE(second.ok()) << second.status;
+
+  auto out_a = JobRunner::ReadAllOutput(cluster->client(0), first);
+  auto out_b = JobRunner::ReadAllOutput(cluster->client(0), second);
+  ASSERT_TRUE(out_a.ok());
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ(testutil::AsMap(*out_a), testutil::AsMap(*out_b));
+}
+
+TEST(MultiJobTest, TwoConcurrentJobsOnOneClusterProduceCorrectOutputs) {
+  auto cluster = MakeTestCluster(4);
+
+  // Disjoint inputs with different vocabularies/seeds: if the jobs'
+  // shuffles interleaved, word counts (and the sort's record count)
+  // could not both match their solo references.
+  workload::TextGenOptions wc_gen;
+  wc_gen.total_bytes = 128 << 10;
+  wc_gen.vocabulary = 250;
+  wc_gen.seed = 21;
+  auto wc_files = workload::GenerateZipfText(cluster.get(), "/wc/in", wc_gen);
+  ASSERT_TRUE(wc_files.ok());
+
+  workload::IntGenOptions sort_gen;
+  sort_gen.count = 8000;
+  sort_gen.seed = 22;
+  auto sort_files =
+      workload::GenerateRandomInts(cluster.get(), "/sort/in", sort_gen);
+  ASSERT_TRUE(sort_files.ok());
+
+  apps::AppOptions wc_options;
+  wc_options.input_files = *wc_files;
+  wc_options.num_reducers = 3;
+  wc_options.barrierless = true;  // exercise the FIFO path under sharing
+
+  apps::AppOptions sort_options;
+  sort_options.input_files = *sort_files;
+  sort_options.num_reducers = 2;
+
+  // Solo reference runs.
+  JobResult wc_solo, sort_solo;
+  {
+    JobRunner runner(cluster.get());
+    wc_options.output_path = "/wc/out-ref";
+    wc_solo = runner.Run(apps::MakeWordCountJob(wc_options));
+    ASSERT_TRUE(wc_solo.ok()) << wc_solo.status;
+    sort_options.output_path = "/sort/out-ref";
+    sort_solo = runner.Run(apps::MakeSortJob(sort_options));
+    ASSERT_TRUE(sort_solo.ok()) << sort_solo.status;
+  }
+
+  // Concurrent runs: two runners, one shared ClusterContext, two
+  // threads in flight at once.
+  wc_options.output_path = "/wc/out-conc";
+  sort_options.output_path = "/sort/out-conc";
+  JobResult wc_conc, sort_conc;
+  {
+    JobRunner wc_runner(cluster.get());
+    JobRunner sort_runner(cluster.get());
+    std::thread wc_thread([&] {
+      wc_conc = wc_runner.Run(apps::MakeWordCountJob(wc_options));
+    });
+    std::thread sort_thread([&] {
+      sort_conc = sort_runner.Run(apps::MakeSortJob(sort_options));
+    });
+    wc_thread.join();
+    sort_thread.join();
+  }
+  ASSERT_TRUE(wc_conc.ok()) << wc_conc.status;
+  ASSERT_TRUE(sort_conc.ok()) << sort_conc.status;
+
+  // Each concurrent job reproduces its solo output exactly.
+  auto wc_expected = JobRunner::ReadAllOutput(cluster->client(0), wc_solo);
+  auto wc_actual = JobRunner::ReadAllOutput(cluster->client(0), wc_conc);
+  ASSERT_TRUE(wc_expected.ok());
+  ASSERT_TRUE(wc_actual.ok());
+  EXPECT_EQ(testutil::AsMap(*wc_expected), testutil::AsMap(*wc_actual));
+
+  auto sort_expected = JobRunner::ReadAllOutput(cluster->client(0), sort_solo);
+  auto sort_actual = JobRunner::ReadAllOutput(cluster->client(0), sort_conc);
+  ASSERT_TRUE(sort_expected.ok());
+  ASSERT_TRUE(sort_actual.ok());
+  EXPECT_EQ(sort_actual->size(), sort_expected->size());
+  EXPECT_EQ(testutil::AsMultiset(*sort_expected),
+            testutil::AsMultiset(*sort_actual));
+
+  // The sort output must still be globally ordered — shuffled-in
+  // foreign records would break monotonicity as well as the multiset.
+  for (size_t i = 1; i < sort_actual->size(); ++i) {
+    ASSERT_LE((*sort_actual)[i - 1].key, (*sort_actual)[i].key);
+  }
+
+  // No cross-contamination of counters either: record counts match the
+  // solo runs.
+  EXPECT_EQ(wc_conc.counters.Get(mr::kCtrMapInputRecords),
+            wc_solo.counters.Get(mr::kCtrMapInputRecords));
+  EXPECT_EQ(sort_conc.counters.Get(mr::kCtrMapInputRecords),
+            sort_solo.counters.Get(mr::kCtrMapInputRecords));
+}
+
+}  // namespace
+}  // namespace bmr

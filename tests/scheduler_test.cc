@@ -1,0 +1,305 @@
+// TaskScheduler unit tests — data-local placement, least-loaded
+// tie-break, retry exclusion, first-commit-wins — plus an end-to-end
+// forced-straggler run proving a speculative backup attempt wins and
+// the loser's output is discarded exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "apps/wordcount.h"
+#include "mr/task_scheduler.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+using mr::InputSplit;
+using mr::JobResult;
+using mr::JobRunner;
+using mr::TaskScheduler;
+using testutil::MakeTestCluster;
+
+InputSplit Split(std::vector<int> preferred) {
+  InputSplit split;
+  split.file = "/in";
+  split.length = 1;
+  split.preferred_nodes = std::move(preferred);
+  return split;
+}
+
+/// 4 slaves (ids 1..4) behind a master (id 0).
+cluster::ClusterSpec FourSlaves() { return cluster::SmallCluster(4, 2, 2); }
+
+TEST(TaskSchedulerTest, PlacementPrefersReplicaHolders) {
+  // Both splits live only on node 3: placement must stack them there
+  // even though nodes 1, 2, 4 are idle.
+  std::vector<InputSplit> splits = {Split({3}), Split({3})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  TaskScheduler::Attempt a = scheduler.Assign(0);
+  TaskScheduler::Attempt b = scheduler.Assign(1);
+  EXPECT_EQ(a.node, 3);
+  EXPECT_EQ(b.node, 3);
+  EXPECT_EQ(scheduler.load(3), 2);
+  EXPECT_EQ(scheduler.load(1), 0);
+}
+
+TEST(TaskSchedulerTest, LeastLoadedTieBreakAmongReplicaHolders) {
+  std::vector<InputSplit> splits = {Split({1, 2}), Split({1, 2}),
+                                    Split({1, 2})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  // Equal load: the first-listed holder wins; once it is loaded, the
+  // other holder is least-loaded and takes the next task.
+  EXPECT_EQ(scheduler.Assign(0).node, 1);
+  EXPECT_EQ(scheduler.Assign(1).node, 2);
+  EXPECT_EQ(scheduler.Assign(2).node, 1);
+}
+
+TEST(TaskSchedulerTest, MasterIsNeverChosenAndFallbackIsLeastLoaded) {
+  // Replica list names only the master (can happen after node deaths):
+  // placement must fall back to the least-loaded slave, never node 0.
+  std::vector<InputSplit> splits = {Split({0}), Split({0})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  TaskScheduler::Attempt a = scheduler.Assign(0);
+  EXPECT_NE(a.node, 0);
+  EXPECT_GE(a.node, 1);
+  EXPECT_EQ(scheduler.load(0), 0);
+}
+
+TEST(TaskSchedulerTest, PickNodePairsWithReleaseNode) {
+  std::vector<InputSplit> splits = {Split({2})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  int node = scheduler.PickNode(splits[0]);
+  EXPECT_EQ(node, 2);
+  EXPECT_EQ(scheduler.load(2), 1);
+  scheduler.ReleaseNode(node);
+  EXPECT_EQ(scheduler.load(2), 0);
+}
+
+TEST(TaskSchedulerTest, RetryExcludesTheFailedNode) {
+  // The task's only replica holder lost its output; the retry must go
+  // elsewhere even though the holder is the placement favourite.
+  std::vector<InputSplit> splits = {Split({2})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  TaskScheduler::Attempt original = scheduler.Assign(0);
+  ASSERT_EQ(original.node, 2);
+  ASSERT_TRUE(scheduler.TryCommit(original));
+  scheduler.Finish(original, 0.1);
+
+  scheduler.ReopenTask(0);
+  EXPECT_FALSE(scheduler.AllCommitted());
+  TaskScheduler::Attempt retry = scheduler.Assign(0, /*exclude_node=*/2);
+  EXPECT_NE(retry.node, 2);
+  EXPECT_GE(retry.node, 1);
+  EXPECT_EQ(retry.id, 1);
+  EXPECT_EQ(scheduler.attempts_started(0), 2);
+  EXPECT_TRUE(scheduler.TryCommit(retry));
+  EXPECT_TRUE(scheduler.AllCommitted());
+}
+
+TEST(TaskSchedulerTest, FirstAttemptToCommitWins) {
+  std::vector<InputSplit> splits = {Split({1})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  TaskScheduler::Attempt a = scheduler.Assign(0);
+  TaskScheduler::Attempt b = scheduler.Assign(0);
+  EXPECT_TRUE(scheduler.TryCommit(b));   // backup got there first
+  EXPECT_FALSE(scheduler.TryCommit(a));  // loser must discard
+  EXPECT_TRUE(scheduler.AllCommitted());
+}
+
+TEST(TaskSchedulerTest, PollSpeculationBacksUpLoneStraggler) {
+  TaskScheduler::Options options;
+  options.speculative = true;
+  options.slowness = 1.5;
+  options.min_runtime = 0.05;
+  std::vector<InputSplit> splits = {Split({1}), Split({2})};
+  TaskScheduler scheduler(FourSlaves(), &splits, options);
+
+  // Task 0 completes in 0.1s => median 0.1, threshold 0.15.
+  TaskScheduler::Attempt fast = scheduler.Assign(0);
+  scheduler.Begin(fast, 0.0);
+  ASSERT_TRUE(scheduler.TryCommit(fast));
+  scheduler.Finish(fast, 0.1);
+
+  // Task 1 started at 0 and is still running.
+  TaskScheduler::Attempt slow = scheduler.Assign(1);
+  scheduler.Begin(slow, 0.0);
+
+  // Under threshold: no backup yet.
+  EXPECT_TRUE(scheduler.PollSpeculation(0.12).empty());
+
+  // Over threshold: exactly one backup, off the straggling node.
+  std::vector<TaskScheduler::Attempt> backups = scheduler.PollSpeculation(0.3);
+  ASSERT_EQ(backups.size(), 1u);
+  EXPECT_EQ(backups[0].task, 1);
+  EXPECT_TRUE(backups[0].speculative);
+  EXPECT_NE(backups[0].node, slow.node);
+  EXPECT_EQ(backups[0].id, 1);
+
+  // max_attempts = 2: the task is never backed up twice.
+  EXPECT_TRUE(scheduler.PollSpeculation(0.6).empty());
+  EXPECT_EQ(scheduler.attempts_started(1), 2);
+
+  // Once an attempt commits the task stops being a candidate.
+  EXPECT_TRUE(scheduler.TryCommit(slow));
+  EXPECT_TRUE(scheduler.PollSpeculation(1.0).empty());
+}
+
+TEST(TaskSchedulerTest, NoSpeculationBeforeAnyCompletedAttempt) {
+  TaskScheduler::Options options;
+  options.speculative = true;
+  options.min_runtime = 0.0;
+  std::vector<InputSplit> splits = {Split({1})};
+  TaskScheduler scheduler(FourSlaves(), &splits, options);
+
+  TaskScheduler::Attempt a = scheduler.Assign(0);
+  scheduler.Begin(a, 0.0);
+  // No completed attempt => no median => no threshold => no backups,
+  // however long the attempt has been running.
+  EXPECT_TRUE(scheduler.PollSpeculation(100.0).empty());
+}
+
+TEST(TaskSchedulerTest, SpeculationDisabledByDefault) {
+  std::vector<InputSplit> splits = {Split({1}), Split({2})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  TaskScheduler::Attempt fast = scheduler.Assign(0);
+  scheduler.Begin(fast, 0.0);
+  ASSERT_TRUE(scheduler.TryCommit(fast));
+  scheduler.Finish(fast, 0.01);
+  TaskScheduler::Attempt slow = scheduler.Assign(1);
+  scheduler.Begin(slow, 0.0);
+  EXPECT_TRUE(scheduler.PollSpeculation(100.0).empty());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end forced straggler: one map attempt sleeps long enough to be
+// declared a straggler; the speculative backup runs at full speed, wins
+// the commit race, and the sleeping original's output is discarded.
+// ---------------------------------------------------------------------
+
+/// Coordination state shared by every mapper attempt of the straggler
+/// job.  Exactly one attempt job-wide claims the straggler role; it
+/// then stalls until the backup attempt of its *own* split has mapped
+/// all records (observed via the split's first key), plus a margin
+/// that dwarfs the backup's remaining serialize-and-commit work.  This
+/// keeps the intended winner deterministic at any execution speed
+/// (plain, ASan, TSan) without calibrated sleeps.
+struct StragglerControl {
+  std::atomic<int> budget{1};
+  std::mutex mu;
+  std::string straggler_key;  // first key of the straggling attempt
+  std::atomic<bool> backup_mapped{false};
+};
+
+class StragglerMapper : public mr::Mapper {
+ public:
+  StragglerMapper(std::unique_ptr<mr::Mapper> inner, StragglerControl* c)
+      : inner_(std::move(inner)), control_(c) {}
+
+  void Map(Slice key, Slice value, mr::MapContext* ctx) override {
+    if (first_key_.empty()) {
+      first_key_ = std::string(key.data(), key.size());
+      if (control_->budget.fetch_sub(1) > 0) {
+        claimed_ = true;
+        {
+          std::lock_guard<std::mutex> lock(control_->mu);
+          control_->straggler_key = first_key_;
+        }
+        // Stall until our backup has mapped everything (bounded so a
+        // speculation bug fails the test instead of hanging it).
+        for (int i = 0; i < 30000 && !control_->backup_mapped.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        // The backup only has to serialize one small partition set and
+        // commit; this margin dwarfs that even under sanitizers.
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      }
+    }
+    inner_->Map(key, value, ctx);
+  }
+
+  void Cleanup(mr::MapContext* ctx) override {
+    inner_->Cleanup(ctx);
+    if (!claimed_) {
+      std::lock_guard<std::mutex> lock(control_->mu);
+      if (control_->straggler_key == first_key_) {
+        control_->backup_mapped.store(true);
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<mr::Mapper> inner_;
+  StragglerControl* control_;
+  std::string first_key_;
+  bool claimed_ = false;
+};
+
+TEST(SpeculativeExecutionTest, BackupAttemptWinsAndLoserIsDiscardedOnce) {
+  auto cluster = MakeTestCluster(4, /*block_bytes=*/32 << 10);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 192 << 10;  // 6 map tasks: a healthy median
+  gen.num_files = 1;  // unique byte offsets: first key identifies a split
+  gen.vocabulary = 300;
+  gen.seed = 17;
+  auto files = workload::GenerateZipfText(cluster.get(), "/in", gen);
+  ASSERT_TRUE(files.ok()) << files.status();
+
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.num_reducers = 2;
+  JobRunner runner(cluster.get());
+
+  // Reference answer with no sleeping and no speculation.
+  options.output_path = "/out-ref";
+  JobResult reference = runner.Run(apps::MakeWordCountJob(options));
+  ASSERT_TRUE(reference.ok()) << reference.status;
+  auto expected = JobRunner::ReadAllOutput(cluster->client(0), reference);
+  ASSERT_TRUE(expected.ok());
+
+  // Same job, but exactly one map attempt stalls on its first record
+  // until its backup has overtaken it — a straggler by construction.
+  StragglerControl control;
+  options.output_path = "/out-spec";
+  mr::JobSpec spec = apps::MakeWordCountJob(options);
+  spec.speculative_maps = true;
+  spec.speculation_min_runtime = 0.1;
+  mr::MapperFactory inner = spec.mapper;
+  spec.mapper = [inner, &control]() -> std::unique_ptr<mr::Mapper> {
+    return std::make_unique<StragglerMapper>(inner(), &control);
+  };
+
+  JobResult result = runner.Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status;
+
+  // The straggler was backed up, the backup won, and every launched
+  // backup produced exactly one discarded loser (original or backup —
+  // whichever lost the commit race).
+  uint64_t launched = result.counters.Get(mr::kCtrSpeculativeMapsLaunched);
+  uint64_t won = result.counters.Get(mr::kCtrSpeculativeMapsWon);
+  uint64_t discarded = result.counters.Get(mr::kCtrMapAttemptsDiscarded);
+  EXPECT_GE(launched, 1u);
+  EXPECT_GE(won, 1u);
+  EXPECT_EQ(discarded, launched);
+
+  // Discarding the loser must not corrupt the answer: output matches
+  // the reference run exactly (no duplicated or lost map output).
+  auto actual = JobRunner::ReadAllOutput(cluster->client(0), result);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(testutil::AsMap(*expected), testutil::AsMap(*actual));
+}
+
+}  // namespace
+}  // namespace bmr

@@ -1,0 +1,129 @@
+// ShuffleService unit tests: barrier and FIFO sinks fed by the same
+// fetch machinery, RAII sink registration (the Fail/FIFO-close race
+// fix), and job-scoped segment stores keeping concurrent jobs apart.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mr/map_output.h"
+#include "mr/shuffle_service.h"
+#include "net/rpc.h"
+
+namespace bmr::mr {
+namespace {
+
+/// One single-partition segment holding the given records.
+std::string MakeSegment(const std::vector<Record>& records) {
+  MapOutputCollector collector(1, nullptr);
+  for (const Record& r : records) collector.Emit(r.key, r.value);
+  auto finished = collector.Finish(/*sort=*/false, nullptr, nullptr);
+  EXPECT_TRUE(finished.ok());
+  return finished->segments[0];
+}
+
+ShuffleService::RelaunchFn NoRelaunch() {
+  return [](int, int) { FAIL() << "unexpected relaunch"; };
+}
+
+ShuffleService::ErrorFn NoError() {
+  return [](const Status& st) { FAIL() << "unexpected error: " << st; };
+}
+
+TEST(ShuffleServiceTest, FifoSinkReceivesEveryMapOutputThenCloses) {
+  net::RpcFabric fabric(3);
+  ShuffleService service(&fabric, 3, /*num_map_tasks=*/2, /*job_id=*/7);
+
+  service.Publish(0, 1, {MakeSegment({{"a", "1"}, {"b", "2"}})});
+  service.Publish(1, 2, {MakeSegment({{"c", "3"}})});
+
+  FifoSink sink(64);
+  auto fetch = service.StartFetch(0, /*node=*/2, &sink, NoRelaunch(),
+                                  NoError());
+  // The last fetcher calls AllDelivered => the FIFO closes by itself,
+  // so draining to nullopt terminates without any external signal.
+  std::multiset<std::pair<std::string, std::string>> got;
+  while (auto record = sink.fifo().Pop()) {
+    got.emplace(record->key, record->value);
+  }
+  fetch->Join();
+  EXPECT_GT(fetch->bytes_fetched(), 0u);
+
+  std::multiset<std::pair<std::string, std::string>> want = {
+      {"a", "1"}, {"b", "2"}, {"c", "3"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(ShuffleServiceTest, BarrierSinkCollectsPerMapperRuns) {
+  net::RpcFabric fabric(3);
+  ShuffleService service(&fabric, 3, /*num_map_tasks=*/2, /*job_id=*/1);
+
+  service.Publish(0, 1, {MakeSegment({{"x", "0"}})});
+  service.Publish(1, 1, {MakeSegment({{"y", "1"}, {"z", "2"}})});
+
+  BarrierSink sink(2);
+  auto fetch = service.StartFetch(0, /*node=*/2, &sink, NoRelaunch(),
+                                  NoError());
+  fetch->Join();  // the barrier: all runs present after this
+
+  ASSERT_EQ(sink.runs().size(), 2u);
+  ASSERT_EQ(sink.runs()[0].size(), 1u);
+  EXPECT_EQ(sink.runs()[0][0].key, "x");
+  ASSERT_EQ(sink.runs()[1].size(), 2u);
+  EXPECT_EQ(sink.runs()[1][0].key, "y");
+}
+
+TEST(ShuffleServiceTest, CancelAfterFetchDestructionTouchesNoDeadSink) {
+  // Regression test for the Fail/FIFO-close race: a reducer that
+  // returns early destroys its sink and Fetch; a later job-level
+  // Cancel must not reach the dead sink.  (The RAII Fetch destructor
+  // unregisters the sink — ASan would flag the old dangling pointer.)
+  net::RpcFabric fabric(3);
+  ShuffleService service(&fabric, 3, /*num_map_tasks=*/1, /*job_id=*/2);
+  service.Publish(0, 1, {MakeSegment({{"k", "v"}})});
+  {
+    FifoSink sink(4);
+    auto fetch = service.StartFetch(0, /*node=*/2, &sink, NoRelaunch(),
+                                    NoError());
+    while (sink.fifo().Pop()) {
+    }
+    // Early return path: fetch and sink die here, without Cancel.
+  }
+  service.Cancel();  // must be a no-op on the unregistered sink
+}
+
+TEST(ShuffleServiceTest, ConcurrentJobsKeepSeparateSegmentStores) {
+  net::RpcFabric fabric(3);
+  ShuffleService job_a(&fabric, 3, 1, /*job_id=*/10);
+  ShuffleService job_b(&fabric, 3, 1, /*job_id=*/11);
+
+  // Same (map_task, partition, node) coordinates in both jobs.
+  job_a.Publish(0, 1, {"segment-of-job-a"});
+  job_b.Publish(0, 1, {"segment-of-job-b"});
+
+  std::string segment;
+  ASSERT_TRUE(
+      FetchSegment(&fabric, 1, 2, 0, 0, &segment, /*job_id=*/10).ok());
+  EXPECT_EQ(segment, "segment-of-job-a");
+  ASSERT_TRUE(
+      FetchSegment(&fabric, 1, 2, 0, 0, &segment, /*job_id=*/11).ok());
+  EXPECT_EQ(segment, "segment-of-job-b");
+}
+
+TEST(ShuffleServiceTest, DestructionUnregistersTheJobsFetchHandler) {
+  net::RpcFabric fabric(2);
+  {
+    ShuffleService service(&fabric, 2, 1, /*job_id=*/3);
+    service.Publish(0, 1, {"bytes"});
+    std::string segment;
+    ASSERT_TRUE(FetchSegment(&fabric, 1, 0, 0, 0, &segment, 3).ok());
+  }
+  // The job is gone: its method name no longer resolves.
+  std::string segment;
+  EXPECT_FALSE(FetchSegment(&fabric, 1, 0, 0, 0, &segment, 3).ok());
+}
+
+}  // namespace
+}  // namespace bmr::mr
