@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Build and run the test suite under one or more CMake presets.
+# Build and run the test suite under one or more CMake presets, plus
+# the repo lint gate.
 #
 #   scripts/check.sh              # default preset only
+#   scripts/check.sh lint         # just the lint gate (scripts/lint.sh)
 #   scripts/check.sh asan         # just the asan preset
-#   scripts/check.sh all          # default, asan, tsan in sequence
+#   scripts/check.sh all          # lint, default, asan, tsan in sequence
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
-# build-tsan) so they never disturb the default build tree.
+# build-tsan) so they never disturb the default build tree.  The `tidy`
+# preset (build-tidy) needs a Clang toolchain and runs the
+# -Wthread-safety analysis over the annotated locking API.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,12 +19,16 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default)
 elif [ "${presets[0]}" = "all" ]; then
-  presets=(default asan tsan)
+  presets=(lint default asan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 for preset in "${presets[@]}"; do
   echo "== preset: ${preset} =="
+  if [ "${preset}" = lint ]; then
+    scripts/lint.sh
+    continue
+  fi
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Repo lint gate: fast greppable checks over src/, plus clang-tidy when
+# a clang-tidy binary is available.  Run directly or via
+# `scripts/check.sh lint`; `scripts/check.sh all` runs it first.
+#
+# Checks
+#   1. raw-threading   std::thread / std::mutex / std::lock_guard / ...
+#                      only inside src/common/ and src/concurrency/.
+#                      Everything else uses bmr::Mutex / bmr::OrderedMutex /
+#                      bmr::MutexLock / bmr::CondVar / ThreadPool.
+#   2. nodiscard       every Status / StatusOr returner declared in a
+#                      header carries [[nodiscard]].
+#   3. determinism     src/sim/ and src/simmr/ are simulation layers:
+#                      no wall clocks, no rand(), no sleeps.
+#   4. layering        include-what-you-use-lite: each src/<dir> may
+#                      include only the directories listed for it below
+#                      (core additionally gets the two leaf mr headers).
+#
+# Tests, benches and examples are exempt: the gate polices the library
+# layers, not the harnesses around them.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+
+fail() {
+  echo "lint: FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# ---------------------------------------------------------------------
+# 1. Raw threading primitives outside src/common/ + src/concurrency/.
+#    (std::this_thread is fine — the pattern requires a non-identifier
+#    character after "thread" so it only matches the std::thread type.)
+raw_re='std::(thread[^:_a-zA-Z]|mutex|condition_variable|shared_mutex|recursive_mutex|lock_guard|unique_lock|scoped_lock)'
+hits=$(grep -rnE "${raw_re}" src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/common/' | grep -v '^src/concurrency/' || true)
+if [ -n "${hits}" ]; then
+  echo "${hits}" >&2
+  fail "raw threading primitives outside src/common//src/concurrency/ — use bmr::Mutex/OrderedMutex/MutexLock/CondVar or ThreadPool (common/mutex.h)"
+fi
+
+# ---------------------------------------------------------------------
+# 2. [[nodiscard]] on Status/StatusOr returners declared in headers.
+#    A declaration line starting with Status/StatusOr (optionally
+#    static/virtual) must carry [[nodiscard]] on the same line or the
+#    line above.  `Status status;` members and `using`/comment lines
+#    don't match the function-declaration shape.
+hits=$(awk '
+  /\[\[nodiscard\]\]/ { carry = 1; print_line = 0 }
+  {
+    line = $0
+    sub(/^[ \t]+/, "", line)
+    is_decl = (line ~ /^(static |virtual )*(Status[ \t]+|StatusOr<.*>[ \t]+)[A-Za-z_][A-Za-z0-9_]*[ \t]*\(/)
+    if (is_decl && line !~ /\[\[nodiscard\]\]/ && !carry) {
+      printf "%s:%d: %s\n", FILENAME, FNR, line
+    }
+    if (line !~ /\[\[nodiscard\]\]$/) carry = 0
+  }
+' $(find src -name '*.h') )
+if [ -n "${hits}" ]; then
+  echo "${hits}" >&2
+  fail "Status/StatusOr returners in headers must be [[nodiscard]]"
+fi
+
+# ---------------------------------------------------------------------
+# 3. Determinism in the simulation layers: simulated time only.
+det_re='[^_a-zA-Z](rand|srand|time)\(|random_device|system_clock|steady_clock|high_resolution_clock|sleep_for|sleep_until|this_thread'
+hits=$(grep -rnE "${det_re}" src/sim/ src/simmr/ --include='*.h' --include='*.cc' || true)
+if [ -n "${hits}" ]; then
+  echo "${hits}" >&2
+  fail "wall-clock/randomness in src/sim//src/simmr/ — simulators must be deterministic (virtual time only)"
+fi
+
+# ---------------------------------------------------------------------
+# 4. Include layering (include-what-you-use-lite).  For each directory,
+#    the project-include prefixes it may use.  The dependency DAG:
+#      common -> {}          concurrency -> {common}
+#      net -> {common}       sim -> {}
+#      cluster -> {common}   dfs -> {common, net}
+#      core -> {common} (+ the two leaf mr headers below)
+#      mr -> {cluster, common, concurrency, core, dfs, net}
+#      workload -> {common, mr}
+#      simmr -> {cluster, common, core, mr, sim}
+#      apps -> {common, core, mr}
+declare -A allowed=(
+  [common]="common"
+  [concurrency]="concurrency common"
+  [net]="net common"
+  [sim]="sim"
+  [cluster]="cluster common"
+  [dfs]="dfs common net"
+  [core]="core common"
+  [mr]="mr cluster common concurrency core dfs net"
+  [workload]="workload common mr"
+  [simmr]="simmr cluster common core mr sim"
+  [apps]="apps common core mr"
+)
+# core may use exactly the two dependency-free mr leaf headers (Record /
+# emitter interfaces) — the documented exception that lets the store
+# layer speak the engine's record type without depending on the engine.
+core_exceptions='^(mr/types\.h|mr/emitter\.h)$'
+
+for dir in "${!allowed[@]}"; do
+  [ -d "src/${dir}" ] || continue
+  while IFS=: read -r file _ inc; do
+    [ -n "${inc}" ] || continue
+    target=${inc%%/*}
+    ok=0
+    for a in ${allowed[$dir]}; do
+      if [ "${target}" = "${a}" ]; then ok=1; break; fi
+    done
+    if [ "${ok}" = 0 ] && [ "${dir}" = core ] && [[ "${inc}" =~ ${core_exceptions} ]]; then
+      ok=1
+    fi
+    if [ "${ok}" = 0 ]; then
+      echo "${file}: includes \"${inc}\" (src/${dir} may only include: ${allowed[$dir]})" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(grep -rnoE '#include "[a-z_]+/[a-z_.]+"' "src/${dir}" \
+             --include='*.h' --include='*.cc' \
+           | sed -E 's/#include "([^"]+)"/\1/')
+done
+
+# ---------------------------------------------------------------------
+# clang-tidy (when available — the container may only have GCC).
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f build/compile_commands.json ]; then
+    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  echo "lint: running clang-tidy"
+  if ! find src -name '*.cc' -print0 \
+      | xargs -0 -P "$(nproc 2>/dev/null || echo 2)" -n 8 \
+          clang-tidy -p build --quiet; then
+    fail "clang-tidy reported diagnostics"
+  fi
+else
+  echo "lint: clang-tidy not found; skipping (grep checks still enforced)"
+fi
+
+# ---------------------------------------------------------------------
+if [ "${failures}" -ne 0 ]; then
+  echo "lint: ${failures} check(s) failed" >&2
+  exit 1
+fi
+echo "lint: OK"

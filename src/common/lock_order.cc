@@ -1,0 +1,170 @@
+#include "common/lock_order.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bmr {
+
+namespace {
+
+struct Node {
+  const char* name = "?";
+  std::set<const void*> succ;  // locks acquired while this one was held
+};
+
+struct Held {
+  const void* id;
+  const char* name;
+};
+
+// Per-thread stack of currently held OrderedMutexes.  Function-local so
+// every TU shares one definition.
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+struct State {
+  std::mutex mu;  // bottom of the lock hierarchy: guards only this map
+  std::map<const void*, Node> graph;
+  LockOrderRegistry::Handler handler;
+};
+
+State& GetState() {
+  static State* state = new State();  // leaked: outlives all mutexes
+  return *state;
+}
+
+void DefaultHandler(const LockOrderRegistry::Violation& v) {
+  BMR_ERROR << v.message;
+  std::abort();
+}
+
+/// Path from `from` to `to` along recorded edges, as lock names; empty
+/// if unreachable.  Caller holds State::mu.
+std::vector<const char*> FindPath(const std::map<const void*, Node>& graph,
+                                  const void* from, const void* to) {
+  std::vector<const void*> frontier{from};
+  std::map<const void*, const void*> parent{{from, nullptr}};
+  while (!frontier.empty()) {
+    const void* cur = frontier.back();
+    frontier.pop_back();
+    if (cur == to) {
+      std::vector<const char*> path;
+      for (const void* p = cur; p != nullptr; p = parent.at(p)) {
+        auto it = graph.find(p);
+        path.insert(path.begin(), it == graph.end() ? "?" : it->second.name);
+      }
+      return path;
+    }
+    auto it = graph.find(cur);
+    if (it == graph.end()) continue;
+    for (const void* next : it->second.succ) {
+      if (parent.emplace(next, cur).second) frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::string JoinNames(const std::vector<const char*>& names) {
+  std::string out;
+  for (const char* n : names) {
+    if (!out.empty()) out += " -> ";
+    out += '"';
+    out += n;
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+LockOrderRegistry& LockOrderRegistry::Instance() {
+  static LockOrderRegistry registry;
+  return registry;
+}
+
+void LockOrderRegistry::OnAcquire(const void* m, const char* name) {
+  std::vector<Held>& held = HeldStack();
+  Violation violation;
+  bool bad = false;
+  Handler handler;
+  {
+    State& state = GetState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.graph[m].name = name;
+    for (const Held& h : held) {
+      if (h.id == m) {
+        violation.acquiring = name;
+        violation.held = h.name;
+        violation.message = std::string("lock-order violation: recursive "
+                                        "acquisition of \"") +
+                            name + "\"";
+        bad = true;
+        break;
+      }
+    }
+    if (!bad) {
+      for (const Held& h : held) {
+        Node& from = state.graph[h.id];
+        if (from.succ.count(m)) continue;  // edge already established
+        std::vector<const char*> reverse = FindPath(state.graph, m, h.id);
+        if (!reverse.empty()) {
+          violation.acquiring = name;
+          violation.held = h.name;
+          std::vector<const char*> held_names;
+          for (const Held& e : held) held_names.push_back(e.name);
+          violation.message =
+              std::string("lock-order inversion: acquiring \"") + name +
+              "\" while holding " + JoinNames(held_names) +
+              ", but the opposite order " + JoinNames(reverse) +
+              " was established earlier (potential deadlock)";
+          bad = true;
+          break;
+        }
+        from.succ.insert(m);
+      }
+    }
+    handler = state.handler ? state.handler : DefaultHandler;
+  }
+  if (bad) handler(violation);
+  held.push_back(Held{m, name});
+}
+
+void LockOrderRegistry::OnRelease(const void* m) {
+  std::vector<Held>& held = HeldStack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->id == m) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockOrderRegistry::OnDestroy(const void* m) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.graph.erase(m);
+  for (auto& [id, node] : state.graph) node.succ.erase(m);
+}
+
+LockOrderRegistry::Handler LockOrderRegistry::SetHandler(Handler handler) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  Handler previous = std::move(state.handler);
+  state.handler = std::move(handler);
+  return previous;
+}
+
+void LockOrderRegistry::Reset() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.graph.clear();
+}
+
+}  // namespace bmr

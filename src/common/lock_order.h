@@ -1,0 +1,65 @@
+// Runtime lock-order (deadlock-potential) detector backing
+// bmr::OrderedMutex in debug builds.
+//
+// Every OrderedMutex acquisition records "held -> acquiring" edges in a
+// process-wide directed graph.  Edges persist for the process lifetime,
+// so an A-before-B acquisition on one thread and a B-before-A
+// acquisition on another are flagged as a potential deadlock even if
+// the two threads never actually collide.  On a cycle the registry
+// reports the acquiring thread's held-lock stack and the previously
+// established opposite path, then calls the violation handler (which
+// aborts by default; tests install a capturing handler).
+//
+// The registry itself is always compiled so tests can exercise it in
+// any build type; OrderedMutex only calls into it when
+// BMR_LOCK_ORDER_CHECKS is on (debug builds — see common/mutex.h).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace bmr {
+
+class LockOrderRegistry {
+ public:
+  struct Violation {
+    std::string message;        // full human-readable report
+    std::string acquiring;      // name of the lock being acquired
+    std::string held;           // name of the conflicting held lock
+  };
+
+  /// Called on a detected inversion.  The default handler logs the
+  /// report and aborts.  The handler runs outside the registry's
+  /// internal lock and may not acquire OrderedMutexes.
+  using Handler = std::function<void(const Violation&)>;
+
+  static LockOrderRegistry& Instance();
+
+  /// The calling thread is about to acquire mutex `m` (named `name`).
+  /// Records held->m edges and fires the handler on a cycle or on a
+  /// recursive acquisition.  `m` is pushed onto the thread's held
+  /// stack regardless, so a non-aborting handler keeps the
+  /// acquire/release bookkeeping balanced.
+  void OnAcquire(const void* m, const char* name);
+
+  /// The calling thread released mutex `m`.
+  void OnRelease(const void* m);
+
+  /// Mutex `m` is being destroyed: drop its node and every edge
+  /// touching it, so a later mutex reusing the address cannot inherit
+  /// stale ordering constraints.
+  void OnDestroy(const void* m);
+
+  /// Install a violation handler; returns the previous one.  Passing
+  /// nullptr restores the default (log + abort).
+  Handler SetHandler(Handler handler);
+
+  /// Drop every recorded edge (tests only; held stacks are untouched,
+  /// so only call it with no OrderedMutex held).
+  void Reset();
+
+ private:
+  LockOrderRegistry() = default;
+};
+
+}  // namespace bmr

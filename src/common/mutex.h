@@ -1,0 +1,137 @@
+// Annotated locking primitives — the only mutex types bmr code outside
+// src/common// src/concurrency/ may use (enforced by scripts/lint.sh).
+//
+//   bmr::Mutex         annotated wrapper over std::mutex; use for
+//                      leaf locks private to one component.
+//   bmr::OrderedMutex  named mutex with debug lock-order checking; use
+//                      for any lock that can be held across a call into
+//                      another component (scheduler<->shuffle,
+//                      dfs<->rpc).  Zero-cost in release builds.
+//   bmr::MutexLock     RAII guard (scoped capability), CTAD-friendly:
+//                      `MutexLock lock(mu_);`.  `lock.Unlock()`
+//                      releases early, e.g. to notify a CondVar
+//                      outside the critical section.
+//   bmr::CondVar       condition variable usable with either mutex
+//                      type; pair every Wait with a while-loop over
+//                      the predicate *in the annotated caller* so the
+//                      analysis sees the guarded reads.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+// Lock-order checking is on in debug builds, off (zero-cost) in
+// release builds; define BMR_LOCK_ORDER_CHECKS=0/1 to force.
+#if !defined(BMR_LOCK_ORDER_CHECKS)
+#if defined(NDEBUG)
+#define BMR_LOCK_ORDER_CHECKS 0
+#else
+#define BMR_LOCK_ORDER_CHECKS 1
+#endif
+#endif
+
+namespace bmr {
+
+/// Plain annotated mutex.  Same cost as std::mutex in every build.
+class BMR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BMR_ACQUIRE() { mu_.lock(); }
+  void unlock() BMR_RELEASE() { mu_.unlock(); }
+  bool try_lock() BMR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Named mutex participating in the debug lock-order graph (see
+/// common/lock_order.h).  The name should be globally unique and
+/// component-scoped, e.g. "mr.task_scheduler".
+class BMR_CAPABILITY("mutex") OrderedMutex {
+ public:
+  explicit OrderedMutex(const char* name) : name_(name) {}
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+#if BMR_LOCK_ORDER_CHECKS
+  ~OrderedMutex() { LockOrderRegistry::Instance().OnDestroy(this); }
+
+  void lock() BMR_ACQUIRE() {
+    LockOrderRegistry::Instance().OnAcquire(this, name_);
+    mu_.lock();
+  }
+  void unlock() BMR_RELEASE() {
+    mu_.unlock();
+    LockOrderRegistry::Instance().OnRelease(this);
+  }
+#else
+  void lock() BMR_ACQUIRE() { mu_.lock(); }
+  void unlock() BMR_RELEASE() { mu_.unlock(); }
+#endif
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// RAII guard over either mutex type.  Modeled on absl::MutexLock /
+/// absl::ReleasableMutexLock: the destructor releases unless Unlock()
+/// already did.
+template <typename MutexT>
+class BMR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(MutexT& mu) BMR_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() BMR_RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release before scope exit (e.g. notify a CondVar off-lock).
+  void Unlock() BMR_RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+ private:
+  MutexT* mu_;
+};
+
+template <typename MutexT>
+MutexLock(MutexT&) -> MutexLock<MutexT>;
+
+/// Condition variable for bmr::Mutex / bmr::OrderedMutex.  Callers
+/// hold the mutex (via MutexLock) and loop:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block until notified, re-acquire.
+  /// Spurious wakeups are possible: always wait in a predicate loop.
+  template <typename MutexT>
+  void Wait(MutexT& mu) BMR_REQUIRES(mu) {
+    cv_.wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace bmr

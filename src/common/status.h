@@ -38,38 +38,38 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string m) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string m) {
     return Status(StatusCode::kInvalidArgument, std::move(m));
   }
-  static Status NotFound(std::string m) {
+  [[nodiscard]] static Status NotFound(std::string m) {
     return Status(StatusCode::kNotFound, std::move(m));
   }
-  static Status AlreadyExists(std::string m) {
+  [[nodiscard]] static Status AlreadyExists(std::string m) {
     return Status(StatusCode::kAlreadyExists, std::move(m));
   }
-  static Status OutOfRange(std::string m) {
+  [[nodiscard]] static Status OutOfRange(std::string m) {
     return Status(StatusCode::kOutOfRange, std::move(m));
   }
-  static Status ResourceExhausted(std::string m) {
+  [[nodiscard]] static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
   }
-  static Status FailedPrecondition(std::string m) {
+  [[nodiscard]] static Status FailedPrecondition(std::string m) {
     return Status(StatusCode::kFailedPrecondition, std::move(m));
   }
-  static Status Unavailable(std::string m) {
+  [[nodiscard]] static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
-  static Status Internal(std::string m) {
+  [[nodiscard]] static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
-  static Status Cancelled(std::string m) {
+  [[nodiscard]] static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
   }
-  static Status Unimplemented(std::string m) {
+  [[nodiscard]] static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
   }
-  static Status DataLoss(std::string m) {
+  [[nodiscard]] static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
   }
 

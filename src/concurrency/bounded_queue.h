@@ -4,10 +4,11 @@
 // pops records in arrival order.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bmr {
 
@@ -21,67 +22,67 @@ class BoundedQueue {
 
   /// Blocks while the queue is full.  Returns false iff the queue was
   /// closed before the item could be enqueued.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  bool Push(T item) BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; returns false if full or closed.
-  bool TryPush(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+  bool TryPush(T item) BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while the queue is empty.  Returns nullopt when the queue is
   /// closed *and* drained — the consumer's termination signal.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::optional<T> TryPop() BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// After Close(), pushes fail and pops drain the remaining items.
-  void Close() {
+  void Close() BMR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -89,11 +90,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ BMR_GUARDED_BY(mu_);
+  bool closed_ BMR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bmr

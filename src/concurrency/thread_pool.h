@@ -1,14 +1,17 @@
 // Fixed-size worker pool used by the real execution engine for task
 // slots (map slots / reduce slots), and a CountdownLatch for stage
-// rendezvous.
+// rendezvous.  The ONLY component outside src/common/ that may own raw
+// std::threads (enforced by scripts/lint.sh): every other layer runs
+// its concurrency on a ThreadPool.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bmr {
 
@@ -21,23 +24,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task.  Tasks run in FIFO order across workers.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) BMR_EXCLUDES(mu_);
 
   /// Block until every submitted task has finished executing.
-  void Wait();
+  void Wait() BMR_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ BMR_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only in ctor/dtor
+  size_t active_ BMR_GUARDED_BY(mu_) = 0;
+  bool shutdown_ BMR_GUARDED_BY(mu_) = false;
 };
 
 /// One-shot countdown latch (the explicit "barrier" object of the
@@ -46,25 +49,28 @@ class CountdownLatch {
  public:
   explicit CountdownLatch(int count) : count_(count) {}
 
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  void CountDown() BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (count_ > 0 && --count_ == 0) {
+      lock.Unlock();
+      cv_.NotifyAll();
+    }
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ == 0; });
+  void Wait() BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (count_ != 0) cv_.Wait(mu_);
   }
 
-  int pending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int pending() const BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return count_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int count_ BMR_GUARDED_BY(mu_);
 };
 
 }  // namespace bmr

@@ -28,29 +28,29 @@ class BarrierlessDriver {
 
   /// Feed one shuffled record, in arrival order.  RESOURCE_EXHAUSTED
   /// means the partial results overflowed the heap (job death, Fig 5a).
-  Status Consume(Slice key, Slice value, mr::ReduceEmitter* out);
+  [[nodiscard]] Status Consume(Slice key, Slice value, mr::ReduceEmitter* out);
 
   /// Called once after the last record: ordered final emission with
   /// fragment merging, then reducer Flush.
-  Status Finalize(mr::ReduceEmitter* out);
+  [[nodiscard]] Status Finalize(mr::ReduceEmitter* out);
 
   /// Seed the store with a partial result captured by a previous run
   /// (memoization, §8).  Must be called before the first Consume; the
   /// value is installed verbatim, no Update is invoked.  A later value
   /// for the same key folds in through the store's normal merge path.
-  Status PreloadPartial(Slice key, Slice partial);
+  [[nodiscard]] Status PreloadPartial(Slice key, Slice partial);
 
   /// Like Finalize, but additionally appends every (key, merged
   /// partial) — *before* Finish transforms it — to `snapshot`, so a
   /// future job can PreloadPartial from it.
-  Status FinalizeWithSnapshot(mr::ReduceEmitter* out,
+  [[nodiscard]] Status FinalizeWithSnapshot(mr::ReduceEmitter* out,
                               std::vector<mr::Record>* snapshot);
 
   /// Progressive (online) results: emit the finished form of every key
   /// folded *so far*, without disturbing the store — callable any
   /// number of times while records keep arriving.  This is the
   /// online-processing capability the barrier fundamentally prevents.
-  Status EmitSnapshot(mr::ReduceEmitter* out);
+  [[nodiscard]] Status EmitSnapshot(mr::ReduceEmitter* out);
 
   /// Estimated partial-result memory right now (Fig. 5 heap curves).
   uint64_t MemoryBytes() const { return store_ ? store_->MemoryBytes() : 0; }

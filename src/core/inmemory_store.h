@@ -16,11 +16,11 @@ class InMemoryStore final : public PartialStore {
   explicit InMemoryStore(const StoreConfig& config);
 
   bool Get(Slice key, std::string* partial) override;
-  Status Put(Slice key, Slice partial) override;
+  [[nodiscard]] Status Put(Slice key, Slice partial) override;
   uint64_t NumKeys() const override { return map_.size(); }
   uint64_t MemoryBytes() const override { return memory_bytes_; }
-  Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
-  Status ForEachCurrent(const MergeFn& merge,
+  [[nodiscard]] Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
+  [[nodiscard]] Status ForEachCurrent(const MergeFn& merge,
                         const EmitFn& fn) const override;
   const StoreStats& stats() const override { return stats_; }
 

@@ -3,18 +3,18 @@
 namespace bmr::core {
 
 void JobSession::Save(int reducer, std::vector<mr::Record> partials) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partials_[reducer] = std::move(partials);
 }
 
 const std::vector<mr::Record>* JobSession::Get(int reducer) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = partials_.find(reducer);
   return it == partials_.end() ? nullptr : &it->second;
 }
 
 bool JobSession::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [r, v] : partials_) {
     if (!v.empty()) return false;
   }
@@ -22,14 +22,14 @@ bool JobSession::empty() const {
 }
 
 uint64_t JobSession::TotalPartials() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t n = 0;
   for (const auto& [r, v] : partials_) n += v.size();
   return n;
 }
 
 void JobSession::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partials_.clear();
 }
 

@@ -15,9 +15,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "mr/types.h"
 
 namespace bmr::core {
@@ -33,20 +34,21 @@ class JobSession {
 
   /// Replace partition r's snapshot (called by the engine at the end of
   /// each barrier-less reduce task when a session is attached).
-  void Save(int reducer, std::vector<mr::Record> partials);
+  void Save(int reducer, std::vector<mr::Record> partials)
+      BMR_EXCLUDES(mu_);
 
   /// Partition r's snapshot from the previous run; nullptr if none.
   /// The pointer stays valid until the next Save(r).
-  const std::vector<mr::Record>* Get(int reducer) const;
+  const std::vector<mr::Record>* Get(int reducer) const BMR_EXCLUDES(mu_);
 
-  bool empty() const;
-  uint64_t TotalPartials() const;
+  bool empty() const BMR_EXCLUDES(mu_);
+  uint64_t TotalPartials() const BMR_EXCLUDES(mu_);
   /// Drop all snapshots (start over).
-  void Clear();
+  void Clear() BMR_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<int, std::vector<mr::Record>> partials_;
+  mutable Mutex mu_;
+  std::map<int, std::vector<mr::Record>> partials_ BMR_GUARDED_BY(mu_);
 };
 
 }  // namespace bmr::core

@@ -29,11 +29,11 @@ class KvStoreBackend final : public PartialStore {
   ~KvStoreBackend() override;
 
   bool Get(Slice key, std::string* partial) override;
-  Status Put(Slice key, Slice partial) override;
+  [[nodiscard]] Status Put(Slice key, Slice partial) override;
   uint64_t NumKeys() const override { return index_.size(); }
   uint64_t MemoryBytes() const override { return cache_bytes_; }
-  Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
-  Status ForEachCurrent(const MergeFn& merge,
+  [[nodiscard]] Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
+  [[nodiscard]] Status ForEachCurrent(const MergeFn& merge,
                         const EmitFn& fn) const override;
   const StoreStats& stats() const override { return stats_; }
 
@@ -54,12 +54,12 @@ class KvStoreBackend final : public PartialStore {
   };
   using LruList = std::list<CacheEntry>;
 
-  Status ScanAll(const EmitFn& fn);
+  [[nodiscard]] Status ScanAll(const EmitFn& fn);
   void ChargeOp();
   void Touch(LruList::iterator it);
-  Status EvictIfNeeded();
-  Status WriteToLog(Slice key, Slice value, DiskLocation* loc);
-  Status ReadFromLog(const DiskLocation& loc, std::string* value);
+  [[nodiscard]] Status EvictIfNeeded();
+  [[nodiscard]] Status WriteToLog(Slice key, Slice value, DiskLocation* loc);
+  [[nodiscard]] Status ReadFromLog(const DiskLocation& loc, std::string* value);
 
   StoreConfig config_;
   ScratchDir scratch_;

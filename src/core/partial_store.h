@@ -85,7 +85,7 @@ class PartialStore {
 
   /// Insert or replace the partial result for `key`.  May return
   /// RESOURCE_EXHAUSTED (in-memory store at its heap cap) or I/O errors.
-  virtual Status Put(Slice key, Slice partial) = 0;
+  [[nodiscard]] virtual Status Put(Slice key, Slice partial) = 0;
 
   /// Number of keys currently tracked (including spilled ones).
   virtual uint64_t NumKeys() const = 0;
@@ -99,12 +99,12 @@ class PartialStore {
   /// drained.  Called exactly once, after the last Update.
   using MergeFn = std::function<std::string(Slice key, Slice a, Slice b)>;
   using EmitFn = std::function<void(Slice key, Slice partial)>;
-  virtual Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) = 0;
+  [[nodiscard]] virtual Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) = 0;
 
   /// Non-destructive variant: iterate the *current* merged partials in
   /// key order without draining the store, so folding can continue
   /// afterwards.  Powers progressive (online) result snapshots.
-  virtual Status ForEachCurrent(const MergeFn& merge,
+  [[nodiscard]] virtual Status ForEachCurrent(const MergeFn& merge,
                                 const EmitFn& fn) const = 0;
 
   virtual const StoreStats& stats() const = 0;

@@ -19,9 +19,9 @@ class SpillFileWriter {
   SpillFileWriter(const SpillFileWriter&) = delete;
   SpillFileWriter& operator=(const SpillFileWriter&) = delete;
 
-  Status Open();
-  Status Append(Slice key, Slice value);
-  Status Close();
+  [[nodiscard]] Status Open();
+  [[nodiscard]] Status Append(Slice key, Slice value);
+  [[nodiscard]] Status Close();
 
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t records_written() const { return records_written_; }
@@ -44,18 +44,18 @@ class SpillFileReader {
   SpillFileReader(const SpillFileReader&) = delete;
   SpillFileReader& operator=(const SpillFileReader&) = delete;
 
-  Status Open();
+  [[nodiscard]] Status Open();
 
   /// Read the next record.  Returns OK+true via *has_record, or
   /// OK+false at end of file, or an error on corruption.
-  Status Next(std::string* key, std::string* value, bool* has_record);
+  [[nodiscard]] Status Next(std::string* key, std::string* value, bool* has_record);
 
   uint64_t bytes_read() const { return bytes_read_; }
 
  private:
-  Status FillBuffer(size_t need);
-  Status ReadVarint(uint64_t* v);
-  Status ReadBytes(std::string* out, size_t n);
+  [[nodiscard]] Status FillBuffer(size_t need);
+  [[nodiscard]] Status ReadVarint(uint64_t* v);
+  [[nodiscard]] Status ReadBytes(std::string* out, size_t n);
 
   std::string path_;
   std::FILE* file_ = nullptr;

@@ -24,23 +24,23 @@ class SpillMergeStore final : public PartialStore {
   explicit SpillMergeStore(const StoreConfig& config);
 
   bool Get(Slice key, std::string* partial) override;
-  Status Put(Slice key, Slice partial) override;
+  [[nodiscard]] Status Put(Slice key, Slice partial) override;
   uint64_t NumKeys() const override;
   uint64_t MemoryBytes() const override { return memory_bytes_; }
-  Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
-  Status ForEachCurrent(const MergeFn& merge,
+  [[nodiscard]] Status ForEachMerged(const MergeFn& merge, const EmitFn& fn) override;
+  [[nodiscard]] Status ForEachCurrent(const MergeFn& merge,
                         const EmitFn& fn) const override;
   const StoreStats& stats() const override { return stats_; }
 
   /// Exposed for tests/benches: force a spill regardless of threshold.
-  Status SpillNow();
+  [[nodiscard]] Status SpillNow();
 
   size_t num_spill_files() const { return spill_paths_.size(); }
 
  private:
   /// Shared k-way merge over spill files + memtable; leaves all state
   /// intact (callers clear separately when draining).
-  Status MergeScan(const MergeFn& merge, const EmitFn& fn);
+  [[nodiscard]] Status MergeScan(const MergeFn& merge, const EmitFn& fn);
 
   StoreConfig config_;
   ScratchDir scratch_;

@@ -60,7 +60,7 @@ NameNode::NameNode(int num_nodes, int replication, uint64_t block_bytes)
 }
 
 Status NameNode::Create(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (files_.count(path)) {
     return Status::AlreadyExists("file exists: " + path);
   }
@@ -87,7 +87,7 @@ int NameNode::PickNextReplica(int exclude_first,
 
 StatusOr<BlockLocation> NameNode::AddBlock(const std::string& path,
                                            int writer_node, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
 
@@ -113,14 +113,14 @@ StatusOr<BlockLocation> NameNode::AddBlock(const std::string& path,
 }
 
 StatusOr<FileInfo> NameNode::GetFileInfo(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second;
 }
 
 Status NameNode::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (files_.erase(path) == 0) {
     return Status::NotFound("no such file: " + path);
   }
@@ -128,7 +128,7 @@ Status NameNode::Delete(const std::string& path) {
 }
 
 std::vector<std::string> NameNode::ListFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, info] : files_) out.push_back(path);
@@ -137,17 +137,17 @@ std::vector<std::string> NameNode::ListFiles() const {
 }
 
 bool NameNode::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_.count(path) > 0;
 }
 
 void NameNode::MarkDead(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (node >= 0 && node < num_nodes_) dead_[node] = true;
 }
 
 std::vector<NameNode::RepairAction> NameNode::PlanRepairs(int dead) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<RepairAction> plan;
   for (auto& [path, info] : files_) {
     for (size_t b = 0; b < info.blocks.size(); ++b) {
@@ -174,7 +174,7 @@ std::vector<NameNode::RepairAction> NameNode::PlanRepairs(int dead) {
 }
 
 Status NameNode::ConfirmRepair(const RepairAction& action, int dead) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(action.path);
   if (it == files_.end()) return Status::NotFound(action.path);
   if (action.block_index >= it->second.blocks.size()) {
@@ -193,7 +193,7 @@ Status NameNode::ConfirmRepair(const RepairAction& action, int dead) {
 // ---------------------------------------------------------------- DataNode
 
 Status DataNode::PutBlock(uint64_t block_id, Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = blocks_.emplace(block_id, data.ToString());
   if (!inserted) {
     return Status::AlreadyExists("block " + std::to_string(block_id));
@@ -204,7 +204,7 @@ Status DataNode::PutBlock(uint64_t block_id, Slice data) {
 
 Status DataNode::ReadBlock(uint64_t block_id, uint64_t offset, uint64_t len,
                            ByteBuffer* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blocks_.find(block_id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(block_id));
@@ -219,24 +219,26 @@ Status DataNode::ReadBlock(uint64_t block_id, uint64_t offset, uint64_t len,
 }
 
 bool DataNode::HasBlock(uint64_t block_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return blocks_.count(block_id) > 0;
 }
 
 uint64_t DataNode::stored_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stored_bytes_;
 }
 
 size_t DataNode::num_blocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return blocks_.size();
 }
 
 // --------------------------------------------------------------------- Dfs
 
 Dfs::Dfs(net::RpcFabric* fabric, int replication, uint64_t block_bytes)
-    : fabric_(fabric), block_bytes_(block_bytes) {
+    : fabric_(fabric),
+      block_bytes_(block_bytes),
+      node_dead_(fabric->num_nodes(), false) {
   name_node_ = std::make_unique<NameNode>(fabric->num_nodes(), replication,
                                           block_bytes);
   data_nodes_.resize(fabric->num_nodes());
@@ -249,8 +251,10 @@ Dfs::Dfs(net::RpcFabric* fabric, int replication, uint64_t block_bytes)
 
 void Dfs::KillDataNode(int node) {
   name_node_->MarkDead(node);
-  if (node_dead_.empty()) node_dead_.assign(data_nodes_.size(), false);
-  node_dead_[node] = true;
+  {
+    MutexLock lock(mu_);
+    node_dead_[node] = true;
+  }
   // Unregister only this node's dn.* handlers by re-registering a
   // failing stub (RpcFabric::KillNode would also drop nn.* on node 0).
   auto dead = [](Slice, ByteBuffer*) {
@@ -260,7 +264,9 @@ void Dfs::KillDataNode(int node) {
   fabric_->Register(node, "dn.read", dead);
 
   // HDFS-style repair: copy every block the node held from a surviving
-  // replica onto a live node, restoring the replication factor.
+  // replica onto a live node, restoring the replication factor.  The
+  // copies run without dfs.control held; only the final tally takes it.
+  uint64_t repaired = 0;
   for (const auto& action : name_node_->PlanRepairs(node)) {
     DataNode* source = data_nodes_[action.source].get();
     DataNode* target = data_nodes_[action.target].get();
@@ -269,10 +275,10 @@ void Dfs::KillDataNode(int node) {
       continue;
     }
     if (!target->PutBlock(action.block_id, data.AsSlice()).ok()) continue;
-    if (name_node_->ConfirmRepair(action, node).ok()) {
-      ++blocks_re_replicated_;
-    }
+    if (name_node_->ConfirmRepair(action, node).ok()) ++repaired;
   }
+  MutexLock lock(mu_);
+  blocks_re_replicated_ += repaired;
 }
 
 void Dfs::RegisterNameNodeService() {

@@ -10,13 +10,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/rpc.h"
 
 namespace bmr::dfs {
@@ -40,21 +41,24 @@ class NameNode {
  public:
   NameNode(int num_nodes, int replication, uint64_t block_bytes);
 
-  Status Create(const std::string& path);
+  [[nodiscard]] Status Create(const std::string& path) BMR_EXCLUDES(mu_);
   /// Allocate the next block of `path`, placing `replication` replicas
   /// starting at the writer's node (write-local policy).
-  StatusOr<BlockLocation> AddBlock(const std::string& path, int writer_node,
-                                   uint64_t size);
-  StatusOr<FileInfo> GetFileInfo(const std::string& path) const;
-  Status Delete(const std::string& path);
-  std::vector<std::string> ListFiles() const;
-  bool Exists(const std::string& path) const;
+  [[nodiscard]] StatusOr<BlockLocation> AddBlock(const std::string& path,
+                                                 int writer_node,
+                                                 uint64_t size)
+      BMR_EXCLUDES(mu_);
+  [[nodiscard]] StatusOr<FileInfo> GetFileInfo(const std::string& path) const
+      BMR_EXCLUDES(mu_);
+  [[nodiscard]] Status Delete(const std::string& path) BMR_EXCLUDES(mu_);
+  std::vector<std::string> ListFiles() const BMR_EXCLUDES(mu_);
+  bool Exists(const std::string& path) const BMR_EXCLUDES(mu_);
 
   uint64_t block_bytes() const { return block_bytes_; }
   int replication() const { return replication_; }
 
   /// Exclude a node from future placements (it died).
-  void MarkDead(int node);
+  void MarkDead(int node) BMR_EXCLUDES(mu_);
 
   /// One block copy needed to restore the replication factor after a
   /// node loss.
@@ -68,23 +72,25 @@ class NameNode {
 
   /// Plan re-replication for every block that lost a replica on `dead`,
   /// reserving targets; call ConfirmRepair once the copy succeeded.
-  std::vector<RepairAction> PlanRepairs(int dead);
+  std::vector<RepairAction> PlanRepairs(int dead) BMR_EXCLUDES(mu_);
 
   /// Record the new replica in the block's metadata (replacing the
   /// dead node's entry).
-  Status ConfirmRepair(const RepairAction& action, int dead);
+  [[nodiscard]] Status ConfirmRepair(const RepairAction& action, int dead)
+      BMR_EXCLUDES(mu_);
 
  private:
-  int PickNextReplica(int exclude_first, const std::vector<int>& chosen);
+  int PickNextReplica(int exclude_first, const std::vector<int>& chosen)
+      BMR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{"dfs.namenode"};
   int num_nodes_;
   int replication_;
   uint64_t block_bytes_;
-  uint64_t next_block_id_ = 1;
-  int rr_cursor_ = 0;
-  std::vector<bool> dead_;
-  std::unordered_map<std::string, FileInfo> files_;
+  uint64_t next_block_id_ BMR_GUARDED_BY(mu_) = 1;
+  int rr_cursor_ BMR_GUARDED_BY(mu_) = 0;
+  std::vector<bool> dead_ BMR_GUARDED_BY(mu_);
+  std::unordered_map<std::string, FileInfo> files_ BMR_GUARDED_BY(mu_);
 };
 
 /// DataNode: in-memory block store for one simulated machine, plus the
@@ -93,20 +99,22 @@ class DataNode {
  public:
   explicit DataNode(int node_id) : node_id_(node_id) {}
 
-  Status PutBlock(uint64_t block_id, Slice data);
-  Status ReadBlock(uint64_t block_id, uint64_t offset, uint64_t len,
-                   ByteBuffer* out) const;
-  bool HasBlock(uint64_t block_id) const;
-  uint64_t stored_bytes() const;
-  size_t num_blocks() const;
+  [[nodiscard]] Status PutBlock(uint64_t block_id, Slice data)
+      BMR_EXCLUDES(mu_);
+  [[nodiscard]] Status ReadBlock(uint64_t block_id, uint64_t offset,
+                                 uint64_t len, ByteBuffer* out) const
+      BMR_EXCLUDES(mu_);
+  bool HasBlock(uint64_t block_id) const BMR_EXCLUDES(mu_);
+  uint64_t stored_bytes() const BMR_EXCLUDES(mu_);
+  size_t num_blocks() const BMR_EXCLUDES(mu_);
 
   int node_id() const { return node_id_; }
 
  private:
   int node_id_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::string> blocks_;
-  uint64_t stored_bytes_ = 0;
+  mutable OrderedMutex mu_{"dfs.datanode"};
+  std::unordered_map<uint64_t, std::string> blocks_ BMR_GUARDED_BY(mu_);
+  uint64_t stored_bytes_ BMR_GUARDED_BY(mu_) = 0;
 };
 
 /// The whole DFS: NameNode + DataNodes wired onto an RpcFabric.
@@ -122,11 +130,15 @@ class Dfs {
   /// Simulate a machine loss: drop its DataNode service and blocks and
   /// exclude it from future placement.  Surviving replicas are then
   /// re-replicated onto live nodes (HDFS-style repair), so a second
-  /// failure does not lose data.
-  void KillDataNode(int node);
+  /// failure does not lose data.  Safe to call concurrently with jobs
+  /// in flight (and with another KillDataNode).
+  void KillDataNode(int node) BMR_EXCLUDES(mu_);
 
-  /// Blocks copied by the last KillDataNode repair pass.
-  uint64_t blocks_re_replicated() const { return blocks_re_replicated_; }
+  /// Blocks copied by KillDataNode repair passes so far.
+  uint64_t blocks_re_replicated() const BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return blocks_re_replicated_;
+  }
 
   // Direct (non-RPC) access for tests and for the master-side planner.
   NameNode* name_node() { return name_node_.get(); }
@@ -140,8 +152,12 @@ class Dfs {
   uint64_t block_bytes_;
   std::unique_ptr<NameNode> name_node_;
   std::vector<std::unique_ptr<DataNode>> data_nodes_;
-  std::vector<bool> node_dead_;
-  uint64_t blocks_re_replicated_ = 0;
+  // Guards the failure bookkeeping below; the NameNode and DataNodes
+  // have their own locks and are never called with mu_ held beyond
+  // the repair loop (dfs.control -> dfs.namenode/dfs.datanode only).
+  mutable OrderedMutex mu_{"dfs.control"};
+  std::vector<bool> node_dead_ BMR_GUARDED_BY(mu_);
+  uint64_t blocks_re_replicated_ BMR_GUARDED_BY(mu_) = 0;
 };
 
 /// Per-node client stub.  All traffic goes through the RPC fabric so it
@@ -154,12 +170,12 @@ class DfsClient {
   class Writer {
    public:
     Writer(DfsClient* client, std::string path);
-    Status Append(Slice data);
-    Status Close();
+    [[nodiscard]] Status Append(Slice data);
+    [[nodiscard]] Status Close();
     uint64_t bytes_written() const { return bytes_written_; }
 
    private:
-    Status FlushBlock();
+    [[nodiscard]] Status FlushBlock();
 
     DfsClient* client_;
     std::string path_;
@@ -168,33 +184,36 @@ class DfsClient {
     bool closed_ = false;
   };
 
-  StatusOr<std::unique_ptr<Writer>> Create(const std::string& path);
-  StatusOr<FileInfo> GetFileInfo(const std::string& path);
-  Status Delete(const std::string& path);
+  [[nodiscard]] StatusOr<std::unique_ptr<Writer>> Create(
+      const std::string& path);
+  [[nodiscard]] StatusOr<FileInfo> GetFileInfo(const std::string& path);
+  [[nodiscard]] Status Delete(const std::string& path);
   bool Exists(const std::string& path);
 
   /// All file paths starting with `prefix`, sorted ("" = everything).
-  StatusOr<std::vector<std::string>> ListFiles(const std::string& prefix);
+  [[nodiscard]] StatusOr<std::vector<std::string>> ListFiles(
+      const std::string& prefix);
 
   /// Positional read of [offset, offset+len) into out (may return fewer
   /// bytes at EOF).  Prefers a local replica; fails over across replicas.
-  Status Pread(const std::string& path, uint64_t offset, uint64_t len,
-               ByteBuffer* out);
+  [[nodiscard]] Status Pread(const std::string& path, uint64_t offset,
+                             uint64_t len, ByteBuffer* out);
 
   /// Convenience: read a whole (small) file into a string.
-  StatusOr<std::string> ReadAll(const std::string& path);
+  [[nodiscard]] StatusOr<std::string> ReadAll(const std::string& path);
 
   /// Write a whole buffer as a new file.
-  Status WriteFile(const std::string& path, Slice contents);
+  [[nodiscard]] Status WriteFile(const std::string& path, Slice contents);
 
   int node_id() const { return node_id_; }
   Dfs* dfs() { return dfs_; }
 
  private:
   friend class Writer;
-  Status WriteBlock(const std::string& path, Slice data);
-  Status ReadBlockRange(const BlockLocation& loc, uint64_t offset,
-                        uint64_t len, ByteBuffer* out);
+  [[nodiscard]] Status WriteBlock(const std::string& path, Slice data);
+  [[nodiscard]] Status ReadBlockRange(const BlockLocation& loc,
+                                      uint64_t offset, uint64_t len,
+                                      ByteBuffer* out);
 
   Dfs* dfs_;
   int node_id_;

@@ -155,11 +155,13 @@ JobResult JobExecution::Run() {
   }
 
   // Straggler watchdog: poll the scheduler for backup attempts while
-  // map tasks are still uncommitted.
+  // map tasks are still uncommitted.  Runs on a single-worker pool so
+  // the engine owns no raw std::threads (lint rule).
   std::atomic<bool> stop_watchdog{false};
-  std::thread watchdog;
+  std::unique_ptr<ThreadPool> watchdog;
   if (spec_.speculative_maps) {
-    watchdog = std::thread([this, &stop_watchdog] {
+    watchdog = std::make_unique<ThreadPool>(1);
+    watchdog->Submit([this, &stop_watchdog] {
       while (!stop_watchdog.load(std::memory_order_relaxed)) {
         if (control_->cancelled() || scheduler_->AllCommitted()) break;
         for (const TaskScheduler::Attempt& backup :
@@ -176,7 +178,7 @@ JobResult JobExecution::Run() {
   // the watchdog can be retired before draining the map pool.
   reduce_pool_->Wait();
   stop_watchdog.store(true, std::memory_order_relaxed);
-  if (watchdog.joinable()) watchdog.join();
+  watchdog.reset();  // joins the watchdog worker
   map_pool_->Wait();
 
   // Assemble the result from the metrics layer.

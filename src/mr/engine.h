@@ -89,12 +89,12 @@ class JobRunner {
   JobResult Run(const JobSpec& spec);
 
   /// Read one output part file (test/bench helper).
-  static StatusOr<std::vector<Record>> ReadPartFile(
+  [[nodiscard]] static StatusOr<std::vector<Record>> ReadPartFile(
       dfs::DfsClient* client, const std::string& path,
       OutputFormat format = OutputFormat::kFramedBinary);
 
   /// Read and concatenate all part files of a finished job.
-  static StatusOr<std::vector<Record>> ReadAllOutput(
+  [[nodiscard]] static StatusOr<std::vector<Record>> ReadAllOutput(
       dfs::DfsClient* client, const JobResult& result,
       OutputFormat format = OutputFormat::kFramedBinary);
 

@@ -25,13 +25,13 @@ struct InputSplit {
 
 /// Expand input patterns: an entry ending in '*' matches every DFS
 /// file with that prefix (e.g. "/logs/*"); other entries pass through.
-StatusOr<std::vector<std::string>> ExpandInputs(
+[[nodiscard]] StatusOr<std::vector<std::string>> ExpandInputs(
     dfs::DfsClient* client, const std::vector<std::string>& patterns);
 
 /// Plan block-aligned splits over the input files.  Text inputs split
 /// at `split_bytes` boundaries (record straddling handled by the
 /// reader, Hadoop-style); kv-pair inputs get one split per file.
-StatusOr<std::vector<InputSplit>> PlanSplits(dfs::DfsClient* client,
+[[nodiscard]] StatusOr<std::vector<InputSplit>> PlanSplits(dfs::DfsClient* client,
                                              const std::vector<std::string>& files,
                                              InputKind kind,
                                              uint64_t split_bytes);
@@ -41,7 +41,7 @@ class RecordReader {
  public:
   virtual ~RecordReader() = default;
   /// OK + *has=false at end of split.
-  virtual Status Next(Record* record, bool* has) = 0;
+  [[nodiscard]] virtual Status Next(Record* record, bool* has) = 0;
 };
 
 /// Newline-delimited text.  Key = decimal byte offset of the line,
@@ -52,10 +52,10 @@ class RecordReader {
 class TextLineReader final : public RecordReader {
  public:
   TextLineReader(dfs::DfsClient* client, InputSplit split);
-  Status Next(Record* record, bool* has) override;
+  [[nodiscard]] Status Next(Record* record, bool* has) override;
 
  private:
-  Status Refill();
+  [[nodiscard]] Status Refill();
 
   dfs::DfsClient* client_;
   InputSplit split_;
@@ -72,10 +72,10 @@ class TextLineReader final : public RecordReader {
 class KvPairReader final : public RecordReader {
  public:
   KvPairReader(dfs::DfsClient* client, InputSplit split);
-  Status Next(Record* record, bool* has) override;
+  [[nodiscard]] Status Next(Record* record, bool* has) override;
 
  private:
-  Status EnsureLoaded();
+  [[nodiscard]] Status EnsureLoaded();
 
   dfs::DfsClient* client_;
   InputSplit split_;

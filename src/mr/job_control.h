@@ -5,9 +5,10 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "mr/shuffle_service.h"
 
 namespace bmr::mr {
@@ -19,9 +20,11 @@ class JobControl {
   JobControl(const JobControl&) = delete;
   JobControl& operator=(const JobControl&) = delete;
 
-  void Fail(const Status& status) {
+  /// The latch holds no lock while calling into the shuffle layer, so
+  /// a sink's Cancel may safely report back into this JobControl.
+  void Fail(const Status& status) BMR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (status_.ok()) status_ = status;
     }
     cancelled_.store(true, std::memory_order_relaxed);
@@ -33,15 +36,15 @@ class JobControl {
   }
 
   /// The first failure, or OK if the job succeeded.
-  Status status() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] Status status() const BMR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return status_;
   }
 
  private:
   ShuffleService* shuffle_;
-  mutable std::mutex mu_;
-  Status status_;
+  mutable Mutex mu_;
+  Status status_ BMR_GUARDED_BY(mu_);
   std::atomic<bool> cancelled_{false};
 };
 

@@ -102,7 +102,7 @@ StatusOr<MapOutputCollector::Finished> MapOutputCollector::Finish(
 }
 
 void MapOutputStore::Put(int map_task, int partition, std::string segment) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto key = std::make_pair(map_task, partition);
   auto it = segments_.find(key);
   if (it != segments_.end()) {
@@ -113,7 +113,7 @@ void MapOutputStore::Put(int map_task, int partition, std::string segment) {
 }
 
 StatusOr<std::string> MapOutputStore::Get(int map_task, int partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = segments_.find({map_task, partition});
   if (it == segments_.end()) {
     return Status::NotFound("no segment for map " + std::to_string(map_task) +
@@ -123,7 +123,7 @@ StatusOr<std::string> MapOutputStore::Get(int map_task, int partition) const {
 }
 
 uint64_t MapOutputStore::stored_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stored_bytes_;
 }
 

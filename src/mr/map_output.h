@@ -5,12 +5,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "mr/api.h"
 #include "mr/job.h"
 #include "mr/types.h"
@@ -38,7 +39,7 @@ class MapOutputCollector {
   /// Sorts each partition by `sort_cmp` when `sort` is set (map-side
   /// sort: what makes the reduce-side merge of with-barrier Hadoop
   /// cheap), applies the combiner if given, and serializes.
-  StatusOr<Finished> Finish(bool sort, const KeyCompareFn& sort_cmp,
+  [[nodiscard]] StatusOr<Finished> Finish(bool sort, const KeyCompareFn& sort_cmp,
                             Combiner* combiner);
 
   uint64_t buffered_records() const;
@@ -55,14 +56,16 @@ class MapOutputCollector {
 /// job-scoped method name ShuffleMethodName(job_id).
 class MapOutputStore {
  public:
-  void Put(int map_task, int partition, std::string segment);
-  StatusOr<std::string> Get(int map_task, int partition) const;
-  uint64_t stored_bytes() const;
+  void Put(int map_task, int partition, std::string segment)
+      BMR_EXCLUDES(mu_);
+  [[nodiscard]] StatusOr<std::string> Get(int map_task, int partition) const
+      BMR_EXCLUDES(mu_);
+  uint64_t stored_bytes() const BMR_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::pair<int, int>, std::string> segments_;
-  uint64_t stored_bytes_ = 0;
+  mutable Mutex mu_;
+  std::map<std::pair<int, int>, std::string> segments_ BMR_GUARDED_BY(mu_);
+  uint64_t stored_bytes_ BMR_GUARDED_BY(mu_) = 0;
 };
 
 /// RPC method name of job `job_id`'s shuffle service.  Fetches are
@@ -80,11 +83,11 @@ void RegisterShuffleService(net::RpcFabric* fabric, int node,
 void UnregisterShuffleService(net::RpcFabric* fabric, int node, int job_id);
 
 /// Client side of the shuffle fetch.
-Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
+[[nodiscard]] Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
                     int map_task, int partition, std::string* segment,
                     int job_id = 0);
 
 /// Decode a framed segment into records, appending to `out`.
-Status DecodeSegment(Slice segment, std::vector<Record>* out);
+[[nodiscard]] Status DecodeSegment(Slice segment, std::vector<Record>* out);
 
 }  // namespace bmr::mr

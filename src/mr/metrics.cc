@@ -6,35 +6,35 @@
 namespace bmr::mr {
 
 void MetricsRegistry::AddCounter(const char* name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.Add(name, delta);
 }
 
 void MetricsRegistry::MergeCounters(const Counters& c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.MergeFrom(c);
 }
 
 uint64_t MetricsRegistry::GetCounter(const char* name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.Get(name);
 }
 
 void MetricsRegistry::SampleMemory(int reducer, uint64_t bytes) {
   double t = Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_.push_back(MemorySample{t, reducer, bytes});
 }
 
 void MetricsRegistry::NoteMapDone() {
   double t = Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (first_map_done_ == 0) first_map_done_ = t;
   last_map_done_ = std::max(last_map_done_, t);
 }
 
 void MetricsRegistry::NoteOutputFile(std::string path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   output_files_.push_back(std::move(path));
 }
 
@@ -47,7 +47,7 @@ JobMetrics MetricsRegistry::Snapshot() const {
   JobMetrics m;
   m.events = timeline_.Snapshot();
   m.elapsed_seconds = Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   m.counters = counters_;
   m.memory_samples = samples_;
   m.output_files = output_files_;

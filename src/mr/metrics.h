@@ -5,11 +5,12 @@
 // runs can be printed and compared through the same code path.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "mr/timeline.h"
 #include "mr/types.h"
 
@@ -48,31 +49,34 @@ class MetricsRegistry {
 
   /// Seconds since the job clock (re)started.
   double Now() const { return clock_.ElapsedSeconds(); }
+  /// Must happen-before any concurrent reporting (called once by the
+  /// engine before tasks are submitted): the Stopwatch itself is
+  /// unsynchronized.
   void RestartClock() { clock_.Restart(); }
 
-  void AddCounter(const char* name, uint64_t delta);
-  void MergeCounters(const Counters& c);
-  uint64_t GetCounter(const char* name) const;
+  void AddCounter(const char* name, uint64_t delta) BMR_EXCLUDES(mu_);
+  void MergeCounters(const Counters& c) BMR_EXCLUDES(mu_);
+  uint64_t GetCounter(const char* name) const BMR_EXCLUDES(mu_);
 
-  void SampleMemory(int reducer, uint64_t bytes);
-  void NoteMapDone();
-  void NoteOutputFile(std::string path);
+  void SampleMemory(int reducer, uint64_t bytes) BMR_EXCLUDES(mu_);
+  void NoteMapDone() BMR_EXCLUDES(mu_);
+  void NoteOutputFile(std::string path) BMR_EXCLUDES(mu_);
   void RecordEvent(Phase phase, int task_id, int node, double start,
                    double end);
 
   /// Consistent copy of everything reported so far; stamps
   /// elapsed_seconds with Now().
-  JobMetrics Snapshot() const;
+  JobMetrics Snapshot() const BMR_EXCLUDES(mu_);
 
  private:
   Stopwatch clock_;
-  Timeline timeline_;
-  mutable std::mutex mu_;
-  Counters counters_;
-  std::vector<MemorySample> samples_;
-  std::vector<std::string> output_files_;
-  double first_map_done_ = 0;
-  double last_map_done_ = 0;
+  Timeline timeline_;  // internally synchronized
+  mutable OrderedMutex mu_{"mr.metrics"};
+  Counters counters_ BMR_GUARDED_BY(mu_);
+  std::vector<MemorySample> samples_ BMR_GUARDED_BY(mu_);
+  std::vector<std::string> output_files_ BMR_GUARDED_BY(mu_);
+  double first_map_done_ BMR_GUARDED_BY(mu_) = 0;
+  double last_map_done_ BMR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bmr::mr

@@ -6,27 +6,27 @@
 namespace bmr::mr {
 
 MapOutputTracker::MapOutputTracker(int num_map_tasks)
-    : state_(num_map_tasks) {}
+    : num_map_tasks_(num_map_tasks), state_(num_map_tasks) {}
 
 void MapOutputTracker::MarkDone(int m, int node) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     state_[m].done = true;
     state_[m].node = node;
     state_[m].version++;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 MapOutputTracker::Location MapOutputTracker::WaitForMapDone(int m) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return cancelled_ || state_[m].done; });
+  MutexLock lock(mu_);
+  while (!cancelled_ && !state_[m].done) cv_.Wait(mu_);
   if (cancelled_) return Location{-1, -1};
   return Location{state_[m].node, state_[m].version};
 }
 
 bool MapOutputTracker::ReportLost(int m, int version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!state_[m].done || state_[m].version != version) {
     return false;  // stale report: a newer attempt already exists
   }
@@ -36,14 +36,14 @@ bool MapOutputTracker::ReportLost(int m, int version) {
 
 void MapOutputTracker::Cancel() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cancelled_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int MapOutputTracker::num_done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int n = 0;
   for (const auto& s : state_) n += s.done ? 1 : 0;
   return n;

@@ -3,11 +3,11 @@
 // with-barrier reduce path.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "mr/api.h"
 #include "mr/types.h"
 
@@ -22,7 +22,7 @@ class MapOutputTracker {
   explicit MapOutputTracker(int num_map_tasks);
 
   /// Map task `m` (attempt `version`) finished on `node`.
-  void MarkDone(int m, int node);
+  void MarkDone(int m, int node) BMR_EXCLUDES(mu_);
 
   /// Block until map `m` is done; returns (node, version).
   /// version==-1 => the job was cancelled.
@@ -30,19 +30,19 @@ class MapOutputTracker {
     int node = -1;
     int version = -1;
   };
-  Location WaitForMapDone(int m);
+  Location WaitForMapDone(int m) BMR_EXCLUDES(mu_);
 
   /// A fetcher failed to read `m`'s output of attempt `version`.
   /// Returns true if this call transitioned the task to lost (the
   /// caller must arrange a re-run); false if someone already did or a
   /// newer attempt exists.
-  bool ReportLost(int m, int version);
+  [[nodiscard]] bool ReportLost(int m, int version) BMR_EXCLUDES(mu_);
 
   /// Wake all waiters with a cancelled signal.
-  void Cancel();
+  void Cancel() BMR_EXCLUDES(mu_);
 
-  int num_done() const;
-  int num_map_tasks() const { return static_cast<int>(state_.size()); }
+  int num_done() const BMR_EXCLUDES(mu_);
+  int num_map_tasks() const { return num_map_tasks_; }
 
  private:
   struct TaskState {
@@ -51,16 +51,17 @@ class MapOutputTracker {
     int version = 0;  // bumped on every MarkDone
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<TaskState> state_;
-  bool cancelled_ = false;
+  const int num_map_tasks_;
+  mutable OrderedMutex mu_{"mr.shuffle.tracker"};
+  CondVar cv_;
+  std::vector<TaskState> state_ BMR_GUARDED_BY(mu_);
+  bool cancelled_ BMR_GUARDED_BY(mu_) = false;
 };
 
 /// Iterate sorted records grouped by `group_cmp`, invoking the
 /// with-barrier Reducer once per group.  `records` must already be
 /// sorted by the job's sort comparator.
-Status ReduceGroups(const std::vector<Record>& records,
+[[nodiscard]] Status ReduceGroups(const std::vector<Record>& records,
                     const KeyCompareFn& group_cmp, Reducer* reducer,
                     ReduceContext* ctx);
 

@@ -37,27 +37,25 @@ ShuffleService::Fetch::~Fetch() {
 }
 
 void ShuffleService::Fetch::Join() {
-  if (joined_) return;
-  for (auto& t : fetchers_) t.join();
-  joined_ = true;
+  if (fetchers_) fetchers_->Wait();
 }
 
 std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
     int r, int node, ShuffleSink* sink, RelaunchFn relaunch,
     ErrorFn on_error) {
   {
-    std::lock_guard<std::mutex> lock(sinks_mu_);
+    MutexLock lock(sinks_mu_);
     live_sinks_.push_back(sink);
   }
   // No public constructor: make_unique can't reach it.
   auto fetch = std::unique_ptr<Fetch>(new Fetch(this, sink));
   int nmaps = tracker_.num_map_tasks();
   fetch->fetchers_left_.store(nmaps);
-  fetch->fetchers_.reserve(nmaps);
+  fetch->fetchers_ = std::make_unique<ThreadPool>(nmaps);
   Fetch* f = fetch.get();
   for (int m = 0; m < nmaps; ++m) {
-    fetch->fetchers_.emplace_back([this, f, m, r, node, sink, relaunch,
-                                   on_error] {
+    fetch->fetchers_->Submit([this, f, m, r, node, sink, relaunch,
+                              on_error] {
       for (;;) {
         MapOutputTracker::Location loc = tracker_.WaitForMapDone(m);
         if (loc.version < 0) break;  // job cancelled
@@ -87,12 +85,12 @@ std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
 
 void ShuffleService::Cancel() {
   tracker_.Cancel();
-  std::lock_guard<std::mutex> lock(sinks_mu_);
+  MutexLock lock(sinks_mu_);
   for (ShuffleSink* sink : live_sinks_) sink->Cancel();
 }
 
 void ShuffleService::Unregister(ShuffleSink* sink) {
-  std::lock_guard<std::mutex> lock(sinks_mu_);
+  MutexLock lock(sinks_mu_);
   live_sinks_.erase(std::find(live_sinks_.begin(), live_sinks_.end(), sink));
 }
 

@@ -10,12 +10,13 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "concurrency/bounded_queue.h"
+#include "concurrency/thread_pool.h"
 #include "mr/map_output.h"
 #include "mr/shuffle.h"
 #include "mr/types.h"
@@ -122,10 +123,11 @@ class ShuffleService {
 
     ShuffleService* service_;
     ShuffleSink* sink_;
-    std::vector<std::thread> fetchers_;
+    // One worker per mapper; the pool outlives Join() so a second
+    // Join() is a cheap no-op Wait().
+    std::unique_ptr<ThreadPool> fetchers_;
     std::atomic<uint64_t> bytes_{0};
     std::atomic<int> fetchers_left_{0};
-    bool joined_ = false;
   };
 
   /// Start reducer `r` (running on `node`)'s fetch of every mapper's
@@ -135,10 +137,16 @@ class ShuffleService {
 
   /// Job failure: wake every tracker waiter and cancel every sink with
   /// a fetch in flight.
-  void Cancel();
+  ///
+  /// Sinks are cancelled while sinks_mu_ is held: Unregister (from
+  /// ~Fetch) may destroy a sink the moment it leaves live_sinks_, so
+  /// releasing the lock around the callback would race destruction.
+  /// Sink::Cancel implementations must therefore never call back into
+  /// ShuffleService (lock-order leaf; see docs/GUIDE.md).
+  void Cancel() BMR_EXCLUDES(sinks_mu_);
 
  private:
-  void Unregister(ShuffleSink* sink);
+  void Unregister(ShuffleSink* sink) BMR_EXCLUDES(sinks_mu_);
 
   net::RpcFabric* fabric_;
   int num_nodes_;
@@ -146,8 +154,8 @@ class ShuffleService {
   MapOutputTracker tracker_;
   std::vector<std::unique_ptr<MapOutputStore>> stores_;
 
-  std::mutex sinks_mu_;
-  std::vector<ShuffleSink*> live_sinks_;
+  OrderedMutex sinks_mu_{"mr.shuffle.sinks"};
+  std::vector<ShuffleSink*> live_sinks_ BMR_GUARDED_BY(sinks_mu_);
 };
 
 }  // namespace bmr::mr

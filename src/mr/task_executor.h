@@ -71,7 +71,7 @@ class ReduceTaskExecutor {
  private:
   void RunBarrier(int r, int node, ReduceTaskContext* ctx);
   void RunBarrierless(int r, int node, ReduceTaskContext* ctx);
-  Status WriteOutput(int r, int node, const std::vector<Record>& records);
+  [[nodiscard]] Status WriteOutput(int r, int node, const std::vector<Record>& records);
 
   ClusterContext* cluster_;
   const JobSpec& spec_;

@@ -36,17 +36,17 @@ int TaskScheduler::PickNodeLocked(const InputSplit& split, int exclude) {
 }
 
 int TaskScheduler::PickNode(const InputSplit& split, int exclude) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return PickNodeLocked(split, exclude);
 }
 
 void TaskScheduler::ReleaseNode(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (node >= 0 && node_load_[node] > 0) node_load_[node]--;
 }
 
 TaskScheduler::Attempt TaskScheduler::Assign(int task, int exclude_node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Attempt attempt;
   attempt.task = task;
   attempt.node = PickNodeLocked((*splits_)[task], exclude_node);
@@ -58,12 +58,12 @@ TaskScheduler::Attempt TaskScheduler::Assign(int task, int exclude_node) {
 }
 
 void TaskScheduler::Begin(const Attempt& attempt, double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tasks_[attempt.task].attempts[attempt.id].begin = now;
 }
 
 bool TaskScheduler::TryCommit(const Attempt& attempt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TaskState& task = tasks_[attempt.task];
   if (task.committed) return false;
   task.committed = true;
@@ -71,7 +71,7 @@ bool TaskScheduler::TryCommit(const Attempt& attempt) {
 }
 
 void TaskScheduler::Finish(const Attempt& attempt, double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AttemptState& state = tasks_[attempt.task].attempts[attempt.id];
   state.end = now;
   if (state.begin >= 0) completed_durations_.push_back(now - state.begin);
@@ -81,7 +81,7 @@ void TaskScheduler::Finish(const Attempt& attempt, double now) {
 }
 
 void TaskScheduler::ReopenTask(int task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tasks_[task].committed = false;
 }
 
@@ -89,7 +89,7 @@ std::vector<TaskScheduler::Attempt> TaskScheduler::PollSpeculation(
     double now) {
   std::vector<Attempt> backups;
   if (!options_.speculative) return backups;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (completed_durations_.empty()) return backups;
   std::vector<double> durations = completed_durations_;
   std::nth_element(durations.begin(),
@@ -129,7 +129,7 @@ std::vector<TaskScheduler::Attempt> TaskScheduler::PollSpeculation(
 }
 
 bool TaskScheduler::AllCommitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const TaskState& task : tasks_) {
     if (!task.committed) return false;
   }
@@ -137,12 +137,12 @@ bool TaskScheduler::AllCommitted() const {
 }
 
 int TaskScheduler::attempts_started(int task) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(tasks_[task].attempts.size());
 }
 
 int TaskScheduler::load(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return node_load_[node];
 }
 

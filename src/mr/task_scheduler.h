@@ -6,10 +6,11 @@
 // output is discarded).
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "mr/input.h"
 
 namespace bmr::mr {
@@ -46,41 +47,41 @@ class TaskScheduler {
   /// holders, then least-loaded slave overall; `exclude` (a failed or
   /// already-running node) is never chosen.  Bumps the chosen node's
   /// load; placement-only callers must pair with ReleaseNode.
-  int PickNode(const InputSplit& split, int exclude = -1);
-  void ReleaseNode(int node);
+  int PickNode(const InputSplit& split, int exclude = -1) BMR_EXCLUDES(mu_);
+  void ReleaseNode(int node) BMR_EXCLUDES(mu_);
 
   /// Plan a new attempt of `task` on a node other than `exclude_node`
   /// (pass the failed node for retries, -1 for first launches).
-  Attempt Assign(int task, int exclude_node = -1);
+  Attempt Assign(int task, int exclude_node = -1) BMR_EXCLUDES(mu_);
 
   /// The attempt started running at `now` (call from the worker, not
   /// at submit time, so pool queueing does not count as runtime).
-  void Begin(const Attempt& attempt, double now);
+  void Begin(const Attempt& attempt, double now) BMR_EXCLUDES(mu_);
 
   /// First committer of a task wins; a false return means another
   /// attempt already committed and the caller must discard its output.
-  bool TryCommit(const Attempt& attempt);
+  [[nodiscard]] bool TryCommit(const Attempt& attempt) BMR_EXCLUDES(mu_);
 
   /// The attempt stopped running (after winning, losing, or erroring).
-  void Finish(const Attempt& attempt, double now);
+  void Finish(const Attempt& attempt, double now) BMR_EXCLUDES(mu_);
 
   /// The task's committed output was lost (node death discovered by a
   /// fetcher): clear the commit so a retry attempt can commit again.
-  void ReopenTask(int task);
+  void ReopenTask(int task) BMR_EXCLUDES(mu_);
 
   /// Straggler scan: returns newly planned backup attempts (already
   /// assigned to nodes); the caller submits them for execution.  Each
   /// task is backed up at most once per commit generation.
-  std::vector<Attempt> PollSpeculation(double now);
+  std::vector<Attempt> PollSpeculation(double now) BMR_EXCLUDES(mu_);
 
-  bool AllCommitted() const;
+  bool AllCommitted() const BMR_EXCLUDES(mu_);
 
   // Introspection (tests, metrics).
-  int attempts_started(int task) const;
-  int load(int node) const;
+  int attempts_started(int task) const BMR_EXCLUDES(mu_);
+  int load(int node) const BMR_EXCLUDES(mu_);
 
  private:
-  int PickNodeLocked(const InputSplit& split, int exclude);
+  int PickNodeLocked(const InputSplit& split, int exclude) BMR_REQUIRES(mu_);
 
   struct AttemptState {
     int node = -1;
@@ -98,10 +99,11 @@ class TaskScheduler {
   std::vector<bool> is_master_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::vector<TaskState> tasks_;
-  std::vector<int> node_load_;  // queued + running attempts per node
-  std::vector<double> completed_durations_;
+  mutable OrderedMutex mu_{"mr.task_scheduler"};
+  std::vector<TaskState> tasks_ BMR_GUARDED_BY(mu_);
+  // Queued + running attempts per node.
+  std::vector<int> node_load_ BMR_GUARDED_BY(mu_);
+  std::vector<double> completed_durations_ BMR_GUARDED_BY(mu_);
 };
 
 }  // namespace bmr::mr

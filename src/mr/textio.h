@@ -28,6 +28,6 @@ bool UnescapeTsvField(Slice field, std::string* out);
 void AppendTsvRecord(ByteBuffer* out, Slice key, Slice value);
 
 /// Parse a whole TSV part file back into records.
-Status ParseTsvRecords(Slice data, std::vector<Record>* out);
+[[nodiscard]] Status ParseTsvRecords(Slice data, std::vector<Record>* out);
 
 }  // namespace bmr::mr

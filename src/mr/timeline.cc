@@ -20,12 +20,12 @@ const char* PhaseName(Phase phase) {
 
 void Timeline::Record(Phase phase, int task_id, int node, double start,
                       double end) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(TaskEvent{phase, task_id, node, start, end});
 }
 
 std::vector<TaskEvent> Timeline::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 

@@ -1,9 +1,11 @@
 // Task lifecycle timeline, the data behind Figure 4's task-count plots.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bmr::mr {
 
@@ -29,8 +31,9 @@ struct TaskEvent {
 /// Thread-safe event sink.
 class Timeline {
  public:
-  void Record(Phase phase, int task_id, int node, double start, double end);
-  std::vector<TaskEvent> Snapshot() const;
+  void Record(Phase phase, int task_id, int node, double start, double end)
+      BMR_EXCLUDES(mu_);
+  std::vector<TaskEvent> Snapshot() const BMR_EXCLUDES(mu_);
 
   /// Number of tasks in `phase` active at time t.
   static int ActiveAt(const std::vector<TaskEvent>& events, Phase phase,
@@ -42,8 +45,8 @@ class Timeline {
                                     double step);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TaskEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TaskEvent> events_ BMR_GUARDED_BY(mu_);
 };
 
 }  // namespace bmr::mr

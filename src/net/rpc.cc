@@ -4,17 +4,17 @@ namespace bmr::net {
 
 void RpcFabric::Register(int node, const std::string& method,
                          RpcHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handlers_[{node, method}] = std::move(handler);
 }
 
 void RpcFabric::Unregister(int node, const std::string& method) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handlers_.erase({node, method});
 }
 
 void RpcFabric::KillNode(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = handlers_.lower_bound({node, ""});
   while (it != handlers_.end() && it->first.first == node) {
     it = handlers_.erase(it);
@@ -25,7 +25,7 @@ Status RpcFabric::Call(int src, int dst, const std::string& method,
                        Slice request, ByteBuffer* response) {
   RpcHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = handlers_.find({dst, method});
     if (it == handlers_.end()) {
       return Status::NotFound("no handler for " + method + " on node " +
@@ -36,7 +36,7 @@ Status RpcFabric::Call(int src, int dst, const std::string& method,
   response->Clear();
   Status st = handler(request, response);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LinkStats& ls = link_stats_[{src, dst}];
     ls.calls++;
     ls.request_bytes += request.size();
@@ -46,13 +46,13 @@ Status RpcFabric::Call(int src, int dst, const std::string& method,
 }
 
 LinkStats RpcFabric::GetLinkStats(int src, int dst) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = link_stats_.find({src, dst});
   return it == link_stats_.end() ? LinkStats{} : it->second;
 }
 
 LinkStats RpcFabric::TotalRemoteTraffic() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LinkStats total;
   for (const auto& [key, ls] : link_stats_) {
     if (key.first == key.second) continue;

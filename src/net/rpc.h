@@ -12,12 +12,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace bmr::net {
 
@@ -41,31 +42,36 @@ class RpcFabric {
 
   /// Register a handler for `method` on `node`.  Overwrites silently;
   /// the DFS re-registers DataNode services on restart after a failure.
-  void Register(int node, const std::string& method, RpcHandler handler);
+  void Register(int node, const std::string& method, RpcHandler handler)
+      BMR_EXCLUDES(mu_);
 
   /// Remove one handler (job teardown: shuffle services are job-scoped
   /// so concurrent jobs on a shared fabric don't clobber each other).
-  void Unregister(int node, const std::string& method);
+  void Unregister(int node, const std::string& method) BMR_EXCLUDES(mu_);
 
   /// Remove every handler on `node` (simulated node crash).
-  void KillNode(int node);
+  void KillNode(int node) BMR_EXCLUDES(mu_);
 
   /// Issue a blocking call from `src` to `dst`.  NotFound if the method
-  /// is not registered (e.g. the node is down).
-  Status Call(int src, int dst, const std::string& method, Slice request,
-              ByteBuffer* response);
+  /// is not registered (e.g. the node is down).  The handler runs on
+  /// the caller's thread with no fabric lock held (it is copied out),
+  /// so handlers may issue nested Calls freely.
+  [[nodiscard]] Status Call(int src, int dst, const std::string& method,
+                            Slice request, ByteBuffer* response)
+      BMR_EXCLUDES(mu_);
 
   /// Accumulated counters for the src→dst direction.
-  LinkStats GetLinkStats(int src, int dst) const;
+  LinkStats GetLinkStats(int src, int dst) const BMR_EXCLUDES(mu_);
 
   /// Sum of counters over all pairs where src != dst (remote traffic).
-  LinkStats TotalRemoteTraffic() const;
+  LinkStats TotalRemoteTraffic() const BMR_EXCLUDES(mu_);
 
  private:
   int num_nodes_;
-  mutable std::mutex mu_;
-  std::map<std::pair<int, std::string>, RpcHandler> handlers_;
-  std::map<std::pair<int, int>, LinkStats> link_stats_;
+  mutable OrderedMutex mu_{"net.rpc_fabric"};
+  std::map<std::pair<int, std::string>, RpcHandler> handlers_
+      BMR_GUARDED_BY(mu_);
+  std::map<std::pair<int, int>, LinkStats> link_stats_ BMR_GUARDED_BY(mu_);
 };
 
 }  // namespace bmr::net

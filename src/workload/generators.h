@@ -24,7 +24,7 @@ struct TextGenOptions {
   int words_per_line = 10;
   uint64_t seed = 1;
 };
-StatusOr<std::vector<std::string>> GenerateZipfText(
+[[nodiscard]] StatusOr<std::vector<std::string>> GenerateZipfText(
     mr::ClusterContext* cluster, const std::string& prefix,
     const TextGenOptions& options);
 
@@ -36,7 +36,7 @@ struct IntGenOptions {
   int64_t max_value = 1000000;  // the kNN experiments' value range
   uint64_t seed = 1;
 };
-StatusOr<std::vector<std::string>> GenerateRandomInts(
+[[nodiscard]] StatusOr<std::vector<std::string>> GenerateRandomInts(
     mr::ClusterContext* cluster, const std::string& prefix,
     const IntGenOptions& options);
 
@@ -49,7 +49,7 @@ struct ListenGenOptions {
   int num_tracks = 5000;
   uint64_t seed = 1;
 };
-StatusOr<std::vector<std::string>> GenerateListens(
+[[nodiscard]] StatusOr<std::vector<std::string>> GenerateListens(
     mr::ClusterContext* cluster, const std::string& prefix,
     const ListenGenOptions& options);
 
@@ -59,7 +59,7 @@ struct PopulationGenOptions {
   int num_files = 4;
   uint64_t seed = 1;
 };
-StatusOr<std::vector<std::string>> GeneratePopulation(
+[[nodiscard]] StatusOr<std::vector<std::string>> GeneratePopulation(
     mr::ClusterContext* cluster, const std::string& prefix,
     const PopulationGenOptions& options);
 
@@ -71,7 +71,7 @@ struct BlackScholesGenOptions {
   uint64_t iterations_per_mapper = 10000;
   uint64_t seed = 1;
 };
-StatusOr<std::vector<std::string>> GenerateBlackScholesUnits(
+[[nodiscard]] StatusOr<std::vector<std::string>> GenerateBlackScholesUnits(
     mr::ClusterContext* cluster, const std::string& prefix,
     const BlackScholesGenOptions& options);
 
@@ -89,7 +89,7 @@ struct KnnData {
   std::vector<int64_t> training;
   std::vector<std::string> experimental_files;
 };
-StatusOr<KnnData> GenerateKnnData(mr::ClusterContext* cluster,
+[[nodiscard]] StatusOr<KnnData> GenerateKnnData(mr::ClusterContext* cluster,
                                   const std::string& prefix,
                                   const KnnGenOptions& options);
 
