@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Drive the chaos/equivalence sweep: hundreds of seeded random fault
+# scenarios (node crashes, RPC drops/delays/duplicates, fetch timeouts,
+# segment corruption, spill I/O errors), each asserting the recovered
+# barrier-less run's output is byte-identical to a fault-free golden
+# run of the same app and store backend.
+#
+#   scripts/chaos.sh             # default sweep (200 seeds)
+#   scripts/chaos.sh 1000        # wider sweep
+#   BMR_CHAOS_SEEDS=50 scripts/chaos.sh   # env form works too
+#
+# A failing seed is printed with its full FaultPlan and reproduces
+# deterministically: re-run with the same seed count and the same
+# binary, or see docs/GUIDE.md §8 for narrowing to a single scenario.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds="${1:-${BMR_CHAOS_SEEDS:-200}}"
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake --preset default
+cmake --build --preset default -j "${jobs}"
+echo "== chaos sweep: ${seeds} seeded scenarios =="
+BMR_CHAOS_SEEDS="${seeds}" ctest --preset default -L chaos -j "${jobs}"
+echo "== chaos sweep passed (${seeds} seeds) =="

@@ -5,7 +5,8 @@
 #   scripts/check.sh              # default preset only
 #   scripts/check.sh lint         # just the lint gate (scripts/lint.sh)
 #   scripts/check.sh asan         # just the asan preset
-#   scripts/check.sh all          # lint, default, asan, tsan in sequence
+#   scripts/check.sh chaos        # full chaos sweep (scripts/chaos.sh)
+#   scripts/check.sh all          # lint, default, chaos, asan, tsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -19,7 +20,7 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default)
 elif [ "${presets[0]}" = "all" ]; then
-  presets=(lint default asan tsan)
+  presets=(lint default chaos asan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -29,8 +30,19 @@ for preset in "${presets[@]}"; do
     scripts/lint.sh
     continue
   fi
+  if [ "${preset}" = chaos ]; then
+    scripts/chaos.sh
+    continue
+  fi
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
-  ctest --preset "${preset}" -j "${jobs}"
+  # Sanitizer presets rerun everything including the chaos sweep; bound
+  # the sweep there (sanitized scenarios are ~20x slower) unless the
+  # caller chose a count.  scripts/chaos.sh runs the full sweep.
+  if [ "${preset}" != default ]; then
+    BMR_CHAOS_SEEDS="${BMR_CHAOS_SEEDS:-30}" ctest --preset "${preset}" -j "${jobs}"
+  else
+    ctest --preset "${preset}" -j "${jobs}"
+  fi
 done
 echo "== all presets passed: ${presets[*]} =="

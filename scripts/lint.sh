@@ -15,6 +15,10 @@
 #   4. layering        include-what-you-use-lite: each src/<dir> may
 #                      include only the directories listed for it below
 #                      (core additionally gets the two leaf mr headers).
+#   5. fault-injection encapsulation: faults/internal.h (the injector's
+#                      event-matching machinery) is private to
+#                      src/faults/ — hook sites everywhere else go
+#                      through faults/fault_injector.h only.
 #
 # Tests, benches and examples are exempt: the gate polices the library
 # layers, not the harnesses around them.
@@ -76,22 +80,24 @@ fi
 # 4. Include layering (include-what-you-use-lite).  For each directory,
 #    the project-include prefixes it may use.  The dependency DAG:
 #      common -> {}          concurrency -> {common}
-#      net -> {common}       sim -> {}
+#      net -> {common, faults}  sim -> {}
 #      cluster -> {common}   dfs -> {common, net}
-#      core -> {common} (+ the two leaf mr headers below)
-#      mr -> {cluster, common, concurrency, core, dfs, net}
+#      core -> {common, faults} (+ the two leaf mr headers below)
+#      faults -> {common}
+#      mr -> {cluster, common, concurrency, core, dfs, faults, net}
 #      workload -> {common, mr}
 #      simmr -> {cluster, common, core, mr, sim}
 #      apps -> {common, core, mr}
 declare -A allowed=(
   [common]="common"
   [concurrency]="concurrency common"
-  [net]="net common"
+  [net]="net common faults"
   [sim]="sim"
   [cluster]="cluster common"
   [dfs]="dfs common net"
-  [core]="core common"
-  [mr]="mr cluster common concurrency core dfs net"
+  [core]="core common faults"
+  [faults]="faults common"
+  [mr]="mr cluster common concurrency core dfs faults net"
   [workload]="workload common mr"
   [simmr]="simmr cluster common core mr sim"
   [apps]="apps common core mr"
@@ -121,6 +127,19 @@ for dir in "${!allowed[@]}"; do
              --include='*.h' --include='*.cc' \
            | sed -E 's/#include "([^"]+)"/\1/')
 done
+
+# ---------------------------------------------------------------------
+# 5. Fault-injection encapsulation: the injector's event-matching
+#    internals (faults/internal.h, bmr::faults::internal) stay inside
+#    src/faults/; every hook site elsewhere uses the public
+#    FaultInjector surface, so injection can evolve without touching
+#    the engine.
+hits=$(grep -rnE 'faults/internal\.h|faults::internal' src/ \
+  --include='*.h' --include='*.cc' | grep -v '^src/faults/' || true)
+if [ -n "${hits}" ]; then
+  echo "${hits}" >&2
+  fail "faults/internal.h is private to src/faults/ — include faults/fault_injector.h instead"
+fi
 
 # ---------------------------------------------------------------------
 # clang-tidy (when available — the container may only have GCC).

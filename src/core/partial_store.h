@@ -24,6 +24,10 @@
 #include "common/status.h"
 #include "mr/types.h"
 
+namespace bmr::faults {
+class FaultInjector;  // faults/fault_injector.h; stores only carry it
+}
+
 namespace bmr::core {
 
 enum class StoreType { kInMemory, kSpillMerge, kKvStore };
@@ -49,6 +53,9 @@ struct StoreConfig {
   double disk_bytes_per_sec = 80e6;
   /// Key ordering used for final emission and spill sorting.
   mr::KeyCompareFn key_cmp;  // defaults to bytewise when null
+  /// Optional fault injector consulted on every spill-file write/read
+  /// (chaos testing).  Not owned; null = no injection.
+  faults::FaultInjector* fault_injector = nullptr;
 };
 
 /// Estimated in-memory footprint of one (key, partial) entry.  Mirrors

@@ -1,6 +1,7 @@
 #include "core/spill_file.h"
 
 #include "common/serde.h"
+#include "faults/fault_injector.h"
 
 namespace bmr::core {
 
@@ -8,7 +9,9 @@ namespace {
 constexpr size_t kIoBufferBytes = 64 << 10;
 }
 
-SpillFileWriter::SpillFileWriter(std::string path) : path_(std::move(path)) {}
+SpillFileWriter::SpillFileWriter(std::string path,
+                                 faults::FaultInjector* injector)
+    : path_(std::move(path)), injector_(injector) {}
 
 SpillFileWriter::~SpillFileWriter() {
   if (file_ != nullptr) std::fclose(file_);
@@ -23,6 +26,9 @@ Status SpillFileWriter::Open() {
 }
 
 Status SpillFileWriter::Append(Slice key, Slice value) {
+  if (injector_ != nullptr) {
+    BMR_RETURN_IF_ERROR(injector_->OnSpillWrite(path_));
+  }
   ByteBuffer buf(key.size() + value.size() + 20);
   Encoder enc(&buf);
   enc.PutString(key);
@@ -43,7 +49,9 @@ Status SpillFileWriter::Close() {
   return Status::Ok();
 }
 
-SpillFileReader::SpillFileReader(std::string path) : path_(std::move(path)) {}
+SpillFileReader::SpillFileReader(std::string path,
+                                 faults::FaultInjector* injector)
+    : path_(std::move(path)), injector_(injector) {}
 
 SpillFileReader::~SpillFileReader() {
   if (file_ != nullptr) std::fclose(file_);
@@ -106,6 +114,9 @@ Status SpillFileReader::ReadBytes(std::string* out, size_t n) {
 
 Status SpillFileReader::Next(std::string* key, std::string* value,
                              bool* has_record) {
+  if (injector_ != nullptr) {
+    BMR_RETURN_IF_ERROR(injector_->OnSpillRead(path_));
+  }
   // End of file is only legitimate exactly at a record boundary.
   if (buffer_pos_ >= buffer_.size() && eof_) {
     *has_record = false;

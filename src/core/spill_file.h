@@ -9,11 +9,16 @@
 #include "common/bytes.h"
 #include "common/status.h"
 
+namespace bmr::faults {
+class FaultInjector;
+}
+
 namespace bmr::core {
 
 class SpillFileWriter {
  public:
-  explicit SpillFileWriter(std::string path);
+  explicit SpillFileWriter(std::string path,
+                           faults::FaultInjector* injector = nullptr);
   ~SpillFileWriter();
 
   SpillFileWriter(const SpillFileWriter&) = delete;
@@ -29,6 +34,7 @@ class SpillFileWriter {
 
  private:
   std::string path_;
+  faults::FaultInjector* injector_;
   std::FILE* file_ = nullptr;
   uint64_t bytes_written_ = 0;
   uint64_t records_written_ = 0;
@@ -38,7 +44,8 @@ class SpillFileWriter {
 /// it can act as a merge head.
 class SpillFileReader {
  public:
-  explicit SpillFileReader(std::string path);
+  explicit SpillFileReader(std::string path,
+                           faults::FaultInjector* injector = nullptr);
   ~SpillFileReader();
 
   SpillFileReader(const SpillFileReader&) = delete;
@@ -58,6 +65,7 @@ class SpillFileReader {
   [[nodiscard]] Status ReadBytes(std::string* out, size_t n);
 
   std::string path_;
+  faults::FaultInjector* injector_;
   std::FILE* file_ = nullptr;
   std::string buffer_;
   size_t buffer_pos_ = 0;

@@ -49,7 +49,7 @@ Status SpillMergeStore::SpillNow() {
   if (memtable_.empty()) return Status::Ok();
   std::string path =
       scratch_.FilePath("spill_" + std::to_string(spill_paths_.size()));
-  SpillFileWriter writer(path);
+  SpillFileWriter writer(path, config_.fault_injector);
   BMR_RETURN_IF_ERROR(writer.Open());
   for (const auto& [key, partial] : memtable_) {
     BMR_RETURN_IF_ERROR(writer.Append(Slice(key), Slice(partial)));
@@ -112,7 +112,8 @@ Status SpillMergeStore::MergeScan(const MergeFn& merge, const EmitFn& fn) {
   std::vector<std::unique_ptr<SpillFileReader>> readers;
   readers.reserve(spill_paths_.size());
   for (const auto& path : spill_paths_) {
-    readers.push_back(std::make_unique<SpillFileReader>(path));
+    readers.push_back(
+        std::make_unique<SpillFileReader>(path, config_.fault_injector));
     BMR_RETURN_IF_ERROR(readers.back()->Open());
   }
   auto advance_reader = [&](size_t idx) -> Status {

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "concurrency/thread_pool.h"
+#include "faults/fault_injector.h"
 #include "mr/input.h"
 #include "mr/job_control.h"
 #include "mr/map_output.h"
@@ -35,6 +36,14 @@ std::unique_ptr<ClusterContext> ClusterContext::Create(
 void ClusterContext::KillNode(int node) {
   fabric->KillNode(node);       // drops dn.*, shuffle fetch on that node
   dfs->KillDataNode(node);      // excludes it from future placement
+}
+
+void ClusterContext::InstallFaultInjector(faults::FaultInjector* injector) {
+  fault_injector = injector;
+  fabric->SetFaultInjector(injector);
+  if (injector != nullptr) {
+    injector->BindCrash([this](int node) { KillNode(node); });
+  }
 }
 
 namespace {
@@ -120,9 +129,20 @@ JobResult JobExecution::Run() {
 
   // Compose the layers.
   int nmaps = static_cast<int>(splits_.size());
+  ShuffleService::Options shuffle_options;
+  shuffle_options.injector = cluster_->fault_injector;
+  shuffle_options.max_fetch_retries = static_cast<int>(
+      spec_.config.GetInt("shuffle.fetch.max_retries",
+                          shuffle_options.max_fetch_retries));
+  shuffle_options.backoff_ms = spec_.config.GetDouble(
+      "shuffle.fetch.backoff_ms", shuffle_options.backoff_ms);
+  shuffle_options.backoff_max_ms = spec_.config.GetDouble(
+      "shuffle.fetch.backoff_max_ms", shuffle_options.backoff_max_ms);
+  shuffle_options.fail_on_fetch_error =
+      spec_.config.GetBool("shuffle.fail_on_fetch_error", false);
   shuffle_ = std::make_unique<ShuffleService>(
       cluster_->fabric.get(), static_cast<int>(cluster_->spec.nodes.size()),
-      nmaps, cluster_->AllocateJobId());
+      nmaps, cluster_->AllocateJobId(), shuffle_options);
   TaskScheduler::Options sched_options;
   sched_options.speculative = spec_.speculative_maps;
   sched_options.slowness = spec_.speculation_slowness;
@@ -143,6 +163,11 @@ JobResult JobExecution::Run() {
 
   // Launch.
   metrics_.RestartClock();
+  if (faults::FaultInjector* injector = cluster_->fault_injector) {
+    // Stamp injected faults on this job's clock.  One job at a time per
+    // injector: chaos runs drive a single job against the cluster.
+    injector->SetClock([this] { return metrics_.Now(); });
+  }
   for (int m = 0; m < nmaps; ++m) {
     TaskScheduler::Attempt attempt = scheduler_->Assign(m);
     map_pool_->Submit(
@@ -181,6 +206,22 @@ JobResult JobExecution::Run() {
   watchdog.reset();  // joins the watchdog worker
   map_pool_->Wait();
 
+  // Export the faults that fired during this run into the job's own
+  // observability: timeline events (instantaneous, task_id = kind) and
+  // per-kind counters.
+  if (faults::FaultInjector* injector = cluster_->fault_injector) {
+    Counters fault_counters;
+    for (const faults::FaultInjector::FaultRecord& rec :
+         injector->DrainLog()) {
+      metrics_.RecordEvent(Phase::kFault, static_cast<int>(rec.kind),
+                           rec.node, rec.t, rec.t);
+      fault_counters.Add(
+          std::string("fault_injected_") + faults::FaultKindName(rec.kind), 1);
+    }
+    metrics_.MergeCounters(fault_counters);
+    injector->SetClock(nullptr);
+  }
+
   // Assemble the result from the metrics layer.
   JobMetrics metrics = metrics_.Snapshot();
   result.status = control_->status();
@@ -209,8 +250,29 @@ JobMetrics JobResult::ToMetrics() const {
 }
 
 JobResult JobRunner::Run(const JobSpec& spec) {
-  JobExecution execution(cluster_, spec);
-  return execution.Run();
+  // Job-level recovery of last resort: when task-level recovery could
+  // not save a run (e.g. injected spill-file errors past the reduce
+  // restart budget), rerun the whole job.  Off by default; memoized
+  // sessions never auto-restart (a failed run may have saved partial
+  // snapshots the rerun would double-count).
+  int max_restarts =
+      static_cast<int>(spec.config.GetInt("job.max_restarts", 0));
+  if (spec.session != nullptr) max_restarts = 0;
+  uint64_t restarts = 0;
+  for (;;) {
+    JobExecution execution(cluster_, spec);
+    JobResult result = execution.Run();
+    result.counters.Add(kCtrJobRestarts, restarts);
+    bool recoverable =
+        result.status.code() == StatusCode::kUnavailable ||
+        result.status.code() == StatusCode::kDataLoss ||
+        result.status.code() == StatusCode::kNotFound;
+    if (result.ok() || !recoverable ||
+        restarts >= static_cast<uint64_t>(max_restarts)) {
+      return result;
+    }
+    ++restarts;
+  }
 }
 
 StatusOr<std::vector<Record>> JobRunner::ReadPartFile(

@@ -36,6 +36,10 @@
 #include "mr/types.h"
 #include "net/rpc.h"
 
+namespace bmr::faults {
+class FaultInjector;
+}  // namespace bmr::faults
+
 namespace bmr::mr {
 
 /// Wires the substrates into one in-process cluster.  Shared-cluster
@@ -48,6 +52,8 @@ struct ClusterContext {
   std::unique_ptr<dfs::Dfs> dfs;
   std::vector<std::unique_ptr<dfs::DfsClient>> clients;
   std::atomic<int> next_job_id{0};
+  /// Chaos-test hook, installed via InstallFaultInjector.  Not owned.
+  faults::FaultInjector* fault_injector = nullptr;
 
   static std::unique_ptr<ClusterContext> Create(cluster::ClusterSpec spec);
 
@@ -58,6 +64,12 @@ struct ClusterContext {
 
   /// Simulate a machine loss: DFS blocks gone, shuffle service gone.
   void KillNode(int node);
+
+  /// Install (or with nullptr, remove) a deterministic fault injector:
+  /// hooks it into the RPC fabric and binds its node-crash action to
+  /// KillNode.  The injector must outlive every job run against this
+  /// cluster while installed.
+  void InstallFaultInjector(faults::FaultInjector* injector);
 };
 
 struct JobResult {

@@ -1,14 +1,17 @@
 #include "mr/shuffle_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace bmr::mr {
 
 ShuffleService::ShuffleService(net::RpcFabric* fabric, int num_nodes,
-                               int num_map_tasks, int job_id)
+                               int num_map_tasks, int job_id, Options options)
     : fabric_(fabric),
       num_nodes_(num_nodes),
       job_id_(job_id),
+      options_(options),
       tracker_(num_map_tasks) {
   stores_.resize(num_nodes);
   for (int n = 0; n < num_nodes; ++n) {
@@ -43,39 +46,68 @@ void ShuffleService::Fetch::Join() {
 std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
     int r, int node, ShuffleSink* sink, RelaunchFn relaunch,
     ErrorFn on_error) {
-  {
-    MutexLock lock(sinks_mu_);
-    live_sinks_.push_back(sink);
-  }
   // No public constructor: make_unique can't reach it.
   auto fetch = std::unique_ptr<Fetch>(new Fetch(this, sink));
+  Fetch* f = fetch.get();
   int nmaps = tracker_.num_map_tasks();
+  {
+    MutexLock lock(sinks_mu_);
+    live_sinks_.push_back(FetchEntry{f, sink, std::vector<int>(nmaps, -1)});
+  }
   fetch->fetchers_left_.store(nmaps);
   fetch->fetchers_ = std::make_unique<ThreadPool>(nmaps);
-  Fetch* f = fetch.get();
   for (int m = 0; m < nmaps; ++m) {
     fetch->fetchers_->Submit([this, f, m, r, node, sink, relaunch,
                               on_error] {
+      int failures = 0;  // consecutive failures against loc.version
       for (;;) {
         MapOutputTracker::Location loc = tracker_.WaitForMapDone(m);
         if (loc.version < 0) break;  // job cancelled
         std::string segment;
-        Status st = FetchSegment(fabric_, loc.node, node, m, r, &segment,
-                                 job_id_);
+        Status st = options_.injector
+                        ? options_.injector->OnShuffleFetch(loc.node, node, m)
+                        : Status::Ok();
+        if (st.ok()) {
+          st = FetchSegment(fabric_, loc.node, node, m, r, &segment, job_id_);
+        }
+        std::vector<Record> records;
+        if (st.ok()) {
+          if (options_.injector) {
+            options_.injector->MaybeCorruptSegment(loc.node, m, &segment);
+          }
+          st = DecodeSegment(Slice(segment), &records);
+        }
         if (st.ok()) {
           f->bytes_.fetch_add(segment.size());
-          std::vector<Record> records;
-          Status dst = DecodeSegment(Slice(segment), &records);
-          if (!dst.ok()) {
-            on_error(dst);
-          } else {
-            sink->Accept(m, std::move(records));
-          }
+          // Record the consumed attempt before handing records to the
+          // sink, so a concurrent loss report can never miss us.
+          NoteDelivered(f, m, loc.version);
+          sink->Accept(m, std::move(records));
           break;
         }
-        // Output lost (e.g. node died): trigger re-execution and wait
-        // for the new attempt.
-        if (tracker_.ReportLost(m, loc.version)) relaunch(m, loc.node);
+        if (options_.fail_on_fetch_error) {
+          on_error(st);
+          break;
+        }
+        if (failures < options_.max_fetch_retries) {
+          ++failures;
+          f->retries_.fetch_add(1);
+          double ms = std::min(
+              options_.backoff_ms * static_cast<double>(1 << (failures - 1)),
+              options_.backoff_max_ms);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+          continue;
+        }
+        // Retries exhausted: the attempt's output is gone (node died or
+        // segments unreadable).  Declare it lost — first reporter taints
+        // any reducer that already consumed it and triggers
+        // re-execution — then wait for the new attempt.
+        failures = 0;
+        if (tracker_.ReportLost(m, loc.version)) {
+          TaintConsumers(m, loc.version);
+          relaunch(m, loc.node);
+        }
       }
       if (f->fetchers_left_.fetch_sub(1) == 1) sink->AllDelivered();
     });
@@ -86,12 +118,34 @@ std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
 void ShuffleService::Cancel() {
   tracker_.Cancel();
   MutexLock lock(sinks_mu_);
-  for (ShuffleSink* sink : live_sinks_) sink->Cancel();
+  for (const FetchEntry& entry : live_sinks_) entry.sink->Cancel();
 }
 
 void ShuffleService::Unregister(ShuffleSink* sink) {
   MutexLock lock(sinks_mu_);
-  live_sinks_.erase(std::find(live_sinks_.begin(), live_sinks_.end(), sink));
+  live_sinks_.erase(std::find_if(
+      live_sinks_.begin(), live_sinks_.end(),
+      [sink](const FetchEntry& entry) { return entry.sink == sink; }));
+}
+
+void ShuffleService::NoteDelivered(Fetch* fetch, int map_task, int version) {
+  MutexLock lock(sinks_mu_);
+  for (FetchEntry& entry : live_sinks_) {
+    if (entry.fetch == fetch) {
+      entry.delivered[map_task] = version;
+      return;
+    }
+  }
+}
+
+void ShuffleService::TaintConsumers(int map_task, int version) {
+  MutexLock lock(sinks_mu_);
+  for (FetchEntry& entry : live_sinks_) {
+    if (entry.delivered[map_task] == version) {
+      entry.fetch->tainted_.store(true);
+      entry.sink->Cancel();
+    }
+  }
 }
 
 }  // namespace bmr::mr

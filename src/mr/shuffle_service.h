@@ -5,6 +5,15 @@
 // the *same* fetch code and differ only in the ShuffleSink they plug
 // in: per-mapper buffers that complete at the barrier, or one bounded
 // FIFO drained while fetchers still produce.
+//
+// Fault tolerance (§ fault tolerance of the paper): a failed fetch is
+// retried with capped exponential backoff; once retries are exhausted
+// the map output is declared lost (tracker.ReportLost) and the engine
+// re-executes the map task.  Because barrier-less reducers consume map
+// output *before* the job ends, a reducer that already consumed a
+// now-lost attempt is tainted: its sink is cancelled and the reduce
+// task restarts from scratch — the restart cost the paper accepts in
+// exchange for removing the barrier.
 #pragma once
 
 #include <atomic>
@@ -17,6 +26,7 @@
 #include "common/thread_annotations.h"
 #include "concurrency/bounded_queue.h"
 #include "concurrency/thread_pool.h"
+#include "faults/fault_injector.h"
 #include "mr/map_output.h"
 #include "mr/shuffle.h"
 #include "mr/types.h"
@@ -76,18 +86,47 @@ class FifoSink final : public ShuffleSink {
   BoundedQueue<Record> fifo_;
 };
 
+/// Fetch-path tuning and fault hooks for a ShuffleService.  Namespace
+/// scope (not nested) so it can serve as a defaulted `{}` argument —
+/// g++ rejects that for nested classes with member initializers
+/// (gcc bug 88165).
+struct ShuffleOptions {
+  /// Consulted before every fetch (timeout injection) and on every
+  /// fetched segment (corruption).  Not owned; null = no injection.
+  faults::FaultInjector* injector = nullptr;
+  /// Failed fetches of one map attempt before its output is declared
+  /// lost and the map re-executed.
+  int max_fetch_retries = 4;
+  /// Capped exponential backoff between fetch retries.
+  double backoff_ms = 0.5;
+  double backoff_max_ms = 8.0;
+  /// Legacy behaviour: any fetch/decode error fails the job through
+  /// ErrorFn instead of retrying.  Exists so the chaos harness can
+  /// prove it detects a broken recovery path.
+  bool fail_on_fetch_error = false;
+};
+
 class ShuffleService {
  public:
   /// Invoked when a fetcher discovers `map_task`'s committed output
-  /// lost on `node` (node death): must arrange re-execution.
+  /// lost on `node` (node death): must arrange re-execution.  The
+  /// engine's implementation clears the commit (TaskScheduler::
+  /// ReopenTask) *before* queueing the new attempt, so a stale attempt
+  /// can never double-commit against the re-execution.
   using RelaunchFn = std::function<void(int map_task, int node)>;
-  /// Invoked on unrecoverable shuffle errors (segment decode failure).
+  /// Invoked on unrecoverable shuffle errors.  With the default
+  /// options fetch errors are retried and then escalate to map
+  /// re-execution, so this only fires when retry is disabled
+  /// (Options::fail_on_fetch_error, the chaos harness' "broken
+  /// recovery" mode).
   using ErrorFn = std::function<void(const Status&)>;
+
+  using Options = ShuffleOptions;
 
   /// Registers a segment store for every node under the job-scoped
   /// fetch method, so concurrent jobs on one fabric don't interfere.
   ShuffleService(net::RpcFabric* fabric, int num_nodes, int num_map_tasks,
-                 int job_id);
+                 int job_id, Options options = {});
   ~ShuffleService();  // unregisters the job's fetch handlers
 
   ShuffleService(const ShuffleService&) = delete;
@@ -115,6 +154,12 @@ class ShuffleService {
     /// Block until every fetcher thread has finished.  Idempotent.
     void Join();
     uint64_t bytes_fetched() const { return bytes_.load(); }
+    /// Fetch attempts that failed and were retried.
+    uint64_t retries() const { return retries_.load(); }
+    /// True once this fetch delivered records of a map attempt whose
+    /// output was later declared lost: the consuming reduce task must
+    /// restart (its sink has been cancelled).
+    bool tainted() const { return tainted_.load(); }
 
    private:
     friend class ShuffleService;
@@ -127,6 +172,8 @@ class ShuffleService {
     // Join() is a cheap no-op Wait().
     std::unique_ptr<ThreadPool> fetchers_;
     std::atomic<uint64_t> bytes_{0};
+    std::atomic<uint64_t> retries_{0};
+    std::atomic<bool> tainted_{false};
     std::atomic<int> fetchers_left_{0};
   };
 
@@ -146,16 +193,30 @@ class ShuffleService {
   void Cancel() BMR_EXCLUDES(sinks_mu_);
 
  private:
+  struct FetchEntry {
+    Fetch* fetch = nullptr;
+    ShuffleSink* sink = nullptr;
+    /// delivered[m] = attempt version this fetch consumed (-1 = none).
+    std::vector<int> delivered;
+  };
+
   void Unregister(ShuffleSink* sink) BMR_EXCLUDES(sinks_mu_);
+  void NoteDelivered(Fetch* fetch, int map_task, int version)
+      BMR_EXCLUDES(sinks_mu_);
+  /// Map `map_task` attempt `version` was lost: taint and cancel every
+  /// live fetch that already consumed it.  Same lock-order leaf rule
+  /// as Cancel().
+  void TaintConsumers(int map_task, int version) BMR_EXCLUDES(sinks_mu_);
 
   net::RpcFabric* fabric_;
   int num_nodes_;
   int job_id_;
+  Options options_;
   MapOutputTracker tracker_;
   std::vector<std::unique_ptr<MapOutputStore>> stores_;
 
   OrderedMutex sinks_mu_{"mr.shuffle.sinks"};
-  std::vector<ShuffleSink*> live_sinks_ BMR_GUARDED_BY(sinks_mu_);
+  std::vector<FetchEntry> live_sinks_ BMR_GUARDED_BY(sinks_mu_);
 };
 
 }  // namespace bmr::mr

@@ -126,6 +126,7 @@ void MapTaskExecutor::Execute(TaskScheduler::Attempt attempt) {
   // First attempt to commit wins; the loser (a speculative race or a
   // stale retry) discards its output without publishing.
   if (scheduler_->TryCommit(attempt)) {
+    local.Add(kCtrMapTasksCommitted, 1);
     local.Add(kCtrMapOutputRecords, finished->output_records);
     local.Add(kCtrMapOutputBytes, finished->output_bytes);
     local.Add(kCtrCombineInputRecords, finished->combine_in);
@@ -145,42 +146,74 @@ void MapTaskExecutor::Execute(TaskScheduler::Attempt attempt) {
   finish(true);
 }
 
-void ReduceTaskExecutor::Execute(int r, int node) {
-  if (control_->cancelled()) return;
-  Counters local;
-  ReduceTaskContext ctx(spec_.config, &local);
-  if (spec_.barrierless) {
-    RunBarrierless(r, node, &ctx);
-  } else {
-    RunBarrier(r, node, &ctx);
-  }
-  if (control_->cancelled()) return;
-  local.Add(kCtrReduceOutputRecords, ctx.records().size());
-  metrics_->MergeCounters(local);
+namespace {
 
-  double out_start = metrics_->Now();
-  Status st = WriteOutput(r, node, ctx.records());
-  if (!st.ok()) {
+/// Failures a fresh attempt can plausibly heal: lost or unreadable
+/// intermediate state.  Resource exhaustion, invalid input, and
+/// internal errors stay fatal so OOMs and real bugs remain loud.
+bool IsRecoverable(const Status& st) {
+  return st.code() == StatusCode::kUnavailable ||
+         st.code() == StatusCode::kDataLoss ||
+         st.code() == StatusCode::kNotFound;
+}
+
+}  // namespace
+
+void ReduceTaskExecutor::Execute(int r, int node) {
+  int max_restarts =
+      static_cast<int>(spec_.config.GetInt("reduce.max_restarts", 2));
+  for (int attempt = 0;; ++attempt) {
+    if (control_->cancelled()) return;
+    // Fresh counters per attempt: a discarded attempt's data-flow
+    // counters (shuffle bytes, reduce inputs) must not pollute the
+    // job's totals.  Recovery counters go through metrics_ directly so
+    // they survive the discard.
+    Counters local;
+    ReduceTaskContext ctx(spec_.config, &local);
+    Status st = spec_.barrierless ? RunBarrierless(r, node, &ctx)
+                                  : RunBarrier(r, node, &ctx);
+    if (control_->cancelled()) return;
+    if (st.ok()) {
+      local.Add(kCtrReduceOutputRecords, ctx.records().size());
+      metrics_->MergeCounters(local);
+      double out_start = metrics_->Now();
+      st = WriteOutput(r, node, ctx.records());
+      if (st.ok()) {
+        metrics_->RecordEvent(Phase::kOutput, r, node, out_start,
+                              metrics_->Now());
+        return;
+      }
+    }
+    if (attempt < max_restarts && IsRecoverable(st)) {
+      metrics_->AddCounter(kCtrReduceTaskRestarts, 1);
+      continue;
+    }
     control_->Fail(st);
     return;
   }
-  metrics_->RecordEvent(Phase::kOutput, r, node, out_start, metrics_->Now());
 }
 
-void ReduceTaskExecutor::RunBarrier(int r, int node, ReduceTaskContext* ctx) {
+Status ReduceTaskExecutor::RunBarrier(int r, int node,
+                                      ReduceTaskContext* ctx) {
   double shuffle_start = metrics_->Now();
 
   // Per-mapper buffers filled by the shared fetch substrate; complete
   // only when every fetcher is in — the barrier.
   BarrierSink sink(shuffle_->tracker().num_map_tasks());
+  bool tainted = false;
   {
     auto fetch = shuffle_->StartFetch(
         r, node, &sink, relaunch_,
         [this](const Status& st) { control_->Fail(st); });
     fetch->Join();
     ctx->counters()->Add(kCtrShuffleBytes, fetch->bytes_fetched());
+    metrics_->AddCounter(kCtrShuffleFetchRetries, fetch->retries());
+    tainted = fetch->tainted();
   }
-  if (control_->cancelled()) return;
+  if (control_->cancelled()) return Status::Ok();
+  if (tainted) {
+    return Status::Unavailable("reduce consumed output of a lost map attempt");
+  }
   double barrier_time = metrics_->Now();
   metrics_->RecordEvent(Phase::kShuffle, r, node, shuffle_start, barrier_time);
 
@@ -215,17 +248,14 @@ void ReduceTaskExecutor::RunBarrier(int r, int node, ReduceTaskContext* ctx) {
   reducer->Setup(ctx);
   const KeyCompareFn& group =
       spec_.group_cmp ? spec_.group_cmp : spec_.sort_cmp;
-  Status st = ReduceGroups(records, group, reducer.get(), ctx);
-  if (!st.ok()) {
-    control_->Fail(st);
-    return;
-  }
+  BMR_RETURN_IF_ERROR(ReduceGroups(records, group, reducer.get(), ctx));
   reducer->Cleanup(ctx);
   metrics_->RecordEvent(Phase::kReduce, r, node, sort_done, metrics_->Now());
+  return Status::Ok();
 }
 
-void ReduceTaskExecutor::RunBarrierless(int r, int node,
-                                        ReduceTaskContext* ctx) {
+Status ReduceTaskExecutor::RunBarrierless(int r, int node,
+                                          ReduceTaskContext* ctx) {
   double start = metrics_->Now();
 
   // Single FIFO buffer shared by all fetchers; the reduce thread (this
@@ -244,6 +274,9 @@ void ReduceTaskExecutor::RunBarrierless(int r, int node,
   if (!store_config.key_cmp && spec_.sort_cmp) {
     store_config.key_cmp = spec_.sort_cmp;
   }
+  if (store_config.fault_injector == nullptr) {
+    store_config.fault_injector = cluster_->fault_injector;
+  }
   auto reducer = spec_.incremental();
   core::BarrierlessDriver driver(reducer.get(), store_config, spec_.config);
   CtxEmitter emitter(ctx);
@@ -252,19 +285,21 @@ void ReduceTaskExecutor::RunBarrierless(int r, int node,
     if (const auto* snapshot = spec_.session->Get(r)) {
       for (const Record& p : *snapshot) {
         Status st = driver.PreloadPartial(Slice(p.key), Slice(p.value));
-        if (!st.ok()) {
-          control_->Fail(st);
-          return;  // fetch's destructor joins and unregisters the sink
-        }
+        // fetch's destructor joins and unregisters the sink
+        if (!st.ok()) return st;
       }
     }
   }
   uint64_t consumed = 0;
+  Status consume_st;
   while (auto item = sink.fifo().Pop()) {
     Status st = driver.Consume(Slice(item->key), Slice(item->value), &emitter);
     if (!st.ok()) {
       metrics_->SampleMemory(r, driver.MemoryBytes());
-      control_->Fail(st);
+      consume_st = st;
+      // Close our own FIFO so producers stop blocking, then fall
+      // through to the join — Execute (or the job) handles the error.
+      sink.Cancel();
       break;
     }
     if (++consumed % kMemorySampleEvery == 0) {
@@ -273,8 +308,14 @@ void ReduceTaskExecutor::RunBarrierless(int r, int node,
   }
   fetch->Join();
   ctx->counters()->Add(kCtrShuffleBytes, fetch->bytes_fetched());
+  metrics_->AddCounter(kCtrShuffleFetchRetries, fetch->retries());
+  bool tainted = fetch->tainted();
   fetch.reset();  // deregister the sink before it goes out of scope
-  if (control_->cancelled()) return;
+  if (control_->cancelled()) return Status::Ok();
+  BMR_RETURN_IF_ERROR(consume_st);
+  if (tainted) {
+    return Status::Unavailable("reduce consumed output of a lost map attempt");
+  }
 
   ctx->counters()->Add(kCtrReduceInputRecords, driver.records_consumed());
   Status st;
@@ -291,13 +332,11 @@ void ReduceTaskExecutor::RunBarrierless(int r, int node,
     ctx->counters()->Add(kCtrKvStoreOps,
                          store->stats().gets + store->stats().puts);
   }
-  if (!st.ok()) {
-    control_->Fail(st);
-    return;
-  }
+  BMR_RETURN_IF_ERROR(st);
   metrics_->SampleMemory(r, driver.MemoryBytes());
   metrics_->RecordEvent(Phase::kShuffleReduce, r, node, start,
                         metrics_->Now());
+  return Status::Ok();
 }
 
 Status ReduceTaskExecutor::WriteOutput(int r, int node,
@@ -305,6 +344,10 @@ Status ReduceTaskExecutor::WriteOutput(int r, int node,
   char name[32];
   std::snprintf(name, sizeof(name), "/part-r-%05d", r);
   std::string path = spec_.output_path + name;
+  // A restarted task or job may have left a partial part file behind;
+  // Create refuses to overwrite, so clear it first (NotFound is fine).
+  Status deleted = cluster_->client(node)->Delete(path);
+  (void)deleted;
   auto writer = cluster_->client(node)->Create(path);
   if (!writer.ok()) return writer.status();
   ByteBuffer buf;

@@ -66,11 +66,17 @@ class ReduceTaskExecutor {
         control_(control),
         relaunch_(std::move(relaunch)) {}
 
+  /// Runs the reduce task to completion, restarting the attempt from
+  /// scratch (fresh sink, fetch, and partial store) when it fails
+  /// recoverably — most importantly when the attempt consumed map
+  /// output that was later lost to a node death (a tainted fetch, the
+  /// restart cost of consuming before the barrier).  Unrecoverable
+  /// errors and exhausted restarts fail the job.
   void Execute(int r, int node);
 
  private:
-  void RunBarrier(int r, int node, ReduceTaskContext* ctx);
-  void RunBarrierless(int r, int node, ReduceTaskContext* ctx);
+  [[nodiscard]] Status RunBarrier(int r, int node, ReduceTaskContext* ctx);
+  [[nodiscard]] Status RunBarrierless(int r, int node, ReduceTaskContext* ctx);
   [[nodiscard]] Status WriteOutput(int r, int node, const std::vector<Record>& records);
 
   ClusterContext* cluster_;

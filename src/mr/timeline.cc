@@ -14,6 +14,7 @@ const char* PhaseName(Phase phase) {
     case Phase::kReduce: return "Reduce";
     case Phase::kShuffleReduce: return "Shuffle+Reduce";
     case Phase::kOutput: return "Output";
+    case Phase::kFault: return "Fault";
   }
   return "?";
 }
@@ -40,15 +41,16 @@ int Timeline::ActiveAt(const std::vector<TaskEvent>& events, Phase phase,
 
 std::string Timeline::RenderActivity(const std::vector<TaskEvent>& events,
                                      double step) {
+  constexpr int kNumPhases = 7;
   double horizon = 0;
-  bool phases_present[6] = {false, false, false, false, false, false};
+  bool phases_present[kNumPhases] = {};
   for (const auto& e : events) {
     horizon = std::max(horizon, e.end);
     phases_present[static_cast<int>(e.phase)] = true;
   }
   std::ostringstream out;
   out << "time";
-  for (int p = 0; p < 6; ++p) {
+  for (int p = 0; p < kNumPhases; ++p) {
     if (phases_present[p]) out << '\t' << PhaseName(static_cast<Phase>(p));
   }
   out << '\n';
@@ -56,7 +58,7 @@ std::string Timeline::RenderActivity(const std::vector<TaskEvent>& events,
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.1f", t);
     out << buf;
-    for (int p = 0; p < 6; ++p) {
+    for (int p = 0; p < kNumPhases; ++p) {
       if (phases_present[p]) {
         out << '\t' << ActiveAt(events, static_cast<Phase>(p), t);
       }

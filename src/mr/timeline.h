@@ -16,6 +16,7 @@ enum class Phase {
   kReduce,         // with-barrier: grouped reduce execution
   kShuffleReduce,  // barrier-less: pipelined fetch+reduce
   kOutput,         // final DFS write
+  kFault,          // injected fault firing (chaos runs; start == end)
 };
 
 const char* PhaseName(Phase phase);

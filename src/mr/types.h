@@ -71,5 +71,10 @@ inline constexpr const char* kCtrSpeculativeMapsLaunched =
 inline constexpr const char* kCtrSpeculativeMapsWon = "speculative_maps_won";
 inline constexpr const char* kCtrMapAttemptsDiscarded =
     "map_attempts_discarded";
+inline constexpr const char* kCtrMapTasksCommitted = "map_tasks_committed";
+inline constexpr const char* kCtrShuffleFetchRetries =
+    "shuffle_fetch_retries";
+inline constexpr const char* kCtrReduceTaskRestarts = "reduce_task_restarts";
+inline constexpr const char* kCtrJobRestarts = "job_restarts";
 
 }  // namespace bmr::mr

@@ -23,6 +23,20 @@ void RpcFabric::KillNode(int node) {
 
 Status RpcFabric::Call(int src, int dst, const std::string& method,
                        Slice request, ByteBuffer* response) {
+  // Fault hook first, before the handler lookup: a crash it triggers
+  // removes dst's handlers, so this very call already observes the
+  // node as dead; a drop fails the call without touching the handler.
+  int duplicates = 0;
+  {
+    faults::FaultInjector* injector;
+    {
+      MutexLock lock(mu_);
+      injector = injector_;
+    }
+    if (injector != nullptr) {
+      BMR_RETURN_IF_ERROR(injector->OnRpcCall(src, dst, method, &duplicates));
+    }
+  }
   RpcHandler handler;
   {
     MutexLock lock(mu_);
@@ -35,6 +49,12 @@ Status RpcFabric::Call(int src, int dst, const std::string& method,
   }
   response->Clear();
   Status st = handler(request, response);
+  // At-least-once delivery: rerun the handler, keeping the last
+  // response.  Plans schedule duplicates only on idempotent reads.
+  for (; duplicates > 0 && st.ok(); --duplicates) {
+    response->Clear();
+    st = handler(request, response);
+  }
   {
     MutexLock lock(mu_);
     LinkStats& ls = link_stats_[{src, dst}];
@@ -43,6 +63,11 @@ Status RpcFabric::Call(int src, int dst, const std::string& method,
     ls.response_bytes += response->size();
   }
   return st;
+}
+
+void RpcFabric::SetFaultInjector(faults::FaultInjector* injector) {
+  MutexLock lock(mu_);
+  injector_ = injector;
 }
 
 LinkStats RpcFabric::GetLinkStats(int src, int dst) const {

@@ -19,6 +19,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "faults/fault_injector.h"
 
 namespace bmr::net {
 
@@ -66,12 +67,19 @@ class RpcFabric {
   /// Sum of counters over all pairs where src != dst (remote traffic).
   LinkStats TotalRemoteTraffic() const BMR_EXCLUDES(mu_);
 
+  /// Install (or clear, with nullptr) a fault injector.  Every Call
+  /// consults it before the handler lookup, so an injected node crash
+  /// takes effect on the very call that triggered it.  Not owned; the
+  /// caller keeps it alive for the fabric's lifetime or clears it.
+  void SetFaultInjector(faults::FaultInjector* injector) BMR_EXCLUDES(mu_);
+
  private:
   int num_nodes_;
   mutable OrderedMutex mu_{"net.rpc_fabric"};
   std::map<std::pair<int, std::string>, RpcHandler> handlers_
       BMR_GUARDED_BY(mu_);
   std::map<std::pair<int, int>, LinkStats> link_stats_ BMR_GUARDED_BY(mu_);
+  faults::FaultInjector* injector_ BMR_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace bmr::net

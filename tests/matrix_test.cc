@@ -99,22 +99,22 @@ Workload PrepareWorkload(ClusterContext* cluster, const std::string& app) {
   return w;
 }
 
-/// App-aware comparison key: reduce the output multiset to something
-/// both modes must agree on exactly.
-std::multiset<std::string> Canonicalize(const std::string& app,
-                                        const std::vector<Record>& records) {
-  std::multiset<std::string> out;
+/// App-aware comparison key (a testutil::CanonicalizeFn): reduce the
+/// output to the sorted multiset both modes must agree on exactly.
+std::vector<std::string> Canonicalize(const std::string& app,
+                                      const std::vector<Record>& records) {
+  std::vector<std::string> out;
   for (const Record& r : records) {
     if (app == "knn") {
       // Modes may pick different equal-distance neighbours: compare
       // (exp, distance) pairs.
       apps::KnnNeighbor n;
       EXPECT_TRUE(apps::DecodeNeighbor(Slice(r.value), &n));
-      out.insert(r.key + "/" + std::to_string(n.distance));
+      out.push_back(r.key + "/" + std::to_string(n.distance));
     } else if (app == "genetic") {
       // Offspring are RNG- and order-dependent: compare cardinality
       // only (each individual yields exactly one offspring).
-      out.insert("record");
+      out.push_back("record");
     } else if (app == "blackscholes") {
       // Fold order differs across modes, so the running sums
       // reassociate: compare to 9 significant digits.
@@ -123,11 +123,12 @@ std::multiset<std::string> Canonicalize(const std::string& app,
       char buf[128];
       std::snprintf(buf, sizeof(buf), "%.9g/%.9g/%lld", s.mean, s.stddev,
                     static_cast<long long>(s.count));
-      out.insert(buf);
+      out.push_back(buf);
     } else {
-      out.insert(r.key + "\t" + r.value);
+      out.push_back(r.key + "\t" + r.value);
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -140,18 +141,13 @@ TEST_P(MatrixTest, MatchesBarrierReference) {
   ASSERT_FALSE(workload.files.empty());
   const auto* app = apps::FindApp(c.app);
   ASSERT_NE(app, nullptr);
-  JobRunner runner(cluster.get());
 
-  // Reference: with-barrier run.
+  // Reference: with-barrier in-memory run.
   apps::AppOptions ref_options;
   ref_options.input_files = workload.files;
   ref_options.output_path = "/ref";
   ref_options.num_reducers = 2;
   ref_options.extra = workload.extra;
-  JobResult reference = runner.Run(app->make_job(ref_options));
-  ASSERT_TRUE(reference.ok()) << reference.status;
-  auto ref_out = JobRunner::ReadAllOutput(cluster->client(0), reference);
-  ASSERT_TRUE(ref_out.ok());
 
   // Case under test.
   apps::AppOptions options = ref_options;
@@ -160,12 +156,12 @@ TEST_P(MatrixTest, MatchesBarrierReference) {
   options.store.type = c.store;
   options.store.spill_threshold_bytes = 4 << 10;
   options.store.kv_cache_bytes = 4 << 10;
-  JobResult result = runner.Run(app->make_job(options));
-  ASSERT_TRUE(result.ok()) << result.status;
-  auto out = JobRunner::ReadAllOutput(cluster->client(0), result);
-  ASSERT_TRUE(out.ok());
 
-  EXPECT_EQ(Canonicalize(c.app, *out), Canonicalize(c.app, *ref_out));
+  testutil::ExpectEquivalentOutputs(
+      cluster.get(), app->make_job(ref_options), app->make_job(options),
+      [&c](const std::vector<Record>& records) {
+        return Canonicalize(c.app, records);
+      });
 }
 
 std::vector<Case> AllCases() {

@@ -107,6 +107,31 @@ TEST(TaskSchedulerTest, RetryExcludesTheFailedNode) {
   EXPECT_TRUE(scheduler.AllCommitted());
 }
 
+TEST(TaskSchedulerTest, ReopenedTaskAdmitsExactlyOneNewCommit) {
+  // Lost-map recovery path: a committed task's output disappears with
+  // its node, the task is reopened, and two replacement attempts race
+  // (relaunch plus a speculative backup).  Exactly one may commit, or
+  // the consumers would observe that map's output twice.
+  std::vector<InputSplit> splits = {Split({1})};
+  TaskScheduler scheduler(FourSlaves(), &splits);
+
+  TaskScheduler::Attempt original = scheduler.Assign(0);
+  ASSERT_TRUE(scheduler.TryCommit(original));
+  scheduler.Finish(original, 0.1);
+  ASSERT_TRUE(scheduler.AllCommitted());
+
+  scheduler.ReopenTask(0);
+  EXPECT_FALSE(scheduler.AllCommitted());
+  TaskScheduler::Attempt a = scheduler.Assign(0, /*exclude_node=*/1);
+  TaskScheduler::Attempt b = scheduler.Assign(0, /*exclude_node=*/1);
+  EXPECT_NE(a.node, 1);
+  EXPECT_NE(b.node, 1);
+  EXPECT_TRUE(scheduler.TryCommit(b));
+  EXPECT_FALSE(scheduler.TryCommit(a));
+  EXPECT_TRUE(scheduler.AllCommitted());
+  EXPECT_EQ(scheduler.attempts_started(0), 3);
+}
+
 TEST(TaskSchedulerTest, FirstAttemptToCommitWins) {
   std::vector<InputSplit> splits = {Split({1})};
   TaskScheduler scheduler(FourSlaves(), &splits);

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "mr/map_output.h"
 #include "mr/shuffle_service.h"
 #include "net/rpc.h"
@@ -92,6 +94,69 @@ TEST(ShuffleServiceTest, CancelAfterFetchDestructionTouchesNoDeadSink) {
     // Early return path: fetch and sink die here, without Cancel.
   }
   service.Cancel();  // must be a no-op on the unregistered sink
+}
+
+TEST(ShuffleServiceTest, TransientFetchFailuresAreRetriedUntilSuccess) {
+  // An injected fetch timeout is transient: the fetcher must back off
+  // and retry rather than surface the error, and count its retries.
+  net::RpcFabric fabric(3);
+  faults::FaultEvent timeout;
+  timeout.kind = faults::FaultKind::kFetchTimeout;
+  timeout.count = 2;
+  faults::FaultPlan plan;
+  plan.events = {timeout};
+  faults::FaultInjector injector(plan);
+
+  ShuffleOptions options;
+  options.injector = &injector;
+  options.max_fetch_retries = 4;
+  options.backoff_ms = 0.1;
+  options.backoff_max_ms = 0.5;
+  ShuffleService service(&fabric, 3, /*num_map_tasks=*/1, /*job_id=*/5,
+                         options);
+  service.Publish(0, 1, {MakeSegment({{"k", "v"}})});
+
+  FifoSink sink(4);
+  auto fetch = service.StartFetch(0, /*node=*/2, &sink, NoRelaunch(),
+                                  NoError());
+  std::multiset<std::pair<std::string, std::string>> got;
+  while (auto record = sink.fifo().Pop()) got.emplace(record->key, record->value);
+  fetch->Join();
+
+  EXPECT_EQ(got, (std::multiset<std::pair<std::string, std::string>>{
+                     {"k", "v"}}));
+  EXPECT_EQ(fetch->retries(), 2u);
+  EXPECT_FALSE(fetch->tainted());
+  EXPECT_EQ(injector.injected(faults::FaultKind::kFetchTimeout), 2u);
+}
+
+TEST(ShuffleServiceTest, ExhaustedRetriesSurfaceWhenFailFastIsSet) {
+  // With fail_on_fetch_error (the chaos harness's "teeth" switch) a
+  // persistent failure reaches the error callback instead of the
+  // lost-map recovery path.
+  net::RpcFabric fabric(3);
+  faults::FaultEvent timeout;
+  timeout.kind = faults::FaultKind::kFetchTimeout;
+  timeout.count = 1;
+  faults::FaultPlan plan;
+  plan.events = {timeout};
+  faults::FaultInjector injector(plan);
+
+  ShuffleOptions options;
+  options.injector = &injector;
+  options.fail_on_fetch_error = true;
+  ShuffleService service(&fabric, 3, /*num_map_tasks=*/1, /*job_id=*/6,
+                         options);
+  service.Publish(0, 1, {MakeSegment({{"k", "v"}})});
+
+  Status seen = Status::Ok();
+  FifoSink sink(4);
+  auto fetch = service.StartFetch(
+      0, /*node=*/2, &sink, NoRelaunch(),
+      [&seen](const Status& st) { seen = st; });
+  fetch->Join();
+  EXPECT_FALSE(seen.ok());
+  EXPECT_EQ(fetch->retries(), 0u);
 }
 
 TEST(ShuffleServiceTest, ConcurrentJobsKeepSeparateSegmentStores) {

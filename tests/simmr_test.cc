@@ -26,7 +26,16 @@ TEST(SimMechanicsTest, DeterministicInSeed) {
   SimResult a = SimulateJob(PaperCluster(), job);
   SimResult b = SimulateJob(PaperCluster(), job);
   EXPECT_DOUBLE_EQ(a.completion_seconds, b.completion_seconds);
-  EXPECT_EQ(a.events.size(), b.events.size());
+  // Same seed ⇒ the identical event timeline, element for element —
+  // catches any accidental wall-clock or unseeded-RNG dependence.
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].phase, b.events[i].phase) << "event " << i;
+    EXPECT_EQ(a.events[i].task_id, b.events[i].task_id) << "event " << i;
+    EXPECT_EQ(a.events[i].node, b.events[i].node) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.events[i].start, b.events[i].start) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.events[i].end, b.events[i].end) << "event " << i;
+  }
 
   job.seed = 99;
   SimResult c = SimulateJob(PaperCluster(), job);

@@ -1,7 +1,10 @@
 // Shared helpers for the bmr test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,6 +40,81 @@ inline std::map<std::string, std::string> AsMap(
   std::map<std::string, std::string> out;
   for (const auto& r : records) out[r.key] = r.value;
   return out;
+}
+
+/// Runs one job and reads back its concatenated output (part files in
+/// path order).
+inline StatusOr<std::vector<mr::Record>> RunAndReadOutput(
+    mr::ClusterContext* cluster, const mr::JobSpec& spec) {
+  mr::JobRunner runner(cluster);
+  mr::JobResult result = runner.Run(spec);
+  BMR_RETURN_IF_ERROR(result.status);
+  return mr::JobRunner::ReadAllOutput(cluster->client(0), result,
+                                      spec.output_format);
+}
+
+/// Canonical form of a job output for equivalence comparison.  The
+/// strictest form is the exact output sequence; apps whose output
+/// order or representation legitimately differs across modes supply a
+/// looser canonicalizer.
+using CanonicalizeFn =
+    std::function<std::vector<std::string>(const std::vector<mr::Record>&)>;
+
+/// "key<TAB>value" lines in output order — byte-identical equivalence.
+inline std::vector<std::string> ExactSequence(
+    const std::vector<mr::Record>& records) {
+  std::vector<std::string> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.key + "\t" + r.value);
+  return out;
+}
+
+/// Keys only, in output order (e.g. sort, whose payload is empty).
+inline std::vector<std::string> KeySequence(
+    const std::vector<mr::Record>& records) {
+  std::vector<std::string> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.key);
+  return out;
+}
+
+/// Records as a sorted multiset — order-insensitive equivalence for
+/// apps where arrival order is not part of the contract.
+inline std::vector<std::string> SortedRecords(
+    const std::vector<mr::Record>& records) {
+  std::vector<std::string> out = ExactSequence(records);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Golden-output equivalence: runs `reference_spec` and `spec` on the
+/// same cluster and asserts their canonicalized outputs are identical
+/// (the paper's claim that barrier removal does not compromise
+/// correctness).  Returns `spec`'s output for further app-specific
+/// checks; empty on failure.
+inline std::vector<mr::Record> ExpectEquivalentOutputs(
+    mr::ClusterContext* cluster, const mr::JobSpec& reference_spec,
+    const mr::JobSpec& spec, const CanonicalizeFn& canonicalize = nullptr) {
+  auto reference = RunAndReadOutput(cluster, reference_spec);
+  EXPECT_TRUE(reference.ok()) << "reference run: " << reference.status();
+  auto out = RunAndReadOutput(cluster, spec);
+  EXPECT_TRUE(out.ok()) << "case run: " << out.status();
+  if (!reference.ok() || !out.ok()) return {};
+  const CanonicalizeFn& canon =
+      canonicalize ? canonicalize : CanonicalizeFn(ExactSequence);
+  EXPECT_EQ(canon(*out), canon(*reference));
+  return std::move(*out);
+}
+
+/// The barrier-less vs. with-barrier special case: `make_spec(mode)`
+/// builds the same job in either mode (distinct output paths!); the
+/// with-barrier run is the golden reference.
+inline std::vector<mr::Record> ExpectBarrierlessEquivalence(
+    mr::ClusterContext* cluster,
+    const std::function<mr::JobSpec(bool barrierless)>& make_spec,
+    const CanonicalizeFn& canonicalize = nullptr) {
+  return ExpectEquivalentOutputs(cluster, make_spec(false), make_spec(true),
+                                 canonicalize);
 }
 
 }  // namespace bmr::testutil
