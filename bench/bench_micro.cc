@@ -31,7 +31,10 @@ void RunStoreFold(Store& store, const std::vector<std::string>& keys) {
   std::string partial;
   for (const auto& key : keys) {
     int64_t n = 0;
-    if (store.Get(Slice(key), &partial)) DecodeI64(Slice(partial), &n);
+    bool found = false;
+    if (store.Get(Slice(key), &partial, &found).ok() && found) {
+      DecodeI64(Slice(partial), &n);
+    }
     benchmark::DoNotOptimize(
         store.Put(Slice(key), Slice(EncodeI64(n + 1))));
   }

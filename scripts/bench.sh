@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Run the data-path benchmark and emit machine-readable
+# BENCH_datapath.json (schema: {bench, metric, value, unit, seed} per
+# row), then gate it against the checked-in baseline:
+#
+#   scripts/bench.sh            # full-size workloads
+#   scripts/bench.sh --smoke    # CI-size workloads (scripts/check.sh bench)
+#
+# Every metric is higher-is-better throughput; the gate fails if any
+# metric lands below 80% of its baseline value.  The baseline
+# (bench/BENCH_datapath.baseline.json) is deliberately conservative —
+# far below what current hardware delivers — so it catches structural
+# regressions (a lost batching path, a reintroduced per-record lock
+# cycle), not machine-to-machine noise.  The batched_speedup baseline of
+# 2.5 makes the 80% floor exactly the 2x batched-vs-per-record
+# acceptance bar.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=()
+for a in "$@"; do
+  case "$a" in
+    --smoke) args+=(--smoke) ;;
+    *) echo "usage: scripts/bench.sh [--smoke]" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+cmake --preset default >/dev/null
+cmake --build build -j "${jobs}" --target bench_datapath >/dev/null
+
+out=BENCH_datapath.json
+./build/bench/bench_datapath "${args[@]+"${args[@]}"}" --out "${out}"
+
+baseline=bench/BENCH_datapath.baseline.json
+echo "== regression gate: ${out} vs ${baseline} (floor: 80% of baseline) =="
+awk '
+  function parse(line) {
+    if (match(line, /"bench": "[^"]+"/) == 0) return 0
+    bench = substr(line, RSTART + 10, RLENGTH - 11)
+    if (match(line, /"metric": "[^"]+"/) == 0) return 0
+    metric = bench "/" substr(line, RSTART + 11, RLENGTH - 12)
+    if (match(line, /"value": [0-9.eE+-]+/) == 0) return 0
+    value = substr(line, RSTART + 9, RLENGTH - 9) + 0
+    return 1
+  }
+  FNR == 1 { file_idx++ }
+  file_idx == 1 { if (parse($0)) base[metric] = value }
+  file_idx == 2 { if (parse($0)) cur[metric] = value }
+  END {
+    failed = 0
+    for (m in base) {
+      if (!(m in cur)) {
+        printf "bench gate: FAIL: metric %s missing from current run\n", m
+        failed = 1
+        continue
+      }
+      floor = base[m] * 0.8
+      status = (cur[m] >= floor) ? "ok" : "FAIL"
+      if (cur[m] < floor) failed = 1
+      printf "bench gate: %-6s %-36s current %14.1f  floor %14.1f\n", \
+             status, m, cur[m], floor
+    }
+    exit failed
+  }
+' "${baseline}" "${out}"
+echo "== bench gate passed =="

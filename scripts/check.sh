@@ -6,7 +6,8 @@
 #   scripts/check.sh lint         # just the lint gate (scripts/lint.sh)
 #   scripts/check.sh asan         # just the asan preset
 #   scripts/check.sh chaos        # full chaos sweep (scripts/chaos.sh)
-#   scripts/check.sh all          # lint, default, chaos, asan, tsan
+#   scripts/check.sh bench        # smoke bench + BENCH_datapath.json gate
+#   scripts/check.sh all          # lint, default, chaos, bench, asan, tsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -20,7 +21,7 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default)
 elif [ "${presets[0]}" = "all" ]; then
-  presets=(lint default chaos asan tsan)
+  presets=(lint default chaos bench asan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -32,6 +33,12 @@ for preset in "${presets[@]}"; do
   fi
   if [ "${preset}" = chaos ]; then
     scripts/chaos.sh
+    continue
+  fi
+  if [ "${preset}" = bench ]; then
+    # Smoke-size bench run; fails if any BENCH_datapath.json metric
+    # regresses more than 20% below the checked-in baseline.
+    scripts/bench.sh --smoke
     continue
   fi
   cmake --preset "${preset}"

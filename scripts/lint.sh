@@ -19,6 +19,10 @@
 #                      event-matching machinery) is private to
 #                      src/faults/ — hook sites everywhere else go
 #                      through faults/fault_injector.h only.
+#   6. batched-fifo     no per-record fifo_.Push() in src/mr/ — shuffle
+#                      sinks move RecordBatches via PushAll (one lock
+#                      cycle and one wakeup per batch, see
+#                      mr/record_batch.h).
 #
 # Tests, benches and examples are exempt: the gate polices the library
 # layers, not the harnesses around them.
@@ -139,6 +143,17 @@ hits=$(grep -rnE 'faults/internal\.h|faults::internal' src/ \
 if [ -n "${hits}" ]; then
   echo "${hits}" >&2
   fail "faults/internal.h is private to src/faults/ — include faults/fault_injector.h instead"
+fi
+
+# ---------------------------------------------------------------------
+# 6. Batched FIFO: the shuffle data plane moves record batches.  A raw
+#    per-record fifo_.Push() in a src/mr/ sink reintroduces one
+#    lock/wakeup cycle per record — the exact overhead the batched
+#    design removed.
+hits=$(grep -rnE 'fifo_\.Push\(' src/mr/ --include='*.h' --include='*.cc' || true)
+if [ -n "${hits}" ]; then
+  echo "${hits}" >&2
+  fail "per-record fifo_.Push() in src/mr/ — sinks must batch via PushAll (mr/record_batch.h)"
 fi
 
 # ---------------------------------------------------------------------

@@ -101,6 +101,11 @@ class Decoder {
       if (in_.empty()) return false;
       uint8_t byte = static_cast<uint8_t>(in_[0]);
       in_.RemovePrefix(1);
+      // The 10th byte lands at shift 63, where only its low bit fits in
+      // the result.  Anything above it (a stray continuation bit or
+      // value bits past 2^63) would be shifted out silently, making two
+      // distinct byte strings decode to the same value — reject instead.
+      if (shift == 63 && (byte & 0xfe) != 0) return false;
       result |= static_cast<uint64_t>(byte & 0x7f) << shift;
       if (!(byte & 0x80)) {
         *v = result;

@@ -23,7 +23,9 @@ Status BarrierlessDriver::Consume(Slice key, Slice value,
     reducer_->Update(key, value, /*partial=*/nullptr, out);
     return Status::Ok();
   }
-  if (!store_->Get(key, &partial_scratch_)) {
+  bool found = false;
+  BMR_RETURN_IF_ERROR(store_->Get(key, &partial_scratch_, &found));
+  if (!found) {
     partial_scratch_ = reducer_->InitPartial(key);
   }
   reducer_->Update(key, value, &partial_scratch_, out);

@@ -7,18 +7,26 @@ namespace bmr::core {
 InMemoryStore::InMemoryStore(const StoreConfig& config)
     : config_(config), map_(MakeOrderedPartialMap(config.key_cmp)) {}
 
-bool InMemoryStore::Get(Slice key, std::string* partial) {
+Status InMemoryStore::Get(Slice key, std::string* partial, bool* found) {
   ++stats_.gets;
-  auto it = map_.find(key.ToString());
-  if (it == map_.end()) return false;
+  auto it = map_.find(key);  // transparent: no key copy
+  if (it == map_.end()) {
+    *found = false;
+    return Status::Ok();
+  }
   *partial = it->second;
-  return true;
+  *found = true;
+  return Status::Ok();
 }
 
 Status InMemoryStore::Put(Slice key, Slice partial) {
   ++stats_.puts;
-  auto [it, inserted] = map_.try_emplace(key.ToString());
-  if (inserted) {
+  // Transparent lower_bound: the owning key string is materialized only
+  // on a genuine insert, never on an update.
+  auto it = map_.lower_bound(key);
+  bool exists = it != map_.end() && !map_.key_comp()(key, it->first);
+  if (!exists) {
+    it = map_.emplace_hint(it, key.ToString(), std::string());
     memory_bytes_ += EntryFootprint(key.size(), partial.size());
   } else {
     // Replace: adjust for the value-size delta only.

@@ -15,7 +15,8 @@ class InMemoryStore final : public PartialStore {
  public:
   explicit InMemoryStore(const StoreConfig& config);
 
-  bool Get(Slice key, std::string* partial) override;
+  [[nodiscard]] Status Get(Slice key, std::string* partial,
+                           bool* found) override;
   [[nodiscard]] Status Put(Slice key, Slice partial) override;
   uint64_t NumKeys() const override { return map_.size(); }
   uint64_t MemoryBytes() const override { return memory_bytes_; }

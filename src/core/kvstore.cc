@@ -1,16 +1,27 @@
 #include "core/kvstore.h"
 
+#include <cstdio>
+
 #include <algorithm>
 
 #include "common/serde.h"
+#include "faults/fault_injector.h"
 
 namespace bmr::core {
 
 KvStoreBackend::KvStoreBackend(const StoreConfig& config)
     : config_(config),
       scratch_(config.scratch_dir),
+      log_path_(scratch_.FilePath("kvlog")),
       index_(KeyLess{config.key_cmp}) {
-  log_ = std::fopen(scratch_.FilePath("kvlog").c_str(), "w+b");
+  // A failed open is surfaced by CheckLog() on the first log access —
+  // constructors can't return Status.
+  log_ = std::fopen(log_path_.c_str(), "w+b");
+}
+
+Status KvStoreBackend::CheckLog() const {
+  if (log_ != nullptr) return Status::Ok();
+  return Status::Unavailable("kv store log failed to open: " + log_path_);
 }
 
 KvStoreBackend::~KvStoreBackend() {
@@ -28,8 +39,13 @@ void KvStoreBackend::Touch(LruList::iterator it) {
 }
 
 Status KvStoreBackend::WriteToLog(Slice key, Slice value, DiskLocation* loc) {
-  if (log_ == nullptr) return Status::Internal("kv log not open");
-  if (std::fseek(log_, static_cast<long>(log_tail_), SEEK_SET) != 0) {
+  BMR_RETURN_IF_ERROR(CheckLog());
+  if (config_.fault_injector != nullptr) {
+    BMR_RETURN_IF_ERROR(config_.fault_injector->OnSpillWrite(log_path_));
+  }
+  // fseeko: the log can exceed 2 GiB, so the offset must not be
+  // narrowed through long (32-bit on LLP64 targets).
+  if (::fseeko(log_, static_cast<off_t>(log_tail_), SEEK_SET) != 0) {
     return Status::Internal("kv log seek failed");
   }
   if (std::fwrite(value.data(), 1, value.size(), log_) != value.size()) {
@@ -45,7 +61,11 @@ Status KvStoreBackend::WriteToLog(Slice key, Slice value, DiskLocation* loc) {
 
 Status KvStoreBackend::ReadFromLog(const DiskLocation& loc,
                                    std::string* value) {
-  if (std::fseek(log_, static_cast<long>(loc.offset), SEEK_SET) != 0) {
+  BMR_RETURN_IF_ERROR(CheckLog());
+  if (config_.fault_injector != nullptr) {
+    BMR_RETURN_IF_ERROR(config_.fault_injector->OnSpillRead(log_path_));
+  }
+  if (::fseeko(log_, static_cast<off_t>(loc.offset), SEEK_SET) != 0) {
     return Status::Internal("kv log seek failed");
   }
   value->resize(loc.length);
@@ -69,46 +89,48 @@ Status KvStoreBackend::EvictIfNeeded() {
           WriteToLog(Slice(victim.key), Slice(victim.value), &idx->second));
     }
     cache_bytes_ -= EntryFootprint(victim.key.size(), victim.value.size());
-    cache_index_.erase(victim.key);
+    // Heterogeneous erase is C++23; find-then-erase avoids a key copy.
+    auto cidx = cache_index_.find(Slice(victim.key));
+    if (cidx != cache_index_.end()) cache_index_.erase(cidx);
     lru_.pop_back();
     ++evictions_;
   }
   return Status::Ok();
 }
 
-bool KvStoreBackend::Get(Slice key, std::string* partial) {
+Status KvStoreBackend::Get(Slice key, std::string* partial, bool* found) {
   ++stats_.gets;
   ChargeOp();
-  std::string k = key.ToString();
-  auto hit = cache_index_.find(k);
+  *found = false;
+  auto hit = cache_index_.find(key);  // transparent: no key copy
   if (hit != cache_index_.end()) {
     ++cache_hits_;
     Touch(hit->second);
     *partial = hit->second->value;
-    return true;
+    *found = true;
+    return Status::Ok();
   }
-  auto idx = index_.find(k);
-  if (idx == index_.end() || !idx->second.on_disk) return false;
+  auto idx = index_.find(key);
+  if (idx == index_.end() || !idx->second.on_disk) return Status::Ok();
   ++cache_misses_;
   std::string value;
-  if (!ReadFromLog(idx->second, &value).ok()) return false;
+  BMR_RETURN_IF_ERROR(ReadFromLog(idx->second, &value));
   // Install in cache (clean: disk already has this version).
-  lru_.push_front(CacheEntry{k, value, /*dirty=*/false});
-  cache_index_[k] = lru_.begin();
-  cache_bytes_ += EntryFootprint(k.size(), value.size());
-  (void)EvictIfNeeded();
+  lru_.push_front(CacheEntry{key.ToString(), value, /*dirty=*/false});
+  cache_index_[lru_.front().key] = lru_.begin();
+  cache_bytes_ += EntryFootprint(key.size(), value.size());
+  // Eviction to make room may have to write back a dirty victim; a
+  // failed write-back is lost data and must surface, not be swallowed.
+  BMR_RETURN_IF_ERROR(EvictIfNeeded());
   *partial = std::move(value);
-  return true;
+  *found = true;
+  return Status::Ok();
 }
 
 Status KvStoreBackend::Put(Slice key, Slice partial) {
   ++stats_.puts;
   ChargeOp();
-  std::string k = key.ToString();
-  // Ensure the key exists in the directory (location filled on evict).
-  index_.try_emplace(k);
-
-  auto hit = cache_index_.find(k);
+  auto hit = cache_index_.find(key);  // transparent: no key copy
   if (hit != cache_index_.end()) {
     CacheEntry& entry = *hit->second;
     cache_bytes_ += partial.size();
@@ -117,9 +139,14 @@ Status KvStoreBackend::Put(Slice key, Slice partial) {
     entry.dirty = true;
     Touch(hit->second);
   } else {
-    lru_.push_front(CacheEntry{k, partial.ToString(), /*dirty=*/true});
-    cache_index_[k] = lru_.begin();
-    cache_bytes_ += EntryFootprint(k.size(), partial.size());
+    // Ensure the key exists in the directory (location filled on
+    // evict).  Only this insert path materializes an owning key.
+    std::string k = key.ToString();
+    index_.try_emplace(k);
+    lru_.push_front(CacheEntry{std::move(k), partial.ToString(),
+                               /*dirty=*/true});
+    cache_index_[lru_.front().key] = lru_.begin();
+    cache_bytes_ += EntryFootprint(key.size(), partial.size());
   }
   stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, cache_bytes_);
   return EvictIfNeeded();

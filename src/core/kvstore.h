@@ -28,7 +28,8 @@ class KvStoreBackend final : public PartialStore {
   explicit KvStoreBackend(const StoreConfig& config);
   ~KvStoreBackend() override;
 
-  bool Get(Slice key, std::string* partial) override;
+  [[nodiscard]] Status Get(Slice key, std::string* partial,
+                           bool* found) override;
   [[nodiscard]] Status Put(Slice key, Slice partial) override;
   uint64_t NumKeys() const override { return index_.size(); }
   uint64_t MemoryBytes() const override { return cache_bytes_; }
@@ -60,14 +61,18 @@ class KvStoreBackend final : public PartialStore {
   [[nodiscard]] Status EvictIfNeeded();
   [[nodiscard]] Status WriteToLog(Slice key, Slice value, DiskLocation* loc);
   [[nodiscard]] Status ReadFromLog(const DiskLocation& loc, std::string* value);
+  /// Ok iff the backing log file opened; otherwise an explanatory error.
+  [[nodiscard]] Status CheckLog() const;
 
   StoreConfig config_;
   ScratchDir scratch_;
+  std::string log_path_;
   std::FILE* log_ = nullptr;
   uint64_t log_tail_ = 0;
 
   LruList lru_;  // front = most recent
-  std::unordered_map<std::string, LruList::iterator> cache_index_;
+  std::unordered_map<std::string, LruList::iterator, SliceHash, SliceEq>
+      cache_index_;
   uint64_t cache_bytes_ = 0;
 
   /// Ordered key directory: key → latest on-disk location (if any).

@@ -87,8 +87,13 @@ class PartialStore {
  public:
   virtual ~PartialStore() = default;
 
-  /// Fetch the current partial result for `key`; false if absent.
-  virtual bool Get(Slice key, std::string* partial) = 0;
+  /// Fetch the current partial result for `key`.  `*found` reports
+  /// presence; the Status carries I/O errors (a disk-backed store may
+  /// have to page the value in, or evict a dirty victim to make room —
+  /// a failed victim write-back is data loss and must be loud, not
+  /// swallowed).  On error `*found` is false and `*partial` untouched.
+  [[nodiscard]] virtual Status Get(Slice key, std::string* partial,
+                                   bool* found) = 0;
 
   /// Insert or replace the partial result for `key`.  May return
   /// RESOURCE_EXHAUSTED (in-memory store at its heap cap) or I/O errors.

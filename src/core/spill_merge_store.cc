@@ -10,35 +10,46 @@ SpillMergeStore::SpillMergeStore(const StoreConfig& config)
       scratch_(config.scratch_dir),
       memtable_(MakeOrderedPartialMap(config.key_cmp)) {}
 
-bool SpillMergeStore::Get(Slice key, std::string* partial) {
+Status SpillMergeStore::Get(Slice key, std::string* partial, bool* found) {
   ++stats_.gets;
   // Only the memtable is consulted: spilled fragments stay on disk and
   // are reconciled in the merge phase.  A key that was spilled restarts
   // from InitPartial, exactly as in the paper's scheme.
-  auto it = memtable_.find(key.ToString());
-  if (it == memtable_.end()) return false;
+  auto it = memtable_.find(key);  // transparent: no key copy
+  if (it == memtable_.end()) {
+    *found = false;
+    return Status::Ok();
+  }
   *partial = it->second;
-  return true;
+  *found = true;
+  return Status::Ok();
 }
 
 Status SpillMergeStore::Put(Slice key, Slice partial) {
   ++stats_.puts;
-  auto [it, inserted] = memtable_.try_emplace(key.ToString());
-  if (inserted) {
-    memory_bytes_ += EntryFootprint(key.size(), partial.size());
-    ++approx_keys_;
-    ++memtable_keys_;
-  } else {
-    memory_bytes_ += partial.size();
-    memory_bytes_ -= it->second.size();
-  }
-  it->second.assign(partial.data(), partial.size());
-  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, memory_bytes_);
+  auto it = memtable_.lower_bound(key);
+  bool exists = it != memtable_.end() && !memtable_.key_comp()(key, it->first);
 
-  if (config_.heap_limit_bytes != 0 &&
-      memory_bytes_ > config_.heap_limit_bytes) {
+  // Check the heap cap on the *prospective* footprint, before touching
+  // the memtable: a rejected Put must leave the store (keys, bytes,
+  // peak stats) exactly as it found it, so the OOM boundary is
+  // observable and consistent.
+  uint64_t new_bytes =
+      exists ? memory_bytes_ + partial.size() - it->second.size()
+             : memory_bytes_ + EntryFootprint(key.size(), partial.size());
+  if (config_.heap_limit_bytes != 0 && new_bytes > config_.heap_limit_bytes) {
     return Status::ResourceExhausted("spill store exceeded heap cap");
   }
+
+  if (!exists) {
+    it = memtable_.emplace_hint(it, key.ToString(), std::string());
+    ++approx_keys_;
+    ++memtable_keys_;
+  }
+  it->second.assign(partial.data(), partial.size());
+  memory_bytes_ = new_bytes;
+  stats_.peak_memory_bytes = std::max(stats_.peak_memory_bytes, memory_bytes_);
+
   if (memory_bytes_ >= config_.spill_threshold_bytes && !memtable_.empty()) {
     return SpillNow();
   }

@@ -23,7 +23,8 @@ class SpillMergeStore final : public PartialStore {
  public:
   explicit SpillMergeStore(const StoreConfig& config);
 
-  bool Get(Slice key, std::string* partial) override;
+  [[nodiscard]] Status Get(Slice key, std::string* partial,
+                           bool* found) override;
   [[nodiscard]] Status Put(Slice key, Slice partial) override;
   uint64_t NumKeys() const override;
   uint64_t MemoryBytes() const override { return memory_bytes_; }

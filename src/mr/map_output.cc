@@ -180,4 +180,20 @@ Status DecodeSegment(Slice segment, std::vector<Record>* out) {
   return Status::Ok();
 }
 
+Status DecodeSegment(std::shared_ptr<const std::string> segment,
+                     RecordBatch* out) {
+  Slice contents(*segment);
+  RecordBatch batch(std::move(segment));
+  Decoder dec(contents);
+  while (!dec.empty()) {
+    Slice key, value;
+    if (!dec.GetString(&key) || !dec.GetString(&value)) {
+      return Status::DataLoss("malformed shuffle segment");
+    }
+    batch.Add(key, value);
+  }
+  *out = std::move(batch);
+  return Status::Ok();
+}
+
 }  // namespace bmr::mr

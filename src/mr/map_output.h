@@ -14,6 +14,7 @@
 #include "common/thread_annotations.h"
 #include "mr/api.h"
 #include "mr/job.h"
+#include "mr/record_batch.h"
 #include "mr/types.h"
 #include "net/rpc.h"
 
@@ -87,7 +88,14 @@ void UnregisterShuffleService(net::RpcFabric* fabric, int node, int job_id);
                     int map_task, int partition, std::string* segment,
                     int job_id = 0);
 
-/// Decode a framed segment into records, appending to `out`.
+/// Decode a framed segment into records, appending to `out`.  Copies
+/// every key and value; prefer the RecordBatch overload on hot paths.
 [[nodiscard]] Status DecodeSegment(Slice segment, std::vector<Record>* out);
+
+/// Zero-copy decode: `out` takes shared ownership of `segment` and its
+/// entries are Slice views into it — no key or value bytes are copied.
+/// `out` is reset first.
+[[nodiscard]] Status DecodeSegment(std::shared_ptr<const std::string> segment,
+                                   RecordBatch* out);
 
 }  // namespace bmr::mr

@@ -70,19 +70,23 @@ std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
         if (st.ok()) {
           st = FetchSegment(fabric_, loc.node, node, m, r, &segment, job_id_);
         }
-        std::vector<Record> records;
+        RecordBatch batch;
         if (st.ok()) {
           if (options_.injector) {
             options_.injector->MaybeCorruptSegment(loc.node, m, &segment);
           }
-          st = DecodeSegment(Slice(segment), &records);
+          // The batch takes shared ownership of the segment buffer and
+          // views into it — the last batch standing frees the bytes.
+          st = DecodeSegment(
+              std::make_shared<const std::string>(std::move(segment)),
+              &batch);
         }
         if (st.ok()) {
-          f->bytes_.fetch_add(segment.size());
+          f->bytes_.fetch_add(batch.buffer()->size());
           // Record the consumed attempt before handing records to the
           // sink, so a concurrent loss report can never miss us.
           NoteDelivered(f, m, loc.version);
-          sink->Accept(m, std::move(records));
+          sink->Accept(m, std::move(batch));
           break;
         }
         if (options_.fail_on_fetch_error) {

@@ -28,19 +28,28 @@
 #include "concurrency/thread_pool.h"
 #include "faults/fault_injector.h"
 #include "mr/map_output.h"
+#include "mr/record_batch.h"
 #include "mr/shuffle.h"
 #include "mr/types.h"
 #include "net/rpc.h"
 
 namespace bmr::mr {
 
+/// Default payload-byte budget of one FIFO batch (see FifoSink); the
+/// `shuffle.batch_bytes` config knob overrides it per job.
+inline constexpr uint64_t kDefaultShuffleBatchBytes = 256 << 10;
+/// Default FIFO capacity in *batches* (`shuffle.fifo_batches` knob):
+/// bounds reducer-side buffering at roughly capacity x batch budget.
+inline constexpr size_t kDefaultShuffleFifoBatches = 64;
+
 /// Destination of one reducer's fetched records.
 class ShuffleSink {
  public:
   virtual ~ShuffleSink() = default;
-  /// Deliver one mapper's decoded records.  Returns false once the
+  /// Deliver one mapper's decoded records as a zero-copy batch (the
+  /// batch keeps the fetched segment alive).  Returns false once the
   /// sink has stopped accepting (job cancelled).
-  virtual bool Accept(int map_task, std::vector<Record> records) = 0;
+  virtual bool Accept(int map_task, RecordBatch batch) = 0;
   /// Every mapper's output has been delivered.
   virtual void AllDelivered() {}
   /// Unblock any producer or consumer immediately (job failure).
@@ -52,38 +61,43 @@ class BarrierSink final : public ShuffleSink {
  public:
   explicit BarrierSink(int num_map_tasks) : runs_(num_map_tasks) {}
 
-  bool Accept(int map_task, std::vector<Record> records) override {
-    runs_[map_task] = std::move(records);  // one producer per slot
+  bool Accept(int map_task, RecordBatch batch) override {
+    runs_[map_task] = std::move(batch);  // one producer per slot
     return true;
   }
   void Cancel() override {}  // fetchers unblock via the tracker
 
-  std::vector<std::vector<Record>>& runs() { return runs_; }
+  std::vector<RecordBatch>& runs() { return runs_; }
 
  private:
-  std::vector<std::vector<Record>> runs_;
+  std::vector<RecordBatch> runs_;
 };
 
-/// Barrier-less sink: the single FIFO record buffer of §3.1; fetchers
-/// push while the reduce thread pops in arrival order.
+/// Barrier-less sink: the single FIFO buffer of §3.1; fetchers push
+/// while the reduce thread drains in arrival order.  The FIFO moves
+/// byte-budgeted RecordBatches, not records: one mapper's segment is
+/// carved into sub-batches of at most `batch_bytes` payload (sharing
+/// the segment buffer) and enqueued under a single lock acquisition,
+/// so per-record mutex/condvar traffic is gone from the data plane.
 class FifoSink final : public ShuffleSink {
  public:
-  explicit FifoSink(size_t capacity) : fifo_(capacity) {}
+  explicit FifoSink(size_t capacity_batches,
+                    uint64_t batch_bytes = kDefaultShuffleBatchBytes)
+      : batch_bytes_(batch_bytes), fifo_(capacity_batches) {}
 
-  bool Accept(int map_task, std::vector<Record> records) override {
+  bool Accept(int map_task, RecordBatch batch) override {
     (void)map_task;
-    for (auto& record : records) {
-      if (!fifo_.Push(std::move(record))) return false;  // closed
-    }
-    return true;
+    if (batch.empty()) return !fifo_.closed();
+    return fifo_.PushAll(batch.SplitByBytes(batch_bytes_));
   }
   void AllDelivered() override { fifo_.Close(); }
   void Cancel() override { fifo_.Close(); }
 
-  BoundedQueue<Record>& fifo() { return fifo_; }
+  BoundedQueue<RecordBatch>& fifo() { return fifo_; }
 
  private:
-  BoundedQueue<Record> fifo_;
+  uint64_t batch_bytes_;
+  BoundedQueue<RecordBatch> fifo_;
 };
 
 /// Fetch-path tuning and fault hooks for a ShuffleService.  Namespace

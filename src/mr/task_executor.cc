@@ -11,7 +11,6 @@ namespace bmr::mr {
 
 namespace {
 
-constexpr size_t kFifoCapacity = 64 << 10;
 constexpr uint64_t kMemorySampleEvery = 2048;
 
 /// Concrete MapContext: forwards emits to the collector.
@@ -217,8 +216,15 @@ Status ReduceTaskExecutor::RunBarrier(int r, int node,
   double barrier_time = metrics_->Now();
   metrics_->RecordEvent(Phase::kShuffle, r, node, shuffle_start, barrier_time);
 
-  // Barrier reached: merge-sort the per-mapper buffers (Fig. 2(c)).
-  std::vector<std::vector<Record>>& runs = sink.runs();
+  // Barrier reached: materialize the per-mapper batches (the barrier
+  // path owns and reorders records, so this is where the copy belongs)
+  // and merge-sort them (Fig. 2(c)).
+  std::vector<std::vector<Record>> runs;
+  runs.reserve(sink.runs().size());
+  for (RecordBatch& batch : sink.runs()) {
+    runs.push_back(batch.ToRecords());
+    batch = RecordBatch();  // release the fetched buffer early
+  }
   std::vector<Record> records;
   if (spec_.map_side_sort) {
     records = MergeSortedRuns(std::move(runs), spec_.sort_cmp);
@@ -259,11 +265,18 @@ Status ReduceTaskExecutor::RunBarrierless(int r, int node,
   double start = metrics_->Now();
 
   // Single FIFO buffer shared by all fetchers; the reduce thread (this
-  // one) drains it record by record (§3.1 design decision (2)).  The
-  // sink registration lives exactly as long as `fetch` (RAII), so an
-  // early return can never leave a dangling queue behind for a
-  // concurrent JobControl::Fail to close.
-  FifoSink sink(kFifoCapacity);
+  // one) drains it a byte-budgeted batch at a time, in arrival order
+  // (§3.1 design decision (2)).  The sink registration lives exactly
+  // as long as `fetch` (RAII), so an early return can never leave a
+  // dangling queue behind for a concurrent JobControl::Fail to close.
+  size_t fifo_batches = static_cast<size_t>(spec_.config.GetInt(
+      "shuffle.fifo_batches",
+      static_cast<int64_t>(kDefaultShuffleFifoBatches)));
+  uint64_t batch_bytes = static_cast<uint64_t>(spec_.config.GetInt(
+      "shuffle.batch_bytes",
+      static_cast<int64_t>(kDefaultShuffleBatchBytes)));
+  if (fifo_batches == 0) fifo_batches = 1;
+  FifoSink sink(fifo_batches, batch_bytes);
   auto fetch = shuffle_->StartFetch(
       r, node, &sink, relaunch_,
       [this](const Status& st) { control_->Fail(st); });
@@ -292,19 +305,27 @@ Status ReduceTaskExecutor::RunBarrierless(int r, int node,
   }
   uint64_t consumed = 0;
   Status consume_st;
-  while (auto item = sink.fifo().Pop()) {
-    Status st = driver.Consume(Slice(item->key), Slice(item->value), &emitter);
-    if (!st.ok()) {
-      metrics_->SampleMemory(r, driver.MemoryBytes());
-      consume_st = st;
-      // Close our own FIFO so producers stop blocking, then fall
-      // through to the join — Execute (or the job) handles the error.
-      sink.Cancel();
-      break;
+  std::vector<RecordBatch> batches;
+  while (consume_st.ok() && sink.fifo().PopAll(&batches) > 0) {
+    for (const RecordBatch& batch : batches) {
+      for (const RecordBatch::Entry& entry : batch) {
+        Status st = driver.Consume(entry.key, entry.value, &emitter);
+        if (!st.ok()) {
+          metrics_->SampleMemory(r, driver.MemoryBytes());
+          consume_st = st;
+          // Close our own FIFO so producers stop blocking, then fall
+          // through to the join — Execute (or the job) handles the
+          // error.
+          sink.Cancel();
+          break;
+        }
+        if (++consumed % kMemorySampleEvery == 0) {
+          metrics_->SampleMemory(r, driver.MemoryBytes());
+        }
+      }
+      if (!consume_st.ok()) break;
     }
-    if (++consumed % kMemorySampleEvery == 0) {
-      metrics_->SampleMemory(r, driver.MemoryBytes());
-    }
+    batches.clear();  // drop the batch views — frees fetched buffers
   }
   fetch->Join();
   ctx->counters()->Add(kCtrShuffleBytes, fetch->bytes_fetched());

@@ -170,6 +170,44 @@ TEST(ChaosTest, SeededScenariosMatchFaultFreeGolden) {
   }
 }
 
+// Batched delivery is an implementation detail of the data plane, not
+// an observable: for every store backend, shrinking the FIFO batch
+// budget to pathological sizes (every record its own batch; the FIFO
+// one batch deep) must yield output byte-identical to the default
+// batching's golden run.
+TEST(ChaosTest, BatchedDeliveryPreservesOutputAcrossStores) {
+  struct BatchKnobs {
+    int64_t fifo_batches;
+    int64_t batch_bytes;
+  };
+  // Default; 1-byte budget (one record per batch, max wakeup traffic);
+  // single-slot FIFO with small batches (constant full/empty edges).
+  const BatchKnobs kKnobs[] = {{64, 256 << 10}, {64, 1}, {1, 512}};
+  for (core::StoreType store : kStores) {
+    std::vector<std::string> golden;
+    for (size_t k = 0; k < std::size(kKnobs); ++k) {
+      auto cluster = MakeChaosCluster();
+      auto files = MakeInput(cluster.get(), "wordcount");
+      mr::JobSpec spec = MakeChaosSpec("wordcount", files, store, "/out");
+      spec.config.SetInt("shuffle.fifo_batches", kKnobs[k].fifo_batches);
+      spec.config.SetInt("shuffle.batch_bytes", kKnobs[k].batch_bytes);
+      auto out = testutil::RunAndReadOutput(cluster.get(), spec);
+      ASSERT_TRUE(out.ok()) << core::StoreTypeName(store) << " knobs " << k
+                            << ": " << out.status();
+      auto seq = testutil::ExactSequence(*out);
+      ASSERT_FALSE(seq.empty());
+      if (k == 0) {
+        golden = std::move(seq);
+      } else {
+        EXPECT_EQ(seq, golden)
+            << "batch knobs (" << kKnobs[k].fifo_batches << ", "
+            << kKnobs[k].batch_bytes << ") changed output for store "
+            << core::StoreTypeName(store);
+      }
+    }
+  }
+}
+
 // The harness has teeth: disable the recovery path and the same kind
 // of fault must fail the run (and hence the sweep above would catch a
 // recovery regression, not silently pass).

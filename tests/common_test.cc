@@ -100,6 +100,35 @@ TEST(SerdeTest, TruncatedInputFailsCleanly) {
   EXPECT_FALSE(dec2.GetVarint64(&v));
 }
 
+TEST(SerdeTest, OverlongVarintFinalByteRejected) {
+  // A 10-byte varint reaches shift 63, where only the low bit of the
+  // last byte fits in a uint64_t.  Bytes with value bits above 2^63
+  // used to be silently truncated: "\xff...\x7f" (last byte 0x7f)
+  // decoded to the same value as a valid UINT64_MAX encoding.  Malformed
+  // input must fail, not alias a legitimate value.
+  uint64_t v = 0;
+  // Valid: nine 0xff continuation bytes, final byte 0x01 => UINT64_MAX.
+  Decoder ok(Slice("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01", 10));
+  ASSERT_TRUE(ok.GetVarint64(&v));
+  EXPECT_EQ(v, UINT64_MAX);
+
+  // Overflow value bits in the 10th byte.
+  Decoder overflow(Slice("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f", 10));
+  EXPECT_FALSE(overflow.GetVarint64(&v));
+
+  // Continuation bit set on the 10th byte (11-byte varint).
+  Decoder too_long(Slice("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x81\x00", 11));
+  EXPECT_FALSE(too_long.GetVarint64(&v));
+
+  // Smallest bad final byte: 0x02 (bit 64) must be rejected while 0x01
+  // (bit 63) is fine — the boundary is exact.
+  Decoder bit64(Slice("\x80\x80\x80\x80\x80\x80\x80\x80\x80\x02", 10));
+  EXPECT_FALSE(bit64.GetVarint64(&v));
+  Decoder bit63(Slice("\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01", 10));
+  ASSERT_TRUE(bit63.GetVarint64(&v));
+  EXPECT_EQ(v, 1ull << 63);
+}
+
 /// Property: the ordered i64 encoding preserves numeric order bytewise.
 class OrderedEncodingTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -34,6 +34,22 @@ ShuffleService::ErrorFn NoError() {
   return [](const Status& st) { FAIL() << "unexpected error: " << st; };
 }
 
+/// Drain the sink's FIFO batch-wise until it closes, materializing the
+/// entries (the batches — and the buffers they pin — die here).
+std::multiset<std::pair<std::string, std::string>> DrainFifo(FifoSink& sink) {
+  std::multiset<std::pair<std::string, std::string>> got;
+  std::vector<RecordBatch> batches;
+  while (sink.fifo().PopAll(&batches) > 0) {
+    for (const RecordBatch& batch : batches) {
+      for (const RecordBatch::Entry& entry : batch) {
+        got.emplace(entry.key.ToString(), entry.value.ToString());
+      }
+    }
+    batches.clear();
+  }
+  return got;
+}
+
 TEST(ShuffleServiceTest, FifoSinkReceivesEveryMapOutputThenCloses) {
   net::RpcFabric fabric(3);
   ShuffleService service(&fabric, 3, /*num_map_tasks=*/2, /*job_id=*/7);
@@ -45,11 +61,8 @@ TEST(ShuffleServiceTest, FifoSinkReceivesEveryMapOutputThenCloses) {
   auto fetch = service.StartFetch(0, /*node=*/2, &sink, NoRelaunch(),
                                   NoError());
   // The last fetcher calls AllDelivered => the FIFO closes by itself,
-  // so draining to nullopt terminates without any external signal.
-  std::multiset<std::pair<std::string, std::string>> got;
-  while (auto record = sink.fifo().Pop()) {
-    got.emplace(record->key, record->value);
-  }
+  // so the batch drain terminates without any external signal.
+  auto got = DrainFifo(sink);
   fetch->Join();
   EXPECT_GT(fetch->bytes_fetched(), 0u);
 
@@ -72,9 +85,9 @@ TEST(ShuffleServiceTest, BarrierSinkCollectsPerMapperRuns) {
 
   ASSERT_EQ(sink.runs().size(), 2u);
   ASSERT_EQ(sink.runs()[0].size(), 1u);
-  EXPECT_EQ(sink.runs()[0][0].key, "x");
+  EXPECT_EQ(sink.runs()[0][0].key.ToString(), "x");
   ASSERT_EQ(sink.runs()[1].size(), 2u);
-  EXPECT_EQ(sink.runs()[1][0].key, "y");
+  EXPECT_EQ(sink.runs()[1][0].key.ToString(), "y");
 }
 
 TEST(ShuffleServiceTest, CancelAfterFetchDestructionTouchesNoDeadSink) {
@@ -89,8 +102,8 @@ TEST(ShuffleServiceTest, CancelAfterFetchDestructionTouchesNoDeadSink) {
     FifoSink sink(4);
     auto fetch = service.StartFetch(0, /*node=*/2, &sink, NoRelaunch(),
                                     NoError());
-    while (sink.fifo().Pop()) {
-    }
+    std::vector<RecordBatch> batches;
+    while (sink.fifo().PopAll(&batches) > 0) batches.clear();
     // Early return path: fetch and sink die here, without Cancel.
   }
   service.Cancel();  // must be a no-op on the unregistered sink
@@ -119,8 +132,7 @@ TEST(ShuffleServiceTest, TransientFetchFailuresAreRetriedUntilSuccess) {
   FifoSink sink(4);
   auto fetch = service.StartFetch(0, /*node=*/2, &sink, NoRelaunch(),
                                   NoError());
-  std::multiset<std::pair<std::string, std::string>> got;
-  while (auto record = sink.fifo().Pop()) got.emplace(record->key, record->value);
+  auto got = DrainFifo(sink);
   fetch->Join();
 
   EXPECT_EQ(got, (std::multiset<std::pair<std::string, std::string>>{

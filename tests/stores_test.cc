@@ -11,9 +11,19 @@
 #include "core/kvstore.h"
 #include "core/partial_store.h"
 #include "core/spill_merge_store.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 
 namespace bmr::core {
 namespace {
+
+/// Get that fails the test on an I/O error; returns presence.
+bool GetOk(PartialStore& store, Slice key, std::string* partial) {
+  bool found = false;
+  Status st = store.Get(key, partial, &found);
+  EXPECT_TRUE(st.ok()) << st;
+  return found;
+}
 
 /// Counting workload: Put(key, old+1) read-modify-update, like
 /// barrier-less WordCount.
@@ -23,7 +33,13 @@ std::map<std::string, int64_t> DriveCounts(PartialStore* store,
   for (const auto& key : keys) {
     std::string partial;
     int64_t n = 0;
-    if (store->Get(Slice(key), &partial)) DecodeI64(Slice(partial), &n);
+    bool found = false;
+    Status get_st = store->Get(Slice(key), &partial, &found);
+    if (!get_st.ok()) {
+      *final_status = get_st;
+      return {};
+    }
+    if (found) DecodeI64(Slice(partial), &n);
     Status st = store->Put(Slice(key), Slice(EncodeI64(n + 1)));
     if (!st.ok()) {
       *final_status = st;
@@ -67,12 +83,12 @@ TEST(InMemoryStoreTest, GetPutRoundTrip) {
   StoreConfig config;
   InMemoryStore store(config);
   std::string partial;
-  EXPECT_FALSE(store.Get("a", &partial));
+  EXPECT_FALSE(GetOk(store, "a", &partial));
   ASSERT_TRUE(store.Put("a", "1").ok());
-  ASSERT_TRUE(store.Get("a", &partial));
+  ASSERT_TRUE(GetOk(store, "a", &partial));
   EXPECT_EQ(partial, "1");
   ASSERT_TRUE(store.Put("a", "22").ok());
-  ASSERT_TRUE(store.Get("a", &partial));
+  ASSERT_TRUE(GetOk(store, "a", &partial));
   EXPECT_EQ(partial, "22");
   EXPECT_EQ(store.NumKeys(), 1u);
 }
@@ -177,7 +193,7 @@ TEST(SpillMergeStoreTest, ExplicitSpillKeepsGetSemantics) {
   // After a spill the memtable no longer knows the key: the paper's
   // scheme restarts the partial and reconciles in the merge.
   std::string partial;
-  EXPECT_FALSE(store.Get("k", &partial));
+  EXPECT_FALSE(GetOk(store, "k", &partial));
   EXPECT_EQ(store.MemoryBytes(), 0u);
   ASSERT_TRUE(store.Put("k", EncodeI64(2)).ok());
   int64_t total = 0;
@@ -209,7 +225,7 @@ TEST(KvStoreTest, EvictsToDiskAndReadsBack) {
   // Every key must still be readable (cache miss => disk read).
   for (int i = 0; i < 200; ++i) {
     std::string v;
-    ASSERT_TRUE(store.Get("key" + std::to_string(i), &v))
+    ASSERT_TRUE(GetOk(store, "key" + std::to_string(i), &v))
         << "lost key " << i;
     EXPECT_EQ(v, std::string(40, 'a' + i % 26));
   }
@@ -239,15 +255,96 @@ TEST(KvStoreTest, UpdatedValueWinsAfterEviction) {
     ASSERT_TRUE(store.Put("fill" + std::to_string(i), std::string(64, 'x')).ok());
   }
   std::string v;
-  ASSERT_TRUE(store.Get("target", &v));
+  ASSERT_TRUE(GetOk(store, "target", &v));
   EXPECT_EQ(v, "old");
   ASSERT_TRUE(store.Put("target", "new").ok());
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(
         store.Put("fill2" + std::to_string(i), std::string(64, 'x')).ok());
   }
-  ASSERT_TRUE(store.Get("target", &v));
+  ASSERT_TRUE(GetOk(store, "target", &v));
   EXPECT_EQ(v, "new");
+}
+
+TEST(KvStoreTest, DirtyEvictionWriteFailureSurfacesFromPut) {
+  faults::FaultEvent fail;
+  fail.kind = faults::FaultKind::kSpillWriteError;
+  fail.count = 1;  // exactly the first log write fails
+  faults::FaultPlan plan;
+  plan.events = {fail};
+  faults::FaultInjector injector(plan);
+
+  StoreConfig config;
+  config.type = StoreType::kKvStore;
+  config.kv_cache_bytes = 1024;  // tiny: filling evicts dirty entries
+  config.fault_injector = &injector;
+  KvStoreBackend store(config);
+
+  Status last = Status::Ok();
+  for (int i = 0; i < 100 && last.ok(); ++i) {
+    last = store.Put("key" + std::to_string(i), std::string(64, 'x'));
+  }
+  // The dirty victim's write-back failed; the Put that triggered the
+  // eviction must report it, not swallow it.
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable) << last;
+}
+
+TEST(KvStoreTest, EvictionWriteFailureSurfacesFromGet) {
+  // Same data-loss hazard via the Get path: a cache-miss read pages a
+  // value in, and the eviction making room may write back a dirty
+  // victim.  Before the fix that status was discarded.
+  faults::FaultEvent fail;
+  fail.kind = faults::FaultKind::kSpillWriteError;
+  fail.after_calls = 1;  // let the first write-back (from Put) through
+  fail.count = 1;
+  faults::FaultPlan plan;
+  plan.events = {fail};
+  faults::FaultInjector injector(plan);
+
+  StoreConfig config;
+  config.type = StoreType::kKvStore;
+  config.kv_cache_bytes = 512;
+  config.fault_injector = &injector;
+  KvStoreBackend store(config);
+
+  // Two entries that can't coexist in the cache: writing A then B
+  // evicts A (write-back #1, allowed through).  Reading A pages it back
+  // in and evicts dirty B (write-back #2, injected to fail).
+  ASSERT_TRUE(store.Put("aaaa", std::string(300, 'a')).ok());
+  ASSERT_TRUE(store.Put("bbbb", std::string(300, 'b')).ok());
+  std::string v;
+  bool found = false;
+  Status st = store.Get("aaaa", &v, &found);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st;
+  EXPECT_FALSE(found);
+}
+
+TEST(SpillMergeStoreTest, HeapCapRejectsBeforeMutation) {
+  StoreConfig config;
+  config.type = StoreType::kSpillMerge;
+  config.heap_limit_bytes = 512;
+  config.spill_threshold_bytes = 1 << 30;  // never spill in this test
+  SpillMergeStore store(config);
+  ASSERT_TRUE(store.Put("small", "v").ok());
+  uint64_t keys_before = store.NumKeys();
+  uint64_t bytes_before = store.MemoryBytes();
+  uint64_t peak_before = store.stats().peak_memory_bytes;
+
+  Status st = store.Put("huge", std::string(4096, 'x'));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  // The rejected Put must not have touched the memtable or stats: no
+  // phantom key, no inflated byte count, no moved peak.
+  EXPECT_EQ(store.NumKeys(), keys_before);
+  EXPECT_EQ(store.MemoryBytes(), bytes_before);
+  EXPECT_EQ(store.stats().peak_memory_bytes, peak_before);
+  // An oversize *update* of an existing key is also rejected unmutated.
+  st = store.Put("small", std::string(4096, 'y'));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  std::string v;
+  ASSERT_TRUE(GetOk(store, "small", &v));
+  EXPECT_EQ(v, "v");
+  // The store remains usable after rejections.
+  ASSERT_TRUE(store.Put("other", "w").ok());
 }
 
 /// Property: all three stores produce identical merged results on the

@@ -106,5 +106,137 @@ TEST(ShutdownStressTest, AsyncCloseNeverLosesAcceptedItems) {
   }
 }
 
+// Batched data plane: several producers push record batches with
+// PushAll while one consumer drains batch-wise with PopAll — the exact
+// shape of the barrier-less shuffle's fetcher/reducer threads.
+// Invariant: every item of every accepted batch arrives exactly once
+// (batches are atomic: all-in or rejected whole).
+TEST(BatchedQueueStressTest, PushAllPopAllDeliverEveryBatchExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kBatchesPerProducer = 300;
+  constexpr int kBatchSize = 7;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> queue(3);  // tiny: constant full/empty transitions
+    std::atomic<long> pushed_sum{0};
+    long popped_sum = 0;
+    long popped_count = 0;
+    {
+      ThreadPool pool(kProducers);
+      for (int p = 0; p < kProducers; ++p) {
+        pool.Submit([&queue, &pushed_sum, p] {
+          for (int b = 0; b < kBatchesPerProducer; ++b) {
+            std::vector<int> batch;
+            long sum = 0;
+            for (int i = 0; i < kBatchSize; ++i) {
+              int v = p * 1000000 + b * 100 + i;
+              batch.push_back(v);
+              sum += v;
+            }
+            if (!queue.PushAll(std::move(batch))) return;
+            pushed_sum.fetch_add(sum);
+          }
+        });
+      }
+      std::vector<int> drained;
+      // Consumer runs on this thread; producers close nothing, so the
+      // drain ends when every producer is done and the queue is empty.
+      long expect =
+          static_cast<long>(kProducers) * kBatchesPerProducer * kBatchSize;
+      while (popped_count < expect) {
+        drained.clear();
+        size_t n = queue.PopAll(&drained);
+        ASSERT_GT(n, 0u) << "queue closed early, round " << round;
+        for (int v : drained) popped_sum += v;
+        popped_count += static_cast<long>(n);
+      }
+      pool.Wait();
+    }
+    EXPECT_EQ(popped_count,
+              static_cast<long>(kProducers) * kBatchesPerProducer * kBatchSize);
+    EXPECT_EQ(popped_sum, pushed_sum.load()) << "round " << round;
+    EXPECT_EQ(queue.size(), 0u);
+  }
+}
+
+TEST(BatchedQueueStressTest, CloseUnblocksBatchProducersAndConsumers) {
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> queue(2);
+    std::atomic<int> producer_exits{0};
+    std::atomic<int> consumer_exits{0};
+    {
+      ThreadPool pool(6);
+      for (int p = 0; p < 3; ++p) {
+        pool.Submit([&queue, &producer_exits] {
+          while (queue.PushAll({1, 2, 3, 4, 5})) {
+          }
+          producer_exits.fetch_add(1);
+        });
+      }
+      for (int c = 0; c < 3; ++c) {
+        pool.Submit([&queue, &consumer_exits] {
+          std::vector<int> out;
+          while (queue.PopAll(&out) > 0) out.clear();
+          consumer_exits.fetch_add(1);
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + round % 3));
+      queue.Close();
+      pool.Wait();  // deadlocks if Close() loses a batched waiter
+    }
+    EXPECT_EQ(producer_exits.load(), 3) << "round " << round;
+    EXPECT_EQ(consumer_exits.load(), 3) << "round " << round;
+  }
+}
+
+// Mixed single-record and batched traffic against the transition-based
+// not_full_ signalling: pops only notify on the full->not-full edge and
+// producers cascade the wakeup, so every parked producer must still get
+// through.  (Regression shape for the lost-wakeup this design risks.)
+TEST(BatchedQueueStressTest, MixedSingleAndBatchedOpsMakeProgress) {
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> queue(2);
+    std::atomic<long> accepted{0};
+    std::atomic<long> popped{0};
+    {
+      ThreadPool pool(6);
+      for (int p = 0; p < 2; ++p) {
+        pool.Submit([&queue, &accepted] {
+          for (int i = 0; i < 2000; ++i) {
+            if (!queue.Push(i)) return;
+            accepted.fetch_add(1);
+          }
+        });
+      }
+      pool.Submit([&queue, &accepted] {
+        for (int b = 0; b < 500; ++b) {
+          if (!queue.PushAll({1, 2, 3, 4})) return;
+          accepted.fetch_add(4);
+        }
+      });
+      for (int c = 0; c < 2; ++c) {
+        pool.Submit([&queue, &popped] {
+          while (queue.Pop().has_value()) popped.fetch_add(1);
+        });
+      }
+      pool.Submit([&queue, &popped] {
+        std::vector<int> out;
+        size_t n;
+        while ((n = queue.PopAll(&out, /*max_items=*/3)) > 0) {
+          popped.fetch_add(static_cast<long>(n));
+          out.clear();
+        }
+      });
+      // All producers finish only if no wakeup is ever lost; then close
+      // so the consumers see the termination signal.
+      while (accepted.load() < 2 * 2000 + 500 * 4) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      queue.Close();
+      pool.Wait();
+    }
+    EXPECT_EQ(popped.load(), accepted.load()) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace bmr
