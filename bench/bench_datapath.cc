@@ -8,6 +8,7 @@
 //
 // --smoke shrinks the workloads for CI; --out defaults to
 // BENCH_datapath.json in the working directory.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -15,15 +16,20 @@
 #include <thread>
 #include <vector>
 
+#include "common/config.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "concurrency/bounded_queue.h"
+#include "core/barrierless_driver.h"
+#include "core/incremental.h"
 #include "core/inmemory_store.h"
 #include "core/kvstore.h"
 #include "core/spill_merge_store.h"
 #include "mr/map_output.h"
 #include "mr/record_batch.h"
 #include "mr/shuffle_service.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace bmr {
 namespace {
@@ -169,6 +175,106 @@ MetricRow BenchFetchToReduce(const std::vector<std::string>& segments,
           static_cast<double>(total_records) / secs, "records/sec"};
 }
 
+/// WordCount-shaped incremental fold for the tracing-overhead pair.
+class CountReducer final : public core::IncrementalReducer {
+ public:
+  std::string InitPartial(Slice) override { return EncodeI64(0); }
+  void Update(Slice, Slice value, std::string* partial,
+              mr::ReduceEmitter*) override {
+    int64_t acc = 0;
+    DecodeI64(Slice(*partial), &acc);
+    (void)value;
+    *partial = EncodeI64(acc + 1);
+  }
+  std::string MergePartials(Slice, Slice a, Slice b) override {
+    int64_t x = 0, y = 0;
+    DecodeI64(a, &x);
+    DecodeI64(b, &y);
+    return EncodeI64(x + y);
+  }
+};
+
+class NullEmitter final : public mr::ReduceEmitter {
+ public:
+  void Emit(Slice, Slice) override {}
+};
+
+/// The instrumented barrier-less consume path exactly as the reduce
+/// task runs it — FifoSink, batched drain with queue-wait timing, a
+/// drain-cycle span, and the sampled store Get/Update/Put cycle —
+/// driven with `tracer` either null (tracing off) or enabled.  The
+/// traced/untraced ratio is the ISSUE 5 acceptance gate: tracing on
+/// must retain >= 90% of the untraced throughput.
+double ObsDatapathRecordsPerSec(const std::vector<std::string>& segments,
+                                size_t total_records, obs::Tracer* tracer) {
+  CountReducer reducer;
+  core::StoreConfig store_config;
+  store_config.tracer = tracer;
+  core::BarrierlessDriver driver(&reducer, store_config, Config());
+  NullEmitter out;
+  mr::FifoSink sink(mr::kDefaultShuffleFifoBatches,
+                    mr::kDefaultShuffleBatchBytes, tracer);
+  auto t0 = std::chrono::steady_clock::now();
+  std::thread producer([&segments, &sink] {
+    int map_task = 0;
+    for (const std::string& segment : segments) {
+      auto buffer = std::make_shared<const std::string>(segment);
+      mr::RecordBatch batch;
+      if (!mr::DecodeSegment(std::move(buffer), &batch).ok()) return;
+      sink.Accept(map_task++, std::move(batch));
+    }
+    sink.fifo().Close();
+  });
+  std::vector<mr::RecordBatch> batches;
+  bool ok = true;
+  while (ok) {
+    size_t popped;
+    {
+      obs::LatencyTimer wait(tracer, obs::kHShuffleQueueWaitUs);
+      popped = sink.fifo().PopAll(&batches);
+    }
+    if (popped == 0) break;
+    obs::ScopedSpan drain_span(tracer, obs::kSpanReduceBatch, "reduce", 0);
+    for (const mr::RecordBatch& batch : batches) {
+      for (const mr::RecordBatch::Entry& e : batch) {
+        if (!driver.Consume(e.key, e.value, &out).ok()) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    batches.clear();
+  }
+  producer.join();
+  if (!driver.Finalize(&out).ok()) return 0;
+  return static_cast<double>(total_records) / SecondsSince(t0);
+}
+
+void BenchObsOverhead(const std::vector<std::string>& segments,
+                      size_t total_records, std::vector<MetricRow>* rows) {
+  double untraced = 0;
+  double traced = 0;
+  // Best-of-3 per leg: the ratio is an acceptance gate, so damp noise.
+  for (int i = 0; i < 3; ++i) {
+    untraced = std::max(
+        untraced, ObsDatapathRecordsPerSec(segments, total_records, nullptr));
+    obs::Tracer tracer;  // fresh per run: spans/histograms don't pile up
+    tracer.Enable();
+    tracer.RestartClock();
+    tracer.SetRootSpan(tracer.NextSpanId());
+    traced = std::max(
+        traced, ObsDatapathRecordsPerSec(segments, total_records, &tracer));
+  }
+  rows->push_back(
+      {"obs", "untraced_records_per_sec", untraced, "records/sec"});
+  rows->push_back({"obs", "traced_records_per_sec", traced, "records/sec"});
+  // Baseline 1.125 x the 80% gate floor = 0.9: tracing may cost at most
+  // 10% of untraced throughput.
+  rows->push_back(
+      {"obs", "trace_overhead_ratio", traced / untraced, "x"});
+}
+
 template <typename Store>
 double StoreOpsPerSec(Store& store, const std::vector<mr::Record>& records) {
   std::string partial;
@@ -270,6 +376,7 @@ int Main(int argc, char** argv) {
                   "x"});
 
   rows.push_back(BenchFetchToReduce(segments, records.size()));
+  BenchObsOverhead(segments, records.size(), &rows);
   BenchStores(MakeRecords(store_records, /*distinct=*/10'000), &rows);
 
   WriteJson(rows, out);

@@ -7,7 +7,8 @@
 #   scripts/check.sh asan         # just the asan preset
 #   scripts/check.sh chaos        # full chaos sweep (scripts/chaos.sh)
 #   scripts/check.sh bench        # smoke bench + BENCH_datapath.json gate
-#   scripts/check.sh all          # lint, default, chaos, bench, asan, tsan
+#   scripts/check.sh obs          # traced wordcount + artifact validation
+#   scripts/check.sh all          # lint, default, chaos, bench, obs, asan, tsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -21,7 +22,7 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default)
 elif [ "${presets[0]}" = "all" ]; then
-  presets=(lint default chaos bench asan tsan)
+  presets=(lint default chaos bench obs asan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -39,6 +40,18 @@ for preset in "${presets[@]}"; do
     # Smoke-size bench run; fails if any BENCH_datapath.json metric
     # regresses more than 20% below the checked-in baseline.
     scripts/bench.sh --smoke
+    continue
+  fi
+  if [ "${preset}" = obs ]; then
+    # Observability leg: run a traced wordcount plus a simulated run
+    # through the exporters and self-validate the artifacts (Perfetto
+    # JSON well-formedness, span nesting, monotonic timestamps;
+    # Prometheus naming and histogram coherence) — bmr_trace --check
+    # exits nonzero on any violation.
+    cmake --preset default >/dev/null
+    cmake --build build -j "${jobs}" --target bmr_trace >/dev/null
+    ./build/tools/bmr_trace --check \
+      --trace-out=build/obs_trace.json --prom-out=build/obs_metrics.prom
     continue
   fi
   cmake --preset "${preset}"

@@ -23,6 +23,10 @@
 #                      sinks move RecordBatches via PushAll (one lock
 #                      cycle and one wakeup per batch, see
 #                      mr/record_batch.h).
+#   7. metric-names    counter / histogram / span names are registry
+#                      constants (mr/types.h, obs/metric_names.h), never
+#                      string literals at the recording site — so the
+#                      exporters and the naming lint see every series.
 #
 # Tests, benches and examples are exempt: the gate polices the library
 # layers, not the harnesses around them.
@@ -84,24 +88,26 @@ fi
 # 4. Include layering (include-what-you-use-lite).  For each directory,
 #    the project-include prefixes it may use.  The dependency DAG:
 #      common -> {}          concurrency -> {common}
-#      net -> {common, faults}  sim -> {}
+#      obs -> {common}       sim -> {}
+#      net -> {common, faults, obs}
 #      cluster -> {common}   dfs -> {common, net}
-#      core -> {common, faults} (+ the two leaf mr headers below)
+#      core -> {common, faults, obs} (+ the two leaf mr headers below)
 #      faults -> {common}
-#      mr -> {cluster, common, concurrency, core, dfs, faults, net}
+#      mr -> {cluster, common, concurrency, core, dfs, faults, net, obs}
 #      workload -> {common, mr}
 #      simmr -> {cluster, common, core, mr, sim}
 #      apps -> {common, core, mr}
 declare -A allowed=(
   [common]="common"
   [concurrency]="concurrency common"
-  [net]="net common faults"
+  [obs]="obs common"
+  [net]="net common faults obs"
   [sim]="sim"
   [cluster]="cluster common"
   [dfs]="dfs common net"
-  [core]="core common faults"
+  [core]="core common faults obs"
   [faults]="faults common"
-  [mr]="mr cluster common concurrency core dfs faults net"
+  [mr]="mr cluster common concurrency core dfs faults net obs"
   [workload]="workload common mr"
   [simmr]="simmr cluster common core mr sim"
   [apps]="apps common core mr"
@@ -154,6 +160,18 @@ hits=$(grep -rnE 'fifo_\.Push\(' src/mr/ --include='*.h' --include='*.cc' || tru
 if [ -n "${hits}" ]; then
   echo "${hits}" >&2
   fail "per-record fifo_.Push() in src/mr/ — sinks must batch via PushAll (mr/record_batch.h)"
+fi
+
+# ---------------------------------------------------------------------
+# 7. Central metric names: recording sites pass registry constants
+#    (mr/types.h counter names, obs/metric_names.h histogram/span
+#    names), never a raw string literal — a literal-typo'd name would
+#    silently create a new series the exporters and dashboards miss.
+name_call_re='(AddCounter|RecordLatency|MergeHistogram)[[:space:]]*\([[:space:]]*"|LatencyTimer[[:space:]]+[A-Za-z_][A-Za-z0-9_]*\([^,)]*,[[:space:]]*"'
+hits=$(grep -rnE "${name_call_re}" src/ --include='*.h' --include='*.cc' || true)
+if [ -n "${hits}" ]; then
+  echo "${hits}" >&2
+  fail "string-literal metric name at a recording site — use the constants in mr/types.h / obs/metric_names.h"
 fi
 
 # ---------------------------------------------------------------------

@@ -96,6 +96,22 @@ class LogHistogram {
   uint64_t max() const { return max_; }
   double mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0; }
 
+  /// Fold another histogram's samples into this one.
+  void Merge(const LogHistogram& o) {
+    for (size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.count_ > 0) {
+      min_ = std::min(min_, o.min_);
+      max_ = std::max(max_, o.max_);
+    }
+  }
+
+  /// Per-bucket counts; bucket b covers (2^(b-1), 2^b - 1] with upper
+  /// bound (1<<b)-1 (bucket 0 holds the zeros).  Exporters turn these
+  /// into cumulative Prometheus `le` buckets.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
   /// Upper bound of the bucket containing the q-quantile.
   uint64_t ApproxQuantile(double q) const {
     if (count_ == 0) return 0;

@@ -1,11 +1,14 @@
 #include "core/barrierless_driver.h"
 
+#include "obs/metric_names.h"
+#include "obs/trace.h"
+
 namespace bmr::core {
 
 BarrierlessDriver::BarrierlessDriver(IncrementalReducer* reducer,
                                      const StoreConfig& store_config,
                                      const Config& job_config)
-    : reducer_(reducer) {
+    : reducer_(reducer), tracer_(store_config.tracer) {
   reducer_->Setup(job_config);
   if (reducer_->UsesStore()) {
     store_ = CreatePartialStore(store_config);
@@ -17,18 +20,31 @@ Status BarrierlessDriver::Consume(Slice key, Slice value,
   if (finalized_) {
     return Status::FailedPrecondition("Consume after Finalize");
   }
+  // Sampled (1 in 16) per-op latency: the Get/Update/Put cycle runs
+  // per record, so timing every op would distort the path it measures.
+  obs::Tracer* sampled =
+      (tracer_ != nullptr && (records_consumed_ & 15) == 0) ? tracer_
+                                                            : nullptr;
   ++records_consumed_;
   if (!store_) {
     // Identity / cross-key reducers: no per-key partial results.
+    obs::LatencyTimer invoke(sampled, obs::kHReduceInvokeUs);
     reducer_->Update(key, value, /*partial=*/nullptr, out);
     return Status::Ok();
   }
   bool found = false;
-  BMR_RETURN_IF_ERROR(store_->Get(key, &partial_scratch_, &found));
+  {
+    obs::LatencyTimer get(sampled, obs::kHStoreGetUs);
+    BMR_RETURN_IF_ERROR(store_->Get(key, &partial_scratch_, &found));
+  }
   if (!found) {
     partial_scratch_ = reducer_->InitPartial(key);
   }
-  reducer_->Update(key, value, &partial_scratch_, out);
+  {
+    obs::LatencyTimer invoke(sampled, obs::kHReduceInvokeUs);
+    reducer_->Update(key, value, &partial_scratch_, out);
+  }
+  obs::LatencyTimer put(sampled, obs::kHStorePutUs);
   return store_->Put(key, Slice(partial_scratch_));
 }
 

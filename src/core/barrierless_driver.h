@@ -63,6 +63,7 @@ class BarrierlessDriver {
  private:
   IncrementalReducer* reducer_;
   std::unique_ptr<PartialStore> store_;  // null if reducer skips the store
+  obs::Tracer* tracer_ = nullptr;        // from StoreConfig; not owned
   uint64_t records_consumed_ = 0;
   bool finalized_ = false;
   std::string partial_scratch_;

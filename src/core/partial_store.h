@@ -28,6 +28,10 @@ namespace bmr::faults {
 class FaultInjector;  // faults/fault_injector.h; stores only carry it
 }
 
+namespace bmr::obs {
+class Tracer;  // obs/trace.h; stores only carry it
+}
+
 namespace bmr::core {
 
 enum class StoreType { kInMemory, kSpillMerge, kKvStore };
@@ -56,6 +60,9 @@ struct StoreConfig {
   /// Optional fault injector consulted on every spill-file write/read
   /// (chaos testing).  Not owned; null = no injection.
   faults::FaultInjector* fault_injector = nullptr;
+  /// Optional tracer: store.spill spans plus sampled Get/Put latency
+  /// (recorded by the BarrierlessDriver).  Not owned; null = off.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Estimated in-memory footprint of one (key, partial) entry.  Mirrors

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metric_names.h"
+#include "obs/trace.h"
+
 namespace bmr::core {
 
 SpillMergeStore::SpillMergeStore(const StoreConfig& config)
@@ -58,6 +61,11 @@ Status SpillMergeStore::Put(Slice key, Slice partial) {
 
 Status SpillMergeStore::SpillNow() {
   if (memtable_.empty()) return Status::Ok();
+  // A spill is rare and expensive (sort + write of the whole memtable),
+  // so it earns both a span and an unsampled latency sample.
+  obs::ScopedSpan spill_span(config_.tracer, obs::kSpanStoreSpill, "store",
+                             static_cast<int64_t>(spill_paths_.size()));
+  obs::LatencyTimer spill_latency(config_.tracer, obs::kHStoreSpillUs);
   std::string path =
       scratch_.FilePath("spill_" + std::to_string(spill_paths_.size()));
   SpillFileWriter writer(path, config_.fault_injector);

@@ -14,6 +14,8 @@
 #include "mr/shuffle_service.h"
 #include "mr/task_executor.h"
 #include "mr/task_scheduler.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace bmr::mr {
 
@@ -127,10 +129,22 @@ JobResult JobExecution::Run() {
   result.status = PlanInput();
   if (!result.status.ok()) return result;
 
-  // Compose the layers.
+  // Compose the layers.  The obs.trace knob arms the job's tracer
+  // before any layer is built, so every span and latency sample of the
+  // run lands in one log.  Tracing state is job-scoped; the shared RPC
+  // fabric carries one observer at a time (same single-traced-job
+  // caveat as the fault-injector clock below).
+  const bool traced = spec_.config.GetBool("obs.trace", false);
+  obs::Tracer* tracer = metrics_.tracer();
+  if (traced) {
+    metrics_.EnableTracing();
+    cluster_->fabric->SetObserver(tracer);
+  }
+
   int nmaps = static_cast<int>(splits_.size());
   ShuffleService::Options shuffle_options;
   shuffle_options.injector = cluster_->fault_injector;
+  shuffle_options.tracer = tracer;
   shuffle_options.max_fetch_retries = static_cast<int>(
       spec_.config.GetInt("shuffle.fetch.max_retries",
                           shuffle_options.max_fetch_retries));
@@ -163,6 +177,14 @@ JobResult JobExecution::Run() {
 
   // Launch.
   metrics_.RestartClock();
+  obs::SpanId root_span = 0;
+  if (traced) {
+    // The job span stays open for the whole run; task spans parent to
+    // it from the pool threads, so it is emitted manually at the end
+    // rather than through a ScopedSpan.
+    root_span = tracer->NextSpanId();
+    tracer->SetRootSpan(root_span);
+  }
   if (faults::FaultInjector* injector = cluster_->fault_injector) {
     // Stamp injected faults on this job's clock.  One job at a time per
     // injector: chaos runs drive a single job against the cluster.
@@ -216,10 +238,25 @@ JobResult JobExecution::Run() {
       metrics_.RecordEvent(Phase::kFault, static_cast<int>(rec.kind),
                            rec.node, rec.t, rec.t);
       fault_counters.Add(
-          std::string("fault_injected_") + faults::FaultKindName(rec.kind), 1);
+          std::string(obs::kCtrFaultInjectedPrefix) +
+              faults::FaultKindName(rec.kind),
+          1);
     }
     metrics_.MergeCounters(fault_counters);
     injector->SetClock(nullptr);
+  }
+
+  if (traced) {
+    // Close the job span (it contains every task span by construction)
+    // and detach from the shared fabric before another job can trace.
+    obs::Span job_span;
+    job_span.id = root_span;
+    job_span.name = obs::kSpanJob;
+    job_span.category = "job";
+    job_span.start_s = 0;
+    job_span.end_s = tracer->Now();
+    tracer->EmitSpan(job_span);
+    cluster_->fabric->SetObserver(nullptr);
   }
 
   // Assemble the result from the metrics layer.
@@ -232,6 +269,9 @@ JobResult JobExecution::Run() {
   result.events = std::move(metrics.events);
   result.memory_samples = std::move(metrics.memory_samples);
   result.output_files = std::move(metrics.output_files);
+  result.trace_enabled = metrics.trace_enabled;
+  result.trace = std::move(metrics.trace);
+  result.histograms = std::move(metrics.histograms);
   return result;
 }
 
@@ -246,6 +286,9 @@ JobMetrics JobResult::ToMetrics() const {
   m.elapsed_seconds = elapsed_seconds;
   m.first_map_done = first_map_done;
   m.last_map_done = last_map_done;
+  m.trace_enabled = trace_enabled;
+  m.trace = trace;
+  m.histograms = histograms;
   return m;
 }
 

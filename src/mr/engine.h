@@ -81,6 +81,10 @@ struct JobResult {
   std::vector<TaskEvent> events;
   std::vector<std::string> output_files;
   std::vector<MemorySample> memory_samples;
+  /// Filled when the run had obs.trace=on (see mr/obs_export.h).
+  bool trace_enabled = false;
+  obs::TraceLog trace;
+  std::map<std::string, LogHistogram> histograms;
 
   bool ok() const { return status.ok(); }
   /// True when the job died of partial-result heap overflow (Fig 5a).

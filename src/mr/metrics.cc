@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/export.h"
+
 namespace bmr::mr {
 
 void MetricsRegistry::AddCounter(const char* name, uint64_t delta) {
@@ -47,6 +49,11 @@ JobMetrics MetricsRegistry::Snapshot() const {
   JobMetrics m;
   m.events = timeline_.Snapshot();
   m.elapsed_seconds = Now();
+  if (tracer_.enabled()) {
+    m.trace_enabled = true;
+    m.trace = tracer_.CollectTrace();
+    m.histograms = tracer_.SnapshotHistograms();
+  }
   MutexLock lock(mu_);
   m.counters = counters_;
   m.memory_samples = samples_;
@@ -72,6 +79,19 @@ std::string FormatJobMetrics(const std::string& label, const JobMetrics& m) {
     std::snprintf(line, sizeof(line), "[%s]   %-32s %llu\n", label.c_str(),
                   name.c_str(), static_cast<unsigned long long>(value));
     out += line;
+  }
+  if (!m.histograms.empty()) {
+    std::snprintf(line, sizeof(line), "[%s] %zu latency histograms\n",
+                  label.c_str(), m.histograms.size());
+    out += line;
+    std::string summaries = obs::FormatHistogramSummaries(m.histograms);
+    size_t pos = 0;
+    while (pos < summaries.size()) {
+      size_t eol = summaries.find('\n', pos);
+      if (eol == std::string::npos) eol = summaries.size();
+      out += "[" + label + "]   " + summaries.substr(pos, eol - pos) + "\n";
+      pos = eol + 1;
+    }
   }
   return out;
 }

@@ -5,14 +5,17 @@
 // runs can be printed and compared through the same code path.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "common/thread_annotations.h"
 #include "mr/timeline.h"
 #include "mr/types.h"
+#include "obs/trace.h"
 
 namespace bmr::mr {
 
@@ -33,6 +36,12 @@ struct JobMetrics {
   double elapsed_seconds = 0;
   double first_map_done = 0;
   double last_map_done = 0;
+
+  /// Observability extension (populated only when the run had
+  /// obs.trace=on; simmr fills spans from simulated TaskEvents).
+  bool trace_enabled = false;
+  obs::TraceLog trace;
+  std::map<std::string, LogHistogram> histograms;
 };
 
 /// Render the headline numbers of a JobMetrics as an aligned text
@@ -51,8 +60,20 @@ class MetricsRegistry {
   double Now() const { return clock_.ElapsedSeconds(); }
   /// Must happen-before any concurrent reporting (called once by the
   /// engine before tasks are submitted): the Stopwatch itself is
-  /// unsynchronized.
-  void RestartClock() { clock_.Restart(); }
+  /// unsynchronized.  Also restarts the tracer clock so spans and
+  /// task events share one time base.
+  void RestartClock() {
+    clock_.Restart();
+    tracer_.RestartClock();
+  }
+
+  /// Arm the span/latency tracer (the `obs.trace` knob).  Must
+  /// happen-before concurrent reporting, like RestartClock.
+  void EnableTracing(const obs::TracerOptions& options = {}) {
+    tracer_.Enable(options);
+  }
+  /// The job's tracer — never null; a no-op sink until EnableTracing.
+  obs::Tracer* tracer() const { return &tracer_; }
 
   void AddCounter(const char* name, uint64_t delta) BMR_EXCLUDES(mu_);
   void MergeCounters(const Counters& c) BMR_EXCLUDES(mu_);
@@ -61,16 +82,22 @@ class MetricsRegistry {
   void SampleMemory(int reducer, uint64_t bytes) BMR_EXCLUDES(mu_);
   void NoteMapDone() BMR_EXCLUDES(mu_);
   void NoteOutputFile(std::string path) BMR_EXCLUDES(mu_);
+  // BMR_EXCLUDES(mu_) even though the timeline has its own lock:
+  // every reporting method carries the annotation so a future change
+  // that touches guarded state under mu_ cannot silently create a
+  // hold-across-report deadlock path.
   void RecordEvent(Phase phase, int task_id, int node, double start,
-                   double end);
+                   double end) BMR_EXCLUDES(mu_);
 
   /// Consistent copy of everything reported so far; stamps
-  /// elapsed_seconds with Now().
+  /// elapsed_seconds with Now().  When tracing is enabled the snapshot
+  /// carries the span log and latency histograms too.
   JobMetrics Snapshot() const BMR_EXCLUDES(mu_);
 
  private:
   Stopwatch clock_;
-  Timeline timeline_;  // internally synchronized
+  Timeline timeline_;          // internally synchronized
+  mutable obs::Tracer tracer_;  // internally synchronized
   mutable OrderedMutex mu_{"mr.metrics"};
   Counters counters_ BMR_GUARDED_BY(mu_);
   std::vector<MemorySample> samples_ BMR_GUARDED_BY(mu_);

@@ -1,0 +1,91 @@
+#include "mr/obs_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "obs/metric_names.h"
+#include "obs/validate.h"
+
+namespace bmr::mr {
+namespace {
+
+// Task-phase lanes render in a separate Perfetto process so the
+// fine-grained engine-thread spans (pid 1) and the coarse per-task
+// phase bars (pid 2) do not interleave on one lane.
+constexpr int kTaskPid = 2;
+
+}  // namespace
+
+obs::TraceLog BuildTraceLog(const JobMetrics& m) {
+  obs::TraceLog log = m.trace;
+
+  obs::SpanId next_id = 1;
+  for (const obs::Span& s : log.spans) next_id = std::max(next_id, s.id + 1);
+
+  std::set<int> task_lanes;
+  for (const TaskEvent& ev : m.events) {
+    obs::Span span;
+    span.id = next_id++;
+    span.parent = 0;
+    span.name = PhaseName(ev.phase);
+    span.category = "task";
+    span.pid = kTaskPid;
+    span.tid = ev.task_id;
+    span.arg = ev.task_id;
+    span.start_s = ev.start;
+    span.end_s = std::max(ev.end, ev.start);
+    log.spans.push_back(span);
+    task_lanes.insert(ev.task_id);
+  }
+  for (int tid : task_lanes) {
+    log.tracks.push_back({kTaskPid, tid, "task-" + std::to_string(tid)});
+  }
+
+  for (const MemorySample& s : m.memory_samples) {
+    log.counters.push_back({"heap_bytes_r" + std::to_string(s.reducer),
+                            kTaskPid, s.reducer, s.t,
+                            static_cast<double>(s.bytes)});
+  }
+  return log;
+}
+
+obs::MetricsSnapshot BuildMetricsSnapshot(const JobMetrics& m) {
+  obs::MetricsSnapshot snap;
+  snap.counters = m.counters.values();
+  snap.histograms = m.histograms;
+  snap.gauges[obs::kPromJobElapsedSeconds] = m.elapsed_seconds;
+  snap.gauges[obs::kPromJobFirstMapDoneSeconds] = m.first_map_done;
+  snap.gauges[obs::kPromJobLastMapDoneSeconds] = m.last_map_done;
+  uint64_t peak = 0;
+  for (const MemorySample& s : m.memory_samples) peak = std::max(peak, s.bytes);
+  snap.gauges[obs::kPromReducerHeapPeakBytes] = static_cast<double>(peak);
+  return snap;
+}
+
+Status WriteTraceArtifacts(const JobMetrics& m,
+                           const std::string& trace_json_path,
+                           const std::string& prom_text_path) {
+  const std::string json = obs::PerfettoTraceJson(BuildTraceLog(m));
+  Status s = obs::ValidatePerfettoJson(json);
+  if (!s.ok()) return s;
+  const std::string prom = obs::PrometheusText(BuildMetricsSnapshot(m));
+  s = obs::ValidatePrometheusText(prom);
+  if (!s.ok()) return s;
+
+  std::ofstream trace_out(trace_json_path, std::ios::trunc);
+  trace_out << json;
+  trace_out.close();
+  if (!trace_out) {
+    return Status::Internal("cannot write " + trace_json_path);
+  }
+  std::ofstream prom_out(prom_text_path, std::ios::trunc);
+  prom_out << prom;
+  prom_out.close();
+  if (!prom_out) {
+    return Status::Internal("cannot write " + prom_text_path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace bmr::mr

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metric_names.h"
+
 namespace bmr::mr {
 
 MapOutputTracker::MapOutputTracker(int num_map_tasks)
@@ -75,17 +77,26 @@ class RangeValuesIterator final : public ValuesIterator {
 
 Status ReduceGroups(const std::vector<Record>& records,
                     const KeyCompareFn& group_cmp, Reducer* reducer,
-                    ReduceContext* ctx) {
+                    ReduceContext* ctx, obs::Tracer* tracer) {
   auto equal = [&group_cmp](const Record& a, const Record& b) {
     return group_cmp ? group_cmp(Slice(a.key), Slice(b.key)) == 0
                      : a.key == b.key;
   };
+  if (tracer != nullptr && !tracer->enabled()) tracer = nullptr;
   size_t i = 0;
+  size_t group = 0;
   while (i < records.size()) {
     size_t j = i + 1;
     while (j < records.size() && equal(records[j], records[i])) ++j;
     RangeValuesIterator values(records, i, j);
-    reducer->Reduce(Slice(records[i].key), &values, ctx);
+    // Sampled (1 in 16): per-group timing on every group would cost
+    // more than many reducers' Reduce bodies.
+    if (tracer != nullptr && (group++ & 15) == 0) {
+      obs::LatencyTimer invoke(tracer, obs::kHReduceInvokeUs);
+      reducer->Reduce(Slice(records[i].key), &values, ctx);
+    } else {
+      reducer->Reduce(Slice(records[i].key), &values, ctx);
+    }
     i = j;
   }
   return Status::Ok();

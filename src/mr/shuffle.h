@@ -10,6 +10,7 @@
 #include "common/thread_annotations.h"
 #include "mr/api.h"
 #include "mr/types.h"
+#include "obs/trace.h"
 
 namespace bmr::mr {
 
@@ -60,10 +61,11 @@ class MapOutputTracker {
 
 /// Iterate sorted records grouped by `group_cmp`, invoking the
 /// with-barrier Reducer once per group.  `records` must already be
-/// sorted by the job's sort comparator.
+/// sorted by the job's sort comparator.  With a tracer, samples every
+/// 16th group's Reduce latency into bmr_reduce_invoke_us.
 [[nodiscard]] Status ReduceGroups(const std::vector<Record>& records,
                     const KeyCompareFn& group_cmp, Reducer* reducer,
-                    ReduceContext* ctx);
+                    ReduceContext* ctx, obs::Tracer* tracer = nullptr);
 
 /// k-way merge of per-map sorted runs into one sorted vector.
 /// Runs with identical keys interleave in run order (stable).

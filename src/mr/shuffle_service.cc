@@ -44,8 +44,8 @@ void ShuffleService::Fetch::Join() {
 }
 
 std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
-    int r, int node, ShuffleSink* sink, RelaunchFn relaunch,
-    ErrorFn on_error) {
+    int r, int node, ShuffleSink* sink, RelaunchFn relaunch, ErrorFn on_error,
+    obs::SpanId parent_span) {
   // No public constructor: make_unique can't reach it.
   auto fetch = std::unique_ptr<Fetch>(new Fetch(this, sink));
   Fetch* f = fetch.get();
@@ -57,8 +57,8 @@ std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
   fetch->fetchers_left_.store(nmaps);
   fetch->fetchers_ = std::make_unique<ThreadPool>(nmaps);
   for (int m = 0; m < nmaps; ++m) {
-    fetch->fetchers_->Submit([this, f, m, r, node, sink, relaunch,
-                              on_error] {
+    fetch->fetchers_->Submit([this, f, m, r, node, sink, relaunch, on_error,
+                              parent_span] {
       int failures = 0;  // consecutive failures against loc.version
       for (;;) {
         MapOutputTracker::Location loc = tracker_.WaitForMapDone(m);
@@ -68,6 +68,9 @@ std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
                         ? options_.injector->OnShuffleFetch(loc.node, node, m)
                         : Status::Ok();
         if (st.ok()) {
+          obs::ScopedSpan fetch_span(options_.tracer, obs::kSpanShuffleFetch,
+                                     "shuffle", m, parent_span);
+          obs::LatencyTimer rtt(options_.tracer, obs::kHShuffleFetchRttUs);
           st = FetchSegment(fabric_, loc.node, node, m, r, &segment, job_id_);
         }
         RecordBatch batch;

@@ -32,6 +32,8 @@
 #include "mr/shuffle.h"
 #include "mr/types.h"
 #include "net/rpc.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace bmr::mr {
 
@@ -82,12 +84,17 @@ class BarrierSink final : public ShuffleSink {
 class FifoSink final : public ShuffleSink {
  public:
   explicit FifoSink(size_t capacity_batches,
-                    uint64_t batch_bytes = kDefaultShuffleBatchBytes)
-      : batch_bytes_(batch_bytes), fifo_(capacity_batches) {}
+                    uint64_t batch_bytes = kDefaultShuffleBatchBytes,
+                    obs::Tracer* tracer = nullptr)
+      : batch_bytes_(batch_bytes), tracer_(tracer), fifo_(capacity_batches) {}
 
   bool Accept(int map_task, RecordBatch batch) override {
     (void)map_task;
     if (batch.empty()) return !fifo_.closed();
+    // Producer-side backpressure: time spent blocked on a full FIFO
+    // (the reducer can't keep up) lands in its own histogram, distinct
+    // from the consumer-side pop wait.
+    obs::LatencyTimer wait(tracer_, obs::kHShuffleQueuePushWaitUs);
     return fifo_.PushAll(batch.SplitByBytes(batch_bytes_));
   }
   void AllDelivered() override { fifo_.Close(); }
@@ -97,6 +104,7 @@ class FifoSink final : public ShuffleSink {
 
  private:
   uint64_t batch_bytes_;
+  obs::Tracer* tracer_;
   BoundedQueue<RecordBatch> fifo_;
 };
 
@@ -118,6 +126,9 @@ struct ShuffleOptions {
   /// ErrorFn instead of retrying.  Exists so the chaos harness can
   /// prove it detects a broken recovery path.
   bool fail_on_fetch_error = false;
+  /// Fetch observability (shuffle.fetch spans + RTT histogram).  Not
+  /// owned; null or disabled = no recording.
+  obs::Tracer* tracer = nullptr;
 };
 
 class ShuffleService {
@@ -192,9 +203,13 @@ class ShuffleService {
   };
 
   /// Start reducer `r` (running on `node`)'s fetch of every mapper's
-  /// partition-`r` segment into `sink`.
+  /// partition-`r` segment into `sink`.  `parent_span` (usually the
+  /// reducer's task span) becomes the parent of every shuffle.fetch
+  /// span — fetchers run on their own threads, so the implicit
+  /// same-thread parent chain can't reach them.
   std::unique_ptr<Fetch> StartFetch(int r, int node, ShuffleSink* sink,
-                                    RelaunchFn relaunch, ErrorFn on_error);
+                                    RelaunchFn relaunch, ErrorFn on_error,
+                                    obs::SpanId parent_span = 0);
 
   /// Job failure: wake every tracker waiter and cancel every sink with
   /// a fetch in flight.

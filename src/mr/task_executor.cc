@@ -6,6 +6,8 @@
 #include "core/barrierless_driver.h"
 #include "mr/map_output.h"
 #include "mr/textio.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace bmr::mr {
 
@@ -74,6 +76,9 @@ void MapTaskExecutor::Execute(TaskScheduler::Attempt attempt) {
     return;
   }
   scheduler_->Begin(attempt, metrics_->Now());
+  // Pool threads have no open span, so this parents to the job span.
+  obs::ScopedSpan task_span(metrics_->tracer(), obs::kSpanMapTask, "task",
+                            attempt.task);
   double start = metrics_->Now();
   Counters local;
   local.Add(kCtrMapTasksLaunched, 1);
@@ -169,6 +174,9 @@ void ReduceTaskExecutor::Execute(int r, int node) {
     // they survive the discard.
     Counters local;
     ReduceTaskContext ctx(spec_.config, &local);
+    // One span per attempt: a restarted reducer shows as separate bars.
+    obs::ScopedSpan task_span(metrics_->tracer(), obs::kSpanReduceTask,
+                              "task", r);
     Status st = spec_.barrierless ? RunBarrierless(r, node, &ctx)
                                   : RunBarrier(r, node, &ctx);
     if (control_->cancelled()) return;
@@ -203,7 +211,7 @@ Status ReduceTaskExecutor::RunBarrier(int r, int node,
   {
     auto fetch = shuffle_->StartFetch(
         r, node, &sink, relaunch_,
-        [this](const Status& st) { control_->Fail(st); });
+        [this](const Status& st) { control_->Fail(st); }, obs::CurrentSpan());
     fetch->Join();
     ctx->counters()->Add(kCtrShuffleBytes, fetch->bytes_fetched());
     metrics_->AddCounter(kCtrShuffleFetchRetries, fetch->retries());
@@ -226,19 +234,23 @@ Status ReduceTaskExecutor::RunBarrier(int r, int node,
     batch = RecordBatch();  // release the fetched buffer early
   }
   std::vector<Record> records;
-  if (spec_.map_side_sort) {
-    records = MergeSortedRuns(std::move(runs), spec_.sort_cmp);
-  } else {
-    for (auto& run : runs) {
-      records.insert(records.end(), std::make_move_iterator(run.begin()),
-                     std::make_move_iterator(run.end()));
+  {
+    obs::ScopedSpan sort_span(metrics_->tracer(), obs::kSpanReduceSort,
+                              "reduce", r);
+    if (spec_.map_side_sort) {
+      records = MergeSortedRuns(std::move(runs), spec_.sort_cmp);
+    } else {
+      for (auto& run : runs) {
+        records.insert(records.end(), std::make_move_iterator(run.begin()),
+                       std::make_move_iterator(run.end()));
+      }
+      const KeyCompareFn& cmp = spec_.sort_cmp;
+      std::stable_sort(records.begin(), records.end(),
+                       [&cmp](const Record& a, const Record& b) {
+                         return cmp ? cmp(Slice(a.key), Slice(b.key)) < 0
+                                    : a.key < b.key;
+                       });
     }
-    const KeyCompareFn& cmp = spec_.sort_cmp;
-    std::stable_sort(records.begin(), records.end(),
-                     [&cmp](const Record& a, const Record& b) {
-                       return cmp ? cmp(Slice(a.key), Slice(b.key)) < 0
-                                  : a.key < b.key;
-                     });
   }
   double sort_done = metrics_->Now();
   metrics_->RecordEvent(Phase::kSortMerge, r, node, barrier_time, sort_done);
@@ -254,7 +266,8 @@ Status ReduceTaskExecutor::RunBarrier(int r, int node,
   reducer->Setup(ctx);
   const KeyCompareFn& group =
       spec_.group_cmp ? spec_.group_cmp : spec_.sort_cmp;
-  BMR_RETURN_IF_ERROR(ReduceGroups(records, group, reducer.get(), ctx));
+  BMR_RETURN_IF_ERROR(
+      ReduceGroups(records, group, reducer.get(), ctx, metrics_->tracer()));
   reducer->Cleanup(ctx);
   metrics_->RecordEvent(Phase::kReduce, r, node, sort_done, metrics_->Now());
   return Status::Ok();
@@ -276,10 +289,11 @@ Status ReduceTaskExecutor::RunBarrierless(int r, int node,
       "shuffle.batch_bytes",
       static_cast<int64_t>(kDefaultShuffleBatchBytes)));
   if (fifo_batches == 0) fifo_batches = 1;
-  FifoSink sink(fifo_batches, batch_bytes);
+  obs::Tracer* tracer = metrics_->tracer();
+  FifoSink sink(fifo_batches, batch_bytes, tracer);
   auto fetch = shuffle_->StartFetch(
       r, node, &sink, relaunch_,
-      [this](const Status& st) { control_->Fail(st); });
+      [this](const Status& st) { control_->Fail(st); }, obs::CurrentSpan());
 
   // Pipelined reduce: pop records in arrival order and fold them into
   // partial results.
@@ -290,6 +304,7 @@ Status ReduceTaskExecutor::RunBarrierless(int r, int node,
   if (store_config.fault_injector == nullptr) {
     store_config.fault_injector = cluster_->fault_injector;
   }
+  if (store_config.tracer == nullptr) store_config.tracer = tracer;
   auto reducer = spec_.incremental();
   core::BarrierlessDriver driver(reducer.get(), store_config, spec_.config);
   CtxEmitter emitter(ctx);
@@ -306,7 +321,16 @@ Status ReduceTaskExecutor::RunBarrierless(int r, int node,
   uint64_t consumed = 0;
   Status consume_st;
   std::vector<RecordBatch> batches;
-  while (consume_st.ok() && sink.fifo().PopAll(&batches) > 0) {
+  while (consume_st.ok()) {
+    size_t popped;
+    {
+      // Consumer-side starvation: time blocked waiting for fetchers to
+      // deliver (the "reducer idles on the network" signal).
+      obs::LatencyTimer wait(tracer, obs::kHShuffleQueueWaitUs);
+      popped = sink.fifo().PopAll(&batches);
+    }
+    if (popped == 0) break;
+    obs::ScopedSpan drain_span(tracer, obs::kSpanReduceBatch, "reduce", r);
     for (const RecordBatch& batch : batches) {
       for (const RecordBatch::Entry& entry : batch) {
         Status st = driver.Consume(entry.key, entry.value, &emitter);
@@ -362,6 +386,9 @@ Status ReduceTaskExecutor::RunBarrierless(int r, int node,
 
 Status ReduceTaskExecutor::WriteOutput(int r, int node,
                                        const std::vector<Record>& records) {
+  obs::ScopedSpan out_span(metrics_->tracer(), obs::kSpanOutputWrite, "task",
+                           r);
+  obs::LatencyTimer out_latency(metrics_->tracer(), obs::kHOutputWriteUs);
   char name[32];
   std::snprintf(name, sizeof(name), "/part-r-%05d", r);
   std::string path = spec_.output_path + name;

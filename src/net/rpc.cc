@@ -1,5 +1,8 @@
 #include "net/rpc.h"
 
+#include "obs/metric_names.h"
+#include "obs/trace.h"
+
 namespace bmr::net {
 
 void RpcFabric::Register(int node, const std::string& method,
@@ -23,6 +26,8 @@ void RpcFabric::KillNode(int node) {
 
 Status RpcFabric::Call(int src, int dst, const std::string& method,
                        Slice request, ByteBuffer* response) {
+  obs::LatencyTimer timer(observer_.load(std::memory_order_acquire),
+                          obs::kHRpcCallUs);
   // Fault hook first, before the handler lookup: a crash it triggers
   // removes dst's handlers, so this very call already observes the
   // node as dead; a drop fails the call without touching the handler.

@@ -9,6 +9,7 @@
 // can be calibrated against real transfer volumes.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,6 +21,10 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "faults/fault_injector.h"
+
+namespace bmr::obs {
+class Tracer;
+}  // namespace bmr::obs
 
 namespace bmr::net {
 
@@ -73,6 +78,15 @@ class RpcFabric {
   /// caller keeps it alive for the fabric's lifetime or clears it.
   void SetFaultInjector(faults::FaultInjector* injector) BMR_EXCLUDES(mu_);
 
+  /// Install (or clear, with nullptr) a tracing observer: every Call
+  /// records its end-to-end latency (handler included) into the
+  /// observer's bmr_rpc_call_us histogram.  One observer at a time —
+  /// the traced job installs it for the run and clears it at the end.
+  /// Not owned.
+  void SetObserver(obs::Tracer* tracer) {
+    observer_.store(tracer, std::memory_order_release);
+  }
+
  private:
   int num_nodes_;
   mutable OrderedMutex mu_{"net.rpc_fabric"};
@@ -80,6 +94,9 @@ class RpcFabric {
       BMR_GUARDED_BY(mu_);
   std::map<std::pair<int, int>, LinkStats> link_stats_ BMR_GUARDED_BY(mu_);
   faults::FaultInjector* injector_ BMR_GUARDED_BY(mu_) = nullptr;
+  // Atomic, not guarded: read on every Call; installed/cleared at job
+  // boundaries with no concurrent traced calls in flight.
+  std::atomic<obs::Tracer*> observer_{nullptr};
 };
 
 }  // namespace bmr::net

@@ -1,0 +1,211 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "obs/metric_names.h"
+
+namespace bmr::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  AppendEscaped(&out, s);
+  out += "\"";
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+double Micros(double seconds) { return seconds * 1e6; }
+
+}  // namespace
+
+std::string PerfettoTraceJson(const TraceLog& log) {
+  std::vector<const Span*> spans;
+  spans.reserve(log.spans.size());
+  for (const Span& s : log.spans) spans.push_back(&s);
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span* a, const Span* b) {
+                     if (a->start_s != b->start_s) {
+                       return a->start_s < b->start_s;
+                     }
+                     return a->id < b->id;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Process metadata for every pid in use (pid 1 = engine threads,
+  // pid 2 = task lanes, others as the caller assigns).
+  std::set<int> pids;
+  for (const Span* s : spans) pids.insert(s->pid);
+  for (const TrackInfo& t : log.tracks) pids.insert(t.pid);
+  for (const CounterSample& c : log.counters) pids.insert(c.pid);
+  for (int pid : pids) {
+    comma();
+    const char* name = pid == 1 ? "bmr-engine" : pid == 2 ? "bmr-tasks" : "bmr";
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"name\":\"process_name\",\"args\":{\"name\":\"" + name + "\"}}";
+  }
+  for (const TrackInfo& t : log.tracks) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(t.pid) +
+           ",\"tid\":" + std::to_string(t.tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           JsonString(t.name) + "}}";
+  }
+
+  for (const Span* s : spans) {
+    comma();
+    double dur = Micros(s->end_s - s->start_s);
+    if (dur < 0) dur = 0;
+    out += "{\"ph\":\"X\",\"pid\":" + std::to_string(s->pid) +
+           ",\"tid\":" + std::to_string(s->tid) +
+           ",\"ts\":" + Num(Micros(s->start_s)) + ",\"dur\":" + Num(dur) +
+           ",\"name\":" + JsonString(s->name) +
+           ",\"cat\":" + JsonString(s->category) +
+           ",\"args\":{\"span\":" + std::to_string(s->id) +
+           ",\"parent\":" + std::to_string(s->parent);
+    if (s->arg >= 0) out += ",\"id\":" + std::to_string(s->arg);
+    out += "}}";
+  }
+
+  for (const CounterSample& c : log.counters) {
+    comma();
+    out += "{\"ph\":\"C\",\"pid\":" + std::to_string(c.pid) +
+           ",\"tid\":" + std::to_string(c.tid) +
+           ",\"ts\":" + Num(Micros(c.t_s)) + ",\"name\":" +
+           JsonString(c.name) + ",\"args\":{\"value\":" + Num(c.value) + "}}";
+  }
+
+  out += "]}\n";
+  return out;
+}
+
+namespace {
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const LogHistogram& h) {
+  *out += "# TYPE " + name + " histogram\n";
+  const std::vector<uint64_t>& buckets = h.buckets();
+  size_t last = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] != 0) last = b;
+  }
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b <= last; ++b) {
+    cumulative += buckets[b];
+    uint64_t le = b == 0 ? 0 : (1ull << b) - 1;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64
+                                    "\n",
+                  name.c_str(), le, cumulative);
+    *out += buf;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                name.c_str(), h.count());
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_sum %" PRIu64 "\n", name.c_str(),
+                h.sum());
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
+                h.count());
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+
+  // Fired faults first, as one labeled family (satellite: chaos runs
+  // must surface in the exposition), then the plain job counters.
+  const size_t fault_prefix_len = std::strlen(kCtrFaultInjectedPrefix);
+  bool fault_type_emitted = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(kCtrFaultInjectedPrefix, 0) != 0) continue;
+    if (!fault_type_emitted) {
+      out += std::string("# TYPE ") + kPromFaultsInjected + " counter\n";
+      fault_type_emitted = true;
+    }
+    out += std::string(kPromFaultsInjected) + "{kind=\"" +
+           name.substr(fault_prefix_len) + "\"} " + std::to_string(value) +
+           "\n";
+  }
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(kCtrFaultInjectedPrefix, 0) == 0) continue;
+    std::string series = kPromJobCounterPrefix + name + "_total";
+    out += "# TYPE " + series + " counter\n";
+    out += series + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out += name + " " + buf + "\n";
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    AppendHistogram(&out, name, h);
+  }
+  return out;
+}
+
+std::string FormatHistogramSummaries(
+    const std::map<std::string, LogHistogram>& histograms) {
+  std::string out;
+  for (const auto& [name, h] : histograms) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-36s count %-8" PRIu64 " mean %-10.1f p50<=%-8" PRIu64
+                  " p95<=%-8" PRIu64 " p99<=%-8" PRIu64 " max %" PRIu64 "\n",
+                  name.c_str(), h.count(), h.mean(), h.ApproxQuantile(0.50),
+                  h.ApproxQuantile(0.95), h.ApproxQuantile(0.99), h.max());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace bmr::obs

@@ -1,0 +1,66 @@
+// The central registry of observability metric names.  Every latency
+// histogram and every Prometheus-facing series name in src/ lives here
+// (scripts/lint.sh check 7 bans raw string literals at Record/Add call
+// sites), so one grep finds every producer of a metric and renames
+// cannot silently fork a series.
+//
+// Naming convention (docs/GUIDE.md §10): bmr_<subsystem>_<name>_<unit>
+// where <unit> is one of us / bytes / seconds / total (counters).
+#pragma once
+
+namespace bmr::obs {
+
+// ---- Latency histograms (unit: microseconds) -------------------------
+/// Shuffle fetch round-trip: one FetchSegment RPC, reduce side.
+inline constexpr const char* kHShuffleFetchRttUs = "bmr_shuffle_fetch_rtt_us";
+/// Reduce-thread wait on the shuffle FIFO (BoundedQueue::PopAll).
+inline constexpr const char* kHShuffleQueueWaitUs =
+    "bmr_shuffle_queue_wait_us";
+/// Fetcher-thread wait pushing a batch into a full FIFO.
+inline constexpr const char* kHShuffleQueuePushWaitUs =
+    "bmr_shuffle_queue_push_wait_us";
+/// One incremental Reduce invocation (barrier-less Update, or one
+/// grouped Reduce call in barrier mode).  Sampled.
+inline constexpr const char* kHReduceInvokeUs = "bmr_reduce_invoke_us";
+/// Partial-store point ops (barrier-less fold).  Sampled.
+inline constexpr const char* kHStoreGetUs = "bmr_store_get_us";
+inline constexpr const char* kHStorePutUs = "bmr_store_put_us";
+/// One spill-file flush of the spill-merge store.
+inline constexpr const char* kHStoreSpillUs = "bmr_store_spill_us";
+/// One RPC fabric call, end to end (handler included).
+inline constexpr const char* kHRpcCallUs = "bmr_rpc_call_us";
+/// One reducer part-file write (serialize + DFS append + close).
+inline constexpr const char* kHOutputWriteUs = "bmr_output_write_us";
+
+// ---- Prometheus series emitted by the exporters ----------------------
+/// Engine counters are exported as bmr_job_<counter>_total; this is
+/// the prefix, not a full name.
+inline constexpr const char* kPromJobCounterPrefix = "bmr_job_";
+/// Fired fault counters (fault_injected_<kind>) export as one labeled
+/// family: bmr_faults_injected_total{kind="<kind>"}.
+inline constexpr const char* kPromFaultsInjected = "bmr_faults_injected_total";
+/// The raw counter prefix the engine records fault firings under.
+inline constexpr const char* kCtrFaultInjectedPrefix = "fault_injected_";
+/// Job-level gauges.
+inline constexpr const char* kPromJobElapsedSeconds =
+    "bmr_job_elapsed_seconds";
+inline constexpr const char* kPromJobFirstMapDoneSeconds =
+    "bmr_job_first_map_done_seconds";
+inline constexpr const char* kPromJobLastMapDoneSeconds =
+    "bmr_job_last_map_done_seconds";
+inline constexpr const char* kPromReducerHeapPeakBytes =
+    "bmr_reducer_heap_peak_bytes";
+
+// ---- Span names ------------------------------------------------------
+// Spans are display labels, not series names, but keeping them here
+// keeps the taxonomy (GUIDE §10) in one place.
+inline constexpr const char* kSpanJob = "job";
+inline constexpr const char* kSpanMapTask = "task.map";
+inline constexpr const char* kSpanReduceTask = "task.reduce";
+inline constexpr const char* kSpanShuffleFetch = "shuffle.fetch";
+inline constexpr const char* kSpanReduceBatch = "reduce.batch";
+inline constexpr const char* kSpanReduceSort = "reduce.sort";
+inline constexpr const char* kSpanStoreSpill = "store.spill";
+inline constexpr const char* kSpanOutputWrite = "task.output";
+
+}  // namespace bmr::obs

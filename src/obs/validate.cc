@@ -1,0 +1,441 @@
+#include "obs/validate.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace bmr::obs {
+namespace {
+
+// ---- Minimal JSON parser --------------------------------------------
+// Enough of RFC 8259 for the trace artifacts (objects, arrays, strings
+// with the escapes our exporter emits, numbers, literals).  Rejects
+// trailing garbage.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    Status s = ParseValue(out);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+        return ParseLiteral(out, c == 't');
+      case 'n':
+        if (text_.compare(pos_, 4, "null") != 0) return Fail("bad literal");
+        pos_ += 4;
+        out->kind = JsonValue::Kind::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(JsonValue* out, bool value) {
+    const char* word = value ? "true" : "false";
+    size_t len = value ? 4 : 5;
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    out->kind = JsonValue::Kind::kBool;
+    out->b = value;
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    try {
+      size_t consumed = 0;
+      out->num = std::stod(text_.substr(start, pos_ - start), &consumed);
+      if (consumed != pos_ - start) return Fail("bad number");
+    } catch (...) {
+      return Fail("bad number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            *out += e;
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            // Validate hex; keep the raw escape (validators only compare
+            // ASCII names, so fidelity of non-ASCII is not needed).
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+                return Fail("bad \\u escape");
+              }
+            }
+            *out += '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue elem;
+      Status s = ParseValue(&elem);
+      if (!s.ok()) return s;
+      out->array.push_back(std::move(elem));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') return Status::Ok();
+      if (c != ',') return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return Fail("expected ':'");
+      }
+      JsonValue value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') return Status::Ok();
+      if (c != ',') return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+double NumberField(const JsonValue& obj, const std::string& key,
+                   double missing) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->num : missing;
+}
+
+}  // namespace
+
+Status ValidatePerfettoJson(const std::string& json, size_t min_spans) {
+  JsonValue root;
+  Status s = JsonParser(json).Parse(&root);
+  if (!s.ok()) return s;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("top level is not an object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("missing traceEvents array");
+  }
+
+  struct Interval {
+    double ts = 0;
+    double end = 0;
+  };
+  std::map<int64_t, Interval> by_span_id;
+  struct PendingEdge {
+    int64_t span = 0;
+    int64_t parent = 0;
+    Interval iv;
+  };
+  std::vector<PendingEdge> edges;
+
+  size_t x_events = 0;
+  double last_ts = -1;
+  for (const JsonValue& ev : events->array) {
+    if (ev.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("traceEvents element is not an object");
+    }
+    const JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("event missing ph");
+    }
+    if (ph->str != "X") continue;
+    ++x_events;
+    double ts = NumberField(ev, "ts", -1);
+    double dur = NumberField(ev, "dur", -1);
+    if (ts < 0) return Status::InvalidArgument("X event with ts < 0");
+    if (dur < 0) return Status::InvalidArgument("X event with dur < 0");
+    if (ts < last_ts) {
+      return Status::InvalidArgument("non-monotonic ts: " +
+                                     std::to_string(ts) + " after " +
+                                     std::to_string(last_ts));
+    }
+    last_ts = ts;
+    const JsonValue* args = ev.Find("args");
+    if (args == nullptr || args->kind != JsonValue::Kind::kObject) continue;
+    int64_t span = static_cast<int64_t>(NumberField(*args, "span", 0));
+    int64_t parent = static_cast<int64_t>(NumberField(*args, "parent", 0));
+    Interval iv{ts, ts + dur};
+    if (span != 0) by_span_id[span] = iv;
+    if (parent != 0) edges.push_back({span, parent, iv});
+  }
+
+  // Parent containment with a rounding epsilon: children printed at
+  // millisecond-of-a-microsecond precision can stick out by one ulp of
+  // the %.3f format.
+  constexpr double kEps = 0.002;  // µs
+  for (const PendingEdge& e : edges) {
+    auto it = by_span_id.find(e.parent);
+    if (it == by_span_id.end()) continue;  // parent flushed in another doc
+    if (e.iv.ts + kEps < it->second.ts || e.iv.end > it->second.end + kEps) {
+      std::ostringstream oss;
+      oss << "span " << e.span << " [" << e.iv.ts << "," << e.iv.end
+          << ") escapes parent " << e.parent << " [" << it->second.ts << ","
+          << it->second.end << ")";
+      return Status::InvalidArgument(oss.str());
+    }
+  }
+
+  if (x_events < min_spans) {
+    return Status::InvalidArgument("only " + std::to_string(x_events) +
+                                   " spans, expected at least " +
+                                   std::to_string(min_spans));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+bool HasSanctionedUnit(const std::string& base) {
+  for (const char* unit : {"_us", "_bytes", "_seconds", "_total"}) {
+    size_t len = std::string(unit).size();
+    if (base.size() > len && base.compare(base.size() - len, len, unit) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidatePrometheusText(const std::string& text) {
+  struct HistState {
+    bool has_sum = false;
+    bool has_count = false;
+    bool has_inf = false;
+    double count = 0;
+    double inf_bucket = 0;
+    double last_cumulative = -1;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    auto fail = [&](const std::string& what) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                     what + ": " + line);
+    };
+
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      return fail("expected 'name value'");
+    }
+    std::string series = line.substr(0, space);
+    std::string value_str = line.substr(space + 1);
+    char* end = nullptr;
+    double value = std::strtod(value_str.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad sample value");
+
+    std::string name = series;
+    std::string labels;
+    size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      if (series.back() != '}') return fail("unterminated label set");
+      name = series.substr(0, brace);
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+    }
+    for (char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')) {
+        return fail("invalid metric name character");
+      }
+    }
+    if (name.rfind("bmr_", 0) != 0) return fail("name must start with bmr_");
+
+    // Strip the histogram-series suffix before the unit check and fold
+    // the sample into its family's coherence state.
+    std::string base = name;
+    auto strip = [&](const char* suffix) {
+      std::string s(suffix);
+      if (base.size() > s.size() &&
+          base.compare(base.size() - s.size(), s.size(), s) == 0) {
+        base = base.substr(0, base.size() - s.size());
+        return true;
+      }
+      return false;
+    };
+    if (strip("_bucket")) {
+      HistState& st = hists[base];
+      if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
+        return fail("_bucket without le label");
+      }
+      std::string le = labels.substr(4, labels.size() - 5);
+      if (le == "+Inf") {
+        st.has_inf = true;
+        st.inf_bucket = value;
+      } else if (value < st.last_cumulative) {
+        return fail("cumulative bucket counts decreased");
+      }
+      if (le != "+Inf") st.last_cumulative = value;
+    } else if (strip("_sum")) {
+      hists[base].has_sum = true;
+    } else if (strip("_count")) {
+      HistState& st = hists[base];
+      st.has_count = true;
+      st.count = value;
+    }
+    if (!HasSanctionedUnit(base)) {
+      return fail("metric '" + base +
+                  "' lacks a unit suffix (_us/_bytes/_seconds/_total)");
+    }
+  }
+
+  for (const auto& [name, st] : hists) {
+    if (!st.has_sum || !st.has_count || !st.has_inf) {
+      // _sum/_count-only families are ordinary series, not histograms,
+      // unless buckets appeared.
+      if (st.last_cumulative >= 0 || st.has_inf) {
+        return Status::InvalidArgument("histogram " + name +
+                                       " missing _sum/_count/+Inf bucket");
+      }
+      continue;
+    }
+    if (st.inf_bucket != st.count) {
+      return Status::InvalidArgument(
+          "histogram " + name + ": +Inf bucket " +
+          std::to_string(st.inf_bucket) + " != _count " +
+          std::to_string(st.count));
+    }
+    if (st.last_cumulative > st.inf_bucket) {
+      return Status::InvalidArgument("histogram " + name +
+                                     ": finite bucket exceeds +Inf");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace bmr::obs

@@ -1,0 +1,33 @@
+// Structural validators for the exporter outputs, used by the
+// `check.sh obs` leg (via `bmr_trace --check`) and by tests.  They
+// parse the serialized artifacts back — not the in-memory structures —
+// so a formatting regression in the exporters cannot hide.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace bmr::obs {
+
+/// Validate a Chrome/Perfetto trace-event JSON document:
+///   - well-formed JSON with a `traceEvents` array;
+///   - every "X" event has numeric ts >= 0 and dur >= 0;
+///   - "X" event timestamps are monotonically non-decreasing;
+///   - every span whose args.parent names another span in the document
+///     lies inside that parent's [ts, ts+dur] interval (small epsilon
+///     for rounding);
+///   - at least `min_spans` "X" events when min_spans > 0.
+[[nodiscard]] Status ValidatePerfettoJson(const std::string& json,
+                                          size_t min_spans = 0);
+
+/// Validate a Prometheus text exposition:
+///   - every line is a comment, blank, or `name{labels} value`;
+///   - every series name starts with `bmr_` and, after stripping the
+///     _bucket/_sum/_count suffix, ends in a sanctioned unit suffix
+///     (_us/_bytes/_seconds/_total) — the GUIDE §10 naming convention;
+///   - every histogram family has _sum, _count, a le="+Inf" bucket
+///     equal to _count, and non-decreasing cumulative buckets.
+[[nodiscard]] Status ValidatePrometheusText(const std::string& text);
+
+}  // namespace bmr::obs

@@ -1,0 +1,428 @@
+// Observability subsystem tests: tracer mechanics, exporter output and
+// self-validation, engine integration (nested spans + latency
+// histograms from a traced run), the simulator flowing through the
+// same exporters, fault counters surfacing in the Prometheus
+// exposition, and golden text for the human-facing reports.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/registry.h"
+#include "cluster/cluster.h"
+#include "faults/fault_injector.h"
+#include "mr/engine.h"
+#include "mr/metrics.h"
+#include "mr/obs_export.h"
+#include "mr/timeline.h"
+#include "obs/export.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
+#include "simmr/hadoop_sim.h"
+#include "simmr/profiles.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+using testutil::MakeTestCluster;
+
+// ---- Tracer -----------------------------------------------------------
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer;  // never enabled
+  {
+    obs::ScopedSpan span(&tracer, "noop", "test");
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(obs::CurrentSpan(), 0u);
+    obs::LatencyTimer timer(&tracer, obs::kHStoreGetUs);
+  }
+  tracer.RecordLatency(obs::kHStoreGetUs, 5);
+  EXPECT_TRUE(tracer.CollectTrace().spans.empty());
+  EXPECT_TRUE(tracer.SnapshotHistograms().empty());
+
+  // Null tracer: the instrumented call sites pass nullptr freely.
+  obs::ScopedSpan null_span(nullptr, "noop", "test");
+  obs::LatencyTimer null_timer(nullptr, obs::kHStoreGetUs);
+  EXPECT_EQ(null_span.id(), 0u);
+}
+
+TEST(Tracer, NestedSpansParentImplicitly) {
+  obs::Tracer tracer;
+  tracer.Enable();
+  tracer.RestartClock();
+  obs::SpanId root = tracer.NextSpanId();
+  tracer.SetRootSpan(root);
+
+  obs::SpanId outer_id;
+  obs::SpanId inner_id;
+  {
+    obs::ScopedSpan outer(&tracer, "outer", "test");
+    outer_id = outer.id();
+    EXPECT_EQ(obs::CurrentSpan(), outer_id);
+    {
+      obs::ScopedSpan inner(&tracer, "inner", "test", /*arg=*/7);
+      inner_id = inner.id();
+      EXPECT_EQ(obs::CurrentSpan(), inner_id);
+    }
+    EXPECT_EQ(obs::CurrentSpan(), outer_id);
+  }
+  EXPECT_EQ(obs::CurrentSpan(), 0u);
+
+  obs::TraceLog log = tracer.CollectTrace();
+  ASSERT_EQ(log.spans.size(), 2u);
+  std::set<obs::SpanId> ids;
+  for (const obs::Span& s : log.spans) {
+    ids.insert(s.id);
+    EXPECT_NE(s.id, 0u);
+    EXPECT_GE(s.end_s, s.start_s);
+    if (std::strcmp(s.name, "outer") == 0) {
+      // No enclosing span on this thread: parents to the job root.
+      EXPECT_EQ(s.parent, root);
+    } else {
+      EXPECT_EQ(s.parent, outer_id);
+      EXPECT_EQ(s.arg, 7);
+    }
+  }
+  EXPECT_EQ(ids.size(), 2u) << "span ids must be unique";
+  EXPECT_EQ(ids.count(root), 0u) << "root id is reserved for the job span";
+  EXPECT_TRUE(ids.count(inner_id) == 1);
+
+  // CollectTrace is repeatable: spans accumulate, nothing is lost.
+  EXPECT_EQ(tracer.CollectTrace().spans.size(), 2u);
+}
+
+TEST(Tracer, ThreadsGetDistinctLanesAndExplicitParents) {
+  obs::Tracer tracer;
+  tracer.Enable(obs::TracerOptions{/*buffer_spans=*/2});  // force flushes
+  tracer.RestartClock();
+
+  obs::SpanId parent_id;
+  {
+    obs::ScopedSpan parent(&tracer, "parent", "test");
+    parent_id = parent.id();
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i) {
+      threads.emplace_back([&tracer, parent_id, i] {
+        for (int k = 0; k < 5; ++k) {
+          // Worker threads have no open span: causality crosses the
+          // thread boundary via the explicit parent id.
+          obs::ScopedSpan child(&tracer, "child", "test", i, parent_id);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  obs::TraceLog log = tracer.CollectTrace();
+  ASSERT_EQ(log.spans.size(), 16u);
+  std::set<int> child_tids;
+  for (const obs::Span& s : log.spans) {
+    if (std::strcmp(s.name, "child") == 0) {
+      EXPECT_EQ(s.parent, parent_id);
+      child_tids.insert(s.tid);
+    }
+  }
+  EXPECT_EQ(child_tids.size(), 3u) << "one trace lane per thread";
+  EXPECT_EQ(log.tracks.size(), 4u);  // main thread + 3 workers
+}
+
+TEST(Tracer, LatencyHistogramsAccumulateAndMerge) {
+  obs::Tracer tracer;
+  tracer.Enable();
+  tracer.RecordLatency(obs::kHStoreGetUs, 3);
+  tracer.RecordLatency(obs::kHStoreGetUs, 100);
+
+  LogHistogram local;
+  local.Add(7);
+  local.Add(9);
+  tracer.MergeHistogram(obs::kHStoreGetUs, local);
+  tracer.MergeHistogram(obs::kHStorePutUs, LogHistogram());  // empty: no-op
+
+  auto histograms = tracer.SnapshotHistograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  const LogHistogram& h = histograms.at(obs::kHStoreGetUs);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 119u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+// ---- Exporters and validators -----------------------------------------
+
+obs::TraceLog MakeSyntheticTrace() {
+  obs::TraceLog log;
+  log.spans.push_back(
+      {/*id=*/1, /*parent=*/0, "job", "job", 1, 0, -1, 0.0, 1.0});
+  log.spans.push_back(
+      {/*id=*/2, /*parent=*/1, "task.map", "task", 1, 0, 3, 0.1, 0.4});
+  log.spans.push_back(
+      {/*id=*/3, /*parent=*/2, "shuffle.fetch", "shuffle", 1, 1, 3, 0.2, 0.3});
+  log.tracks.push_back({1, 0, "worker-0"});
+  log.tracks.push_back({1, 1, "worker-1"});
+  log.counters.push_back({"heap_bytes_r0", 1, 0, 0.5, 4096.0});
+  return log;
+}
+
+TEST(Exporters, PerfettoJsonRoundTripsThroughValidator) {
+  const std::string json = obs::PerfettoTraceJson(MakeSyntheticTrace());
+  Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/3);
+  EXPECT_TRUE(st.ok()) << st;
+  // Spot-check the Chrome trace_event shape the validator abstracts.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shuffle.fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(Exporters, ValidatorRejectsMalformedTraces) {
+  EXPECT_FALSE(obs::ValidatePerfettoJson("not json at all").ok());
+  EXPECT_FALSE(obs::ValidatePerfettoJson("{\"traceEvents\":{}}").ok());
+  // ts must be monotonic non-decreasing across "X" events.
+  EXPECT_FALSE(
+      obs::ValidatePerfettoJson(
+          "{\"traceEvents\":["
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":5.0,\"dur\":1.0,"
+          "\"name\":\"a\",\"args\":{\"span\":1,\"parent\":0}},"
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":2.0,\"dur\":1.0,"
+          "\"name\":\"b\",\"args\":{\"span\":2,\"parent\":0}}]}")
+          .ok());
+  // A child span leaking outside its parent's interval is a causality
+  // bug the validator must catch.
+  obs::TraceLog bad = MakeSyntheticTrace();
+  bad.spans[2].end_s = 2.0;  // fetch outlives the whole job
+  EXPECT_FALSE(obs::ValidatePerfettoJson(obs::PerfettoTraceJson(bad)).ok());
+  // min_spans guards against silently-empty traces.
+  EXPECT_FALSE(
+      obs::ValidatePerfettoJson(obs::PerfettoTraceJson(MakeSyntheticTrace()),
+                                /*min_spans=*/100)
+          .ok());
+}
+
+TEST(Exporters, PrometheusTextExposesAllFamilies) {
+  obs::MetricsSnapshot snap;
+  snap.counters["map_input_records"] = 1744;
+  snap.counters["fault_injected_fetch_timeout"] = 2;
+  snap.gauges[obs::kPromJobElapsedSeconds] = 1.25;
+  LogHistogram h;
+  h.Add(0);
+  h.Add(3);
+  h.Add(100);
+  snap.histograms[obs::kHShuffleFetchRttUs] = h;
+
+  const std::string text = obs::PrometheusText(snap);
+  Status st = obs::ValidatePrometheusText(text);
+  EXPECT_TRUE(st.ok()) << st << "\n" << text;
+  EXPECT_NE(text.find("bmr_job_map_input_records_total 1744"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmr_faults_injected_total{kind=\"fetch_timeout\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmr_job_elapsed_seconds 1.250000"), std::string::npos);
+  EXPECT_NE(text.find("bmr_shuffle_fetch_rtt_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmr_shuffle_fetch_rtt_us_sum 103"), std::string::npos);
+  EXPECT_NE(text.find("bmr_shuffle_fetch_rtt_us_count 3"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusValidatorEnforcesNamingAndCoherence) {
+  // Off-convention family name (no bmr_ prefix).
+  EXPECT_FALSE(obs::ValidatePrometheusText("my_metric_total 1\n").ok());
+  // Missing unit suffix.
+  EXPECT_FALSE(obs::ValidatePrometheusText("bmr_job_stuff 1\n").ok());
+  // Histogram whose cumulative buckets decrease.
+  EXPECT_FALSE(obs::ValidatePrometheusText(
+                   "bmr_store_get_us_bucket{le=\"1\"} 5\n"
+                   "bmr_store_get_us_bucket{le=\"3\"} 2\n"
+                   "bmr_store_get_us_bucket{le=\"+Inf\"} 5\n"
+                   "bmr_store_get_us_sum 9\n"
+                   "bmr_store_get_us_count 5\n")
+                   .ok());
+  // +Inf bucket disagreeing with _count.
+  EXPECT_FALSE(obs::ValidatePrometheusText(
+                   "bmr_store_get_us_bucket{le=\"+Inf\"} 4\n"
+                   "bmr_store_get_us_sum 9\n"
+                   "bmr_store_get_us_count 5\n")
+                   .ok());
+}
+
+// ---- Engine integration ------------------------------------------------
+
+mr::JobResult RunWordCount(mr::ClusterContext* cluster, bool traced,
+                           const std::string& output_path) {
+  workload::TextGenOptions gen;
+  gen.total_bytes = 48 << 10;
+  gen.vocabulary = 200;
+  gen.seed = 77;
+  auto files = workload::GenerateZipfText(cluster, output_path + "-in", gen);
+  EXPECT_TRUE(files.ok()) << files.status();
+
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.output_path = output_path;
+  options.num_reducers = 2;
+  options.barrierless = true;
+  if (traced) options.extra.SetBool("obs.trace", true);
+  mr::JobRunner runner(cluster);
+  return runner.Run(apps::FindApp("wordcount")->make_job(options));
+}
+
+TEST(EngineTracing, TracedRunProducesNestedSpansAndHistograms) {
+  auto cluster = MakeTestCluster(/*slaves=*/3, /*block_bytes=*/8 << 10);
+  mr::JobResult result = RunWordCount(cluster.get(), /*traced=*/true, "/out");
+  ASSERT_TRUE(result.ok()) << result.status;
+  ASSERT_TRUE(result.trace_enabled);
+
+  obs::SpanId job_id = 0;
+  std::set<obs::SpanId> map_ids;
+  std::set<obs::SpanId> reduce_ids;
+  for (const obs::Span& s : result.trace.spans) {
+    if (std::strcmp(s.name, obs::kSpanJob) == 0) {
+      EXPECT_EQ(job_id, 0u) << "exactly one job span";
+      EXPECT_EQ(s.parent, 0u);
+      job_id = s.id;
+    } else if (std::strcmp(s.name, obs::kSpanMapTask) == 0) {
+      map_ids.insert(s.id);
+    } else if (std::strcmp(s.name, obs::kSpanReduceTask) == 0) {
+      reduce_ids.insert(s.id);
+    }
+  }
+  ASSERT_NE(job_id, 0u);
+  EXPECT_GE(map_ids.size(), 2u) << "small blocks => several map tasks";
+  EXPECT_EQ(reduce_ids.size(), 2u);
+
+  size_t fetches = 0;
+  for (const obs::Span& s : result.trace.spans) {
+    if (std::strcmp(s.name, obs::kSpanMapTask) == 0 ||
+        std::strcmp(s.name, obs::kSpanReduceTask) == 0) {
+      EXPECT_EQ(s.parent, job_id) << "task spans hang off the job span";
+    } else if (std::strcmp(s.name, obs::kSpanShuffleFetch) == 0) {
+      ++fetches;
+      EXPECT_TRUE(reduce_ids.count(s.parent) == 1)
+          << "fetch spans carry cross-thread causality to their reduce task";
+    }
+  }
+  EXPECT_GT(fetches, 0u);
+
+  for (const char* name :
+       {obs::kHShuffleFetchRttUs, obs::kHShuffleQueueWaitUs,
+        obs::kHReduceInvokeUs, obs::kHStoreGetUs, obs::kHStorePutUs,
+        obs::kHRpcCallUs, obs::kHOutputWriteUs}) {
+    auto it = result.histograms.find(name);
+    ASSERT_NE(it, result.histograms.end()) << name;
+    EXPECT_GT(it->second.count(), 0u) << name;
+  }
+
+  // The full artifact path (serialize -> self-validate -> write).
+  mr::JobMetrics metrics = result.ToMetrics();
+  std::string dir = ::testing::TempDir();
+  Status st = mr::WriteTraceArtifacts(metrics, dir + "/obs_trace.json",
+                                      dir + "/obs_metrics.prom");
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST(EngineTracing, UntracedRunCarriesNoTraceState) {
+  auto cluster = MakeTestCluster(/*slaves=*/3, /*block_bytes=*/8 << 10);
+  mr::JobResult result = RunWordCount(cluster.get(), /*traced=*/false, "/out");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_FALSE(result.trace_enabled);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_TRUE(result.histograms.empty());
+}
+
+TEST(EngineTracing, SimulatedRunFlowsThroughTheSameExporters) {
+  simmr::SimResult sim =
+      simmr::SimulateJob(cluster::PaperCluster(), simmr::WordCountSim(0.1));
+  mr::JobMetrics metrics = simmr::ToJobMetrics(sim);
+
+  obs::TraceLog log = mr::BuildTraceLog(metrics);
+  EXPECT_GE(log.spans.size(), metrics.events.size());
+  Status st = obs::ValidatePerfettoJson(obs::PerfettoTraceJson(log),
+                                        /*min_spans=*/10);
+  EXPECT_TRUE(st.ok()) << st;
+  st = obs::ValidatePrometheusText(
+      obs::PrometheusText(mr::BuildMetricsSnapshot(metrics)));
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+// Satellite: faults that fire during a chaos run must surface in the
+// Prometheus exposition as the labeled bmr_faults_injected_total family.
+TEST(EngineTracing, InjectedFaultsAppearInPrometheusExposition) {
+  faults::FaultEvent timeout;
+  timeout.kind = faults::FaultKind::kFetchTimeout;
+  timeout.count = 2;
+  faults::FaultPlan plan;
+  plan.events = {timeout};
+  faults::FaultInjector injector(plan);
+
+  auto cluster = MakeTestCluster(/*slaves=*/3, /*block_bytes=*/8 << 10);
+  cluster->InstallFaultInjector(&injector);
+  mr::JobResult result = RunWordCount(cluster.get(), /*traced=*/true, "/out");
+  cluster->InstallFaultInjector(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status;  // fetch retries recover
+  ASSERT_EQ(injector.injected(faults::FaultKind::kFetchTimeout), 2u);
+
+  mr::JobMetrics metrics = result.ToMetrics();
+  EXPECT_EQ(metrics.counters.Get("fault_injected_fetch_timeout"), 2u);
+  const std::string text =
+      obs::PrometheusText(mr::BuildMetricsSnapshot(metrics));
+  Status st = obs::ValidatePrometheusText(text);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_NE(text.find("bmr_faults_injected_total{kind=\"fetch_timeout\"} 2"),
+            std::string::npos)
+      << text;
+}
+
+// ---- Golden report text ------------------------------------------------
+
+TEST(GoldenText, FormatJobMetricsIsStable) {
+  mr::JobMetrics m;
+  m.elapsed_seconds = 1.5;
+  m.first_map_done = 0.25;
+  m.last_map_done = 0.75;
+  m.counters.Add("map_input_records", 100);
+  m.counters.Add("reduce_output_records", 40);
+  m.events.push_back({mr::Phase::kMap, 0, 1, 0.0, 0.5});
+  m.memory_samples.push_back({0.5, 0, 1024});
+  m.output_files.push_back("/out/part-00000");
+
+  EXPECT_EQ(mr::FormatJobMetrics("gold", m),
+            "[gold] elapsed 1.500s  maps done 0.250s..0.750s\n"
+            "[gold] 1 task events, 1 memory samples, 1 output files\n"
+            "[gold]   map_input_records                100\n"
+            "[gold]   reduce_output_records            40\n");
+
+  LogHistogram h;
+  h.Add(3);
+  m.histograms[obs::kHStoreGetUs] = h;
+  EXPECT_EQ(
+      mr::FormatJobMetrics("gold", m),
+      "[gold] elapsed 1.500s  maps done 0.250s..0.750s\n"
+      "[gold] 1 task events, 1 memory samples, 1 output files\n"
+      "[gold]   map_input_records                100\n"
+      "[gold]   reduce_output_records            40\n"
+      "[gold] 1 latency histograms\n"
+      "[gold]   bmr_store_get_us                     "
+      "count 1        mean 3.0        p50<=3        p95<=3        p99<=3  "
+      "      max 3\n");
+}
+
+TEST(GoldenText, RenderActivityIsStable) {
+  std::vector<mr::TaskEvent> events;
+  events.push_back({mr::Phase::kMap, 0, 1, 0.0, 0.2});
+  events.push_back({mr::Phase::kReduce, 1, 2, 0.1, 0.3});
+
+  EXPECT_EQ(mr::Timeline::RenderActivity(events, /*step=*/0.1),
+            "time\tMap\tReduce\n"
+            "0.0\t1\t0\n"
+            "0.1\t1\t1\n"
+            "0.2\t0\t1\n"
+            "0.3\t0\t0\n");
+}
+
+}  // namespace
+}  // namespace bmr

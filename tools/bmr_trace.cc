@@ -1,0 +1,280 @@
+// bmr_trace: run any registered app (or a simmr profile) with tracing
+// on and emit the observability artifacts — Chrome/Perfetto trace JSON
+// and Prometheus text exposition — plus an optional human report.
+//
+//   bmr_trace --app=wordcount --mode=barrierless --store=spill
+//             --trace-out=trace.json --prom-out=metrics.prom --report
+//   bmr_trace --sim --sim-gb=1 --trace-out=sim.json --prom-out=sim.prom
+//   bmr_trace --check        # self-test: the `check.sh obs` leg
+//
+// Open the JSON at https://ui.perfetto.dev (or chrome://tracing); see
+// docs/GUIDE.md §10 for the span taxonomy and histogram reading guide.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/knn.h"
+#include "apps/registry.h"
+#include "mr/engine.h"
+#include "mr/obs_export.h"
+#include "mr/timeline.h"
+#include "obs/metric_names.h"
+#include "obs/validate.h"
+#include "simmr/hadoop_sim.h"
+#include "simmr/profiles.h"
+#include "workload/generators.h"
+
+namespace bmr {
+namespace {
+
+struct CliOptions {
+  std::string app = "wordcount";
+  std::string mode = "barrierless";
+  std::string store = "mem";
+  int reducers = 4;
+  int input_kb = 64;
+  std::string trace_out = "trace.json";
+  std::string prom_out = "metrics.prom";
+  bool sim = false;
+  double sim_gb = 0.5;
+  bool report = false;
+  bool check = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bmr_trace [--app=NAME] [--mode=barrierless|barrier]\n"
+      "                 [--store=mem|spill|kv] [--reducers=N]\n"
+      "                 [--input-kb=N] [--trace-out=F] [--prom-out=F]\n"
+      "                 [--sim] [--sim-gb=G] [--report] [--check]\n");
+  return 2;
+}
+
+/// Generate a small DFS-resident workload for `app` (mirrors the
+/// matrix test's generators, scaled by input_kb where it applies).
+StatusOr<apps::AppOptions> PrepareWorkload(mr::ClusterContext* cluster,
+                                           const CliOptions& cli) {
+  apps::AppOptions options;
+  const std::string& app = cli.app;
+  if (app == "grep" || app == "wordcount") {
+    workload::TextGenOptions gen;
+    gen.total_bytes = static_cast<uint64_t>(cli.input_kb) << 10;
+    gen.vocabulary = app == "grep" ? 80 : 400;
+    gen.seed = 41;
+    BMR_ASSIGN_OR_RETURN(options.input_files,
+                         workload::GenerateZipfText(cluster, "/" + app, gen));
+    if (app == "grep") options.extra.Set("grep.pattern", "w1");
+  } else if (app == "sort") {
+    workload::IntGenOptions gen;
+    gen.count = cli.input_kb * 125;  // ~8 bytes/int
+    gen.seed = 42;
+    BMR_ASSIGN_OR_RETURN(options.input_files,
+                         workload::GenerateRandomInts(cluster, "/" + app, gen));
+  } else if (app == "knn") {
+    workload::KnnGenOptions gen;
+    gen.training_size = 40;
+    gen.experimental_count = 600;
+    gen.seed = 43;
+    BMR_ASSIGN_OR_RETURN(auto data,
+                         workload::GenerateKnnData(cluster, "/" + app, gen));
+    options.input_files = data.experimental_files;
+    options.extra.SetInt("knn.k", 7);
+    options.extra.Set("knn.training", apps::EncodeTrainingSet(data.training));
+  } else if (app == "lastfm") {
+    workload::ListenGenOptions gen;
+    gen.count = 8000;
+    gen.num_users = 25;
+    gen.num_tracks = 120;
+    gen.seed = 44;
+    BMR_ASSIGN_OR_RETURN(options.input_files,
+                         workload::GenerateListens(cluster, "/" + app, gen));
+  } else if (app == "genetic") {
+    workload::PopulationGenOptions gen;
+    gen.population = 4000;
+    gen.seed = 45;
+    BMR_ASSIGN_OR_RETURN(options.input_files,
+                         workload::GeneratePopulation(cluster, "/" + app, gen));
+    options.extra.SetInt("ga.window", 16);
+  } else if (app == "blackscholes") {
+    workload::BlackScholesGenOptions gen;
+    gen.num_mappers = 2;
+    gen.iterations_per_mapper = 4000;
+    gen.seed = 46;
+    BMR_ASSIGN_OR_RETURN(
+        options.input_files,
+        workload::GenerateBlackScholesUnits(cluster, "/" + app, gen));
+  } else {
+    return Status::InvalidArgument("no workload generator for app " + app);
+  }
+  return options;
+}
+
+StatusOr<mr::JobMetrics> RunTracedApp(const CliOptions& cli) {
+  const apps::AppCase* app = apps::FindApp(cli.app);
+  if (app == nullptr) return Status::NotFound("unknown app " + cli.app);
+
+  cluster::ClusterSpec spec = cluster::SmallCluster(3);
+  spec.dfs_block_bytes = 16 << 10;  // several map tasks even when small
+  auto cluster = mr::ClusterContext::Create(std::move(spec));
+
+  BMR_ASSIGN_OR_RETURN(apps::AppOptions options,
+                       PrepareWorkload(cluster.get(), cli));
+  options.output_path = "/out";
+  options.num_reducers = cli.reducers;
+  options.barrierless = cli.mode != "barrier";
+  if (cli.store == "spill") {
+    options.store.type = core::StoreType::kSpillMerge;
+    options.store.spill_threshold_bytes = 16 << 10;
+  } else if (cli.store == "kv") {
+    options.store.type = core::StoreType::kKvStore;
+    options.store.kv_cache_bytes = 16 << 10;
+  } else if (cli.store != "mem") {
+    return Status::InvalidArgument("unknown store " + cli.store);
+  }
+  options.extra.SetBool("obs.trace", true);
+
+  mr::JobRunner runner(cluster.get());
+  mr::JobResult result = runner.Run(app->make_job(options));
+  BMR_RETURN_IF_ERROR(result.status);
+  return result.ToMetrics();
+}
+
+mr::JobMetrics RunSim(const CliOptions& cli) {
+  simmr::SimResult result = simmr::SimulateJob(
+      cluster::PaperCluster(), simmr::WordCountSim(cli.sim_gb, cli.reducers));
+  return simmr::ToJobMetrics(result);
+}
+
+int EmitArtifacts(const mr::JobMetrics& metrics, const CliOptions& cli,
+                  const char* label) {
+  Status st =
+      mr::WriteTraceArtifacts(metrics, cli.trace_out, cli.prom_out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bmr_trace: %s artifacts failed: %s\n", label,
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("[%s] trace: %s\n[%s] prometheus: %s\n", label,
+              cli.trace_out.c_str(), label, cli.prom_out.c_str());
+  if (cli.report) {
+    std::fputs(mr::FormatJobMetrics(label, metrics).c_str(), stdout);
+    std::fputs(mr::Timeline::RenderActivity(metrics.events, /*step=*/0.01)
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+/// The check.sh obs leg: run a traced wordcount and a simulated run
+/// through the same exporters; validate both artifacts structurally
+/// and assert the promised span names and histogram families exist.
+int RunCheck(CliOptions cli) {
+  auto fail = [](const std::string& what) {
+    std::fprintf(stderr, "bmr_trace --check FAILED: %s\n", what.c_str());
+    return 1;
+  };
+
+  cli.app = "wordcount";
+  cli.mode = "barrierless";
+  StatusOr<mr::JobMetrics> metrics = RunTracedApp(cli);
+  if (!metrics.ok()) return fail(metrics.status().ToString());
+
+  for (const char* name :
+       {obs::kSpanJob, obs::kSpanMapTask, obs::kSpanReduceTask,
+        obs::kSpanShuffleFetch, obs::kSpanReduceBatch, obs::kSpanOutputWrite}) {
+    bool found = false;
+    for (const obs::Span& s : metrics->trace.spans) {
+      if (std::strcmp(s.name, name) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return fail(std::string("no span named ") + name);
+  }
+  for (const char* name :
+       {obs::kHShuffleFetchRttUs, obs::kHShuffleQueueWaitUs,
+        obs::kHReduceInvokeUs, obs::kHStoreGetUs, obs::kHStorePutUs,
+        obs::kHRpcCallUs, obs::kHOutputWriteUs}) {
+    auto it = metrics->histograms.find(name);
+    if (it == metrics->histograms.end() || it->second.count() == 0) {
+      return fail(std::string("missing/empty histogram ") + name);
+    }
+  }
+
+  const std::string json = obs::PerfettoTraceJson(mr::BuildTraceLog(*metrics));
+  Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/10);
+  if (!st.ok()) return fail("trace json: " + st.ToString());
+  const std::string prom =
+      obs::PrometheusText(mr::BuildMetricsSnapshot(*metrics));
+  st = obs::ValidatePrometheusText(prom);
+  if (!st.ok()) return fail("prometheus text: " + st.ToString());
+  if (prom.find(obs::kHShuffleFetchRttUs) == std::string::npos) {
+    return fail("fetch RTT histogram missing from exposition");
+  }
+
+  // Same pipeline on a simulated run (no tracer — task-event lanes).
+  mr::JobMetrics sim = RunSim(cli);
+  const std::string sim_json = obs::PerfettoTraceJson(mr::BuildTraceLog(sim));
+  st = obs::ValidatePerfettoJson(sim_json, /*min_spans=*/10);
+  if (!st.ok()) return fail("sim trace json: " + st.ToString());
+  st = obs::ValidatePrometheusText(
+      obs::PrometheusText(mr::BuildMetricsSnapshot(sim)));
+  if (!st.ok()) return fail("sim prometheus text: " + st.ToString());
+
+  if (EmitArtifacts(*metrics, cli, "check") != 0) return 1;
+  std::printf("bmr_trace --check OK (%zu spans, %zu histograms)\n",
+              metrics->trace.spans.size(), metrics->histograms.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "app", &cli.app) ||
+        ParseFlag(argv[i], "mode", &cli.mode) ||
+        ParseFlag(argv[i], "store", &cli.store) ||
+        ParseFlag(argv[i], "trace-out", &cli.trace_out) ||
+        ParseFlag(argv[i], "prom-out", &cli.prom_out)) {
+      continue;
+    }
+    if (ParseFlag(argv[i], "reducers", &value)) {
+      cli.reducers = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "input-kb", &value)) {
+      cli.input_kb = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "sim-gb", &value)) {
+      cli.sim_gb = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--sim") == 0) {
+      cli.sim = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      cli.report = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      cli.check = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (cli.check) return RunCheck(cli);
+  if (cli.sim) return EmitArtifacts(RunSim(cli), cli, "sim");
+
+  StatusOr<mr::JobMetrics> metrics = RunTracedApp(cli);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "bmr_trace: %s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+  return EmitArtifacts(*metrics, cli, cli.app.c_str());
+}
+
+}  // namespace
+}  // namespace bmr
+
+int main(int argc, char** argv) { return bmr::Main(argc, argv); }
