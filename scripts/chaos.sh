@@ -20,6 +20,13 @@ jobs=$(nproc 2>/dev/null || echo 2)
 
 cmake --preset default
 cmake --build --preset default -j "${jobs}"
-echo "== chaos sweep: ${seeds} seeded scenarios =="
-BMR_CHAOS_SEEDS="${seeds}" ctest --preset default -L chaos -j "${jobs}"
-echo "== chaos sweep passed (${seeds} seeds) =="
+# The sweep runs once per transport: every scenario must recover to
+# byte-identical output whether the RPCs ride the in-process registry
+# or real TCP sockets — the transports are interchangeable under fault
+# load, or they are not interchangeable at all.
+for transport in inproc tcp; do
+  echo "== chaos sweep: ${seeds} seeded scenarios (net.transport=${transport}) =="
+  BMR_CHAOS_SEEDS="${seeds}" BMR_NET_TRANSPORT="${transport}" \
+    ctest --preset default -L chaos -j "${jobs}"
+done
+echo "== chaos sweep passed (${seeds} seeds, both transports) =="

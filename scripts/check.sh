@@ -8,7 +8,9 @@
 #   scripts/check.sh chaos        # full chaos sweep (scripts/chaos.sh)
 #   scripts/check.sh bench        # smoke bench + BENCH_datapath.json gate
 #   scripts/check.sh obs          # traced wordcount + artifact validation
-#   scripts/check.sh all          # lint, default, chaos, bench, obs, asan, tsan
+#   scripts/check.sh tcp          # RPC-heavy suites over the TCP transport
+#   scripts/check.sh all          # lint, default, tcp, chaos, bench, obs,
+#                                 # asan, tsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -22,7 +24,7 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default)
 elif [ "${presets[0]}" = "all" ]; then
-  presets=(lint default chaos bench obs asan tsan)
+  presets=(lint default tcp chaos bench obs asan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -40,6 +42,22 @@ for preset in "${presets[@]}"; do
     # Smoke-size bench run; fails if any BENCH_datapath.json metric
     # regresses more than 20% below the checked-in baseline.
     scripts/bench.sh --smoke
+    continue
+  fi
+  if [ "${preset}" = tcp ]; then
+    # Transport-parity leg: the RPC-heavy unit suites build their
+    # transport through tests/transport_test_util.h (and the engine
+    # through the net.transport knob), so the same binaries rerun over
+    # real TCP sockets with one env var.  rpc_test itself always covers
+    # both transports; these reruns put the shuffle service, DFS and
+    # multi-job scheduling on the wire path too.
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "${jobs}" >/dev/null
+    for t in rpc_test net_framing_test dfs_test shuffle_service_test \
+             mr_unit_test multijob_test; do
+      echo "== tcp: ${t} =="
+      BMR_NET_TRANSPORT=tcp "./build/tests/${t}"
+    done
     continue
   fi
   if [ "${preset}" = obs ]; then

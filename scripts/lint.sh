@@ -89,7 +89,7 @@ fi
 #    the project-include prefixes it may use.  The dependency DAG:
 #      common -> {}          concurrency -> {common}
 #      obs -> {common}       sim -> {}
-#      net -> {common, faults, obs}
+#      net -> {common, concurrency, faults, obs}
 #      cluster -> {common}   dfs -> {common, net}
 #      core -> {common, faults, obs} (+ the two leaf mr headers below)
 #      faults -> {common}
@@ -101,7 +101,7 @@ declare -A allowed=(
   [common]="common"
   [concurrency]="concurrency common"
   [obs]="obs common"
-  [net]="net common faults obs"
+  [net]="net common concurrency faults obs"
   [sim]="sim"
   [cluster]="cluster common"
   [dfs]="dfs common net"
@@ -172,6 +172,21 @@ hits=$(grep -rnE "${name_call_re}" src/ --include='*.h' --include='*.cc' || true
 if [ -n "${hits}" ]; then
   echo "${hits}" >&2
   fail "string-literal metric name at a recording site — use the constants in mr/types.h / obs/metric_names.h"
+fi
+
+# ---------------------------------------------------------------------
+# 8. Transport encapsulation: everything above src/net/ programs against
+#    the net::Transport interface (net/transport.h).  Including a
+#    concrete implementation header (tcp_transport.h,
+#    inproc_transport.h, or the wire internals) from src/mr, src/core,
+#    src/dfs or any other layer would let engine code observe which
+#    transport it runs on — the exact coupling the interface removes.
+hits=$(grep -rnE '#include "net/[a-z_.]+"' src/ \
+  --include='*.h' --include='*.cc' \
+  | grep -v '^src/net/' | grep -v '"net/transport\.h"' || true)
+if [ -n "${hits}" ]; then
+  echo "${hits}" >&2
+  fail "concrete transport header included outside src/net/ — code above the wire uses net/transport.h only"
 fi
 
 # ---------------------------------------------------------------------

@@ -32,6 +32,11 @@ struct ClusterSpec {
   double disk_bytes_per_sec = 80e6;   // 2010-era SATA sequential
   int dfs_replication = 3;
   uint64_t dfs_block_bytes = 64ull << 20;
+  /// Which net::Transport carries RPC and shuffle traffic: "inproc"
+  /// (in-process registry, deterministic) or "tcp" (real loopback
+  /// sockets).  Empty defers to the BMR_NET_TRANSPORT environment
+  /// variable, then to "inproc".
+  std::string transport;
 
   int num_slaves() const {
     int n = 0;

@@ -17,6 +17,7 @@
 //                      analysis sees the guarded reads.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -125,6 +126,15 @@ class CondVar {
   template <typename MutexT>
   void Wait(MutexT& mu) BMR_REQUIRES(mu) {
     cv_.wait(mu);
+  }
+
+  /// Timed Wait: returns false if `timeout_ms` elapsed without a
+  /// notification (the predicate may still have become true — re-check
+  /// it either way, exactly as with Wait's spurious wakeups).
+  template <typename MutexT>
+  [[nodiscard]] bool WaitFor(MutexT& mu, double timeout_ms) BMR_REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::duration<double, std::milli>(
+                                timeout_ms)) == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -235,14 +235,14 @@ size_t DataNode::num_blocks() const {
 
 // --------------------------------------------------------------------- Dfs
 
-Dfs::Dfs(net::RpcFabric* fabric, int replication, uint64_t block_bytes)
-    : fabric_(fabric),
+Dfs::Dfs(net::Transport* transport, int replication, uint64_t block_bytes)
+    : transport_(transport),
       block_bytes_(block_bytes),
-      node_dead_(fabric->num_nodes(), false) {
-  name_node_ = std::make_unique<NameNode>(fabric->num_nodes(), replication,
+      node_dead_(transport->num_nodes(), false) {
+  name_node_ = std::make_unique<NameNode>(transport->num_nodes(), replication,
                                           block_bytes);
-  data_nodes_.resize(fabric->num_nodes());
-  for (int i = 0; i < fabric->num_nodes(); ++i) {
+  data_nodes_.resize(transport->num_nodes());
+  for (int i = 0; i < transport->num_nodes(); ++i) {
     data_nodes_[i] = std::make_unique<DataNode>(i);
     RegisterDataNodeService(i);
   }
@@ -256,12 +256,12 @@ void Dfs::KillDataNode(int node) {
     node_dead_[node] = true;
   }
   // Unregister only this node's dn.* handlers by re-registering a
-  // failing stub (RpcFabric::KillNode would also drop nn.* on node 0).
+  // failing stub (Transport::KillNode would also drop nn.* on node 0).
   auto dead = [](Slice, ByteBuffer*) {
     return Status::Unavailable("data node is down");
   };
-  fabric_->Register(node, "dn.put", dead);
-  fabric_->Register(node, "dn.read", dead);
+  transport_->Register(node, "dn.put", dead);
+  transport_->Register(node, "dn.read", dead);
 
   // HDFS-style repair: copy every block the node held from a surviving
   // replica onto a live node, restoring the replication factor.  The
@@ -284,14 +284,14 @@ void Dfs::KillDataNode(int node) {
 void Dfs::RegisterNameNodeService() {
   NameNode* nn = name_node_.get();
 
-  fabric_->Register(0, "nn.create", [nn](Slice req, ByteBuffer*) {
+  transport_->Register(0, "nn.create", [nn](Slice req, ByteBuffer*) {
     Decoder dec(req);
     std::string path;
     if (!dec.GetString(&path)) return Status::DataLoss("bad nn.create req");
     return nn->Create(path);
   });
 
-  fabric_->Register(0, "nn.add_block", [nn](Slice req, ByteBuffer* resp) {
+  transport_->Register(0, "nn.add_block", [nn](Slice req, ByteBuffer* resp) {
     Decoder dec(req);
     std::string path;
     uint64_t writer, size;
@@ -309,7 +309,7 @@ void Dfs::RegisterNameNodeService() {
     return Status::Ok();
   });
 
-  fabric_->Register(0, "nn.get_file_info", [nn](Slice req, ByteBuffer* resp) {
+  transport_->Register(0, "nn.get_file_info", [nn](Slice req, ByteBuffer* resp) {
     Decoder dec(req);
     std::string path;
     if (!dec.GetString(&path)) return Status::DataLoss("bad req");
@@ -319,14 +319,14 @@ void Dfs::RegisterNameNodeService() {
     return Status::Ok();
   });
 
-  fabric_->Register(0, "nn.delete", [nn](Slice req, ByteBuffer*) {
+  transport_->Register(0, "nn.delete", [nn](Slice req, ByteBuffer*) {
     Decoder dec(req);
     std::string path;
     if (!dec.GetString(&path)) return Status::DataLoss("bad req");
     return nn->Delete(path);
   });
 
-  fabric_->Register(0, "nn.list", [nn](Slice req, ByteBuffer* resp) {
+  transport_->Register(0, "nn.list", [nn](Slice req, ByteBuffer* resp) {
     Decoder dec(req);
     std::string prefix;
     if (!dec.GetString(&prefix)) return Status::DataLoss("bad req");
@@ -343,7 +343,7 @@ void Dfs::RegisterNameNodeService() {
     return Status::Ok();
   });
 
-  fabric_->Register(0, "nn.exists", [nn](Slice req, ByteBuffer* resp) {
+  transport_->Register(0, "nn.exists", [nn](Slice req, ByteBuffer* resp) {
     Decoder dec(req);
     std::string path;
     if (!dec.GetString(&path)) return Status::DataLoss("bad req");
@@ -356,7 +356,7 @@ void Dfs::RegisterNameNodeService() {
 void Dfs::RegisterDataNodeService(int node) {
   DataNode* dn = data_nodes_[node].get();
 
-  fabric_->Register(node, "dn.put", [dn](Slice req, ByteBuffer*) {
+  transport_->Register(node, "dn.put", [dn](Slice req, ByteBuffer*) {
     Decoder dec(req);
     uint64_t block_id;
     Slice data;
@@ -366,7 +366,7 @@ void Dfs::RegisterDataNodeService(int node) {
     return dn->PutBlock(block_id, data);
   });
 
-  fabric_->Register(node, "dn.read", [dn](Slice req, ByteBuffer* resp) {
+  transport_->Register(node, "dn.read", [dn](Slice req, ByteBuffer* resp) {
     Decoder dec(req);
     uint64_t block_id, offset, len;
     if (!dec.GetVarint64(&block_id) || !dec.GetVarint64(&offset) ||
@@ -421,7 +421,7 @@ StatusOr<std::unique_ptr<DfsClient::Writer>> DfsClient::Create(
   enc.PutString(path);
   ByteBuffer resp;
   BMR_RETURN_IF_ERROR(
-      dfs_->fabric()->Call(node_id_, 0, "nn.create", req.AsSlice(), &resp));
+      dfs_->transport()->Call(node_id_, 0, "nn.create", req.AsSlice(), &resp));
   return std::make_unique<Writer>(this, path);
 }
 
@@ -434,7 +434,7 @@ Status DfsClient::WriteBlock(const std::string& path, Slice data) {
   enc.PutVarint64(data.size());
   ByteBuffer resp;
   BMR_RETURN_IF_ERROR(
-      dfs_->fabric()->Call(node_id_, 0, "nn.add_block", req.AsSlice(), &resp));
+      dfs_->transport()->Call(node_id_, 0, "nn.add_block", req.AsSlice(), &resp));
 
   Decoder dec(resp.AsSlice());
   uint64_t block_id, size, nrep;
@@ -450,7 +450,7 @@ Status DfsClient::WriteBlock(const std::string& path, Slice data) {
     put_enc.PutVarint64(block_id);
     put_enc.PutString(data);
     ByteBuffer put_resp;
-    BMR_RETURN_IF_ERROR(dfs_->fabric()->Call(node_id_,
+    BMR_RETURN_IF_ERROR(dfs_->transport()->Call(node_id_,
                                              static_cast<int>(replica),
                                              "dn.put", put_req.AsSlice(),
                                              &put_resp));
@@ -463,7 +463,7 @@ StatusOr<FileInfo> DfsClient::GetFileInfo(const std::string& path) {
   Encoder enc(&req);
   enc.PutString(path);
   ByteBuffer resp;
-  BMR_RETURN_IF_ERROR(dfs_->fabric()->Call(node_id_, 0, "nn.get_file_info",
+  BMR_RETURN_IF_ERROR(dfs_->transport()->Call(node_id_, 0, "nn.get_file_info",
                                            req.AsSlice(), &resp));
   FileInfo info;
   if (!DecodeFileInfo(resp.AsSlice(), &info)) {
@@ -477,7 +477,7 @@ Status DfsClient::Delete(const std::string& path) {
   Encoder enc(&req);
   enc.PutString(path);
   ByteBuffer resp;
-  return dfs_->fabric()->Call(node_id_, 0, "nn.delete", req.AsSlice(), &resp);
+  return dfs_->transport()->Call(node_id_, 0, "nn.delete", req.AsSlice(), &resp);
 }
 
 bool DfsClient::Exists(const std::string& path) {
@@ -486,7 +486,7 @@ bool DfsClient::Exists(const std::string& path) {
   enc.PutString(path);
   ByteBuffer resp;
   Status st =
-      dfs_->fabric()->Call(node_id_, 0, "nn.exists", req.AsSlice(), &resp);
+      dfs_->transport()->Call(node_id_, 0, "nn.exists", req.AsSlice(), &resp);
   if (!st.ok() || resp.size() != 1) return false;
   return resp.data()[0] == 1;
 }
@@ -498,7 +498,7 @@ StatusOr<std::vector<std::string>> DfsClient::ListFiles(
   enc.PutString(prefix);
   ByteBuffer resp;
   BMR_RETURN_IF_ERROR(
-      dfs_->fabric()->Call(node_id_, 0, "nn.list", req.AsSlice(), &resp));
+      dfs_->transport()->Call(node_id_, 0, "nn.list", req.AsSlice(), &resp));
   Decoder dec(resp.AsSlice());
   uint64_t n;
   if (!dec.GetVarint64(&n)) return Status::DataLoss("bad nn.list resp");
@@ -526,7 +526,7 @@ Status DfsClient::ReadBlockRange(const BlockLocation& loc, uint64_t offset,
     enc.PutVarint64(offset);
     enc.PutVarint64(len);
     ByteBuffer resp;
-    last = dfs_->fabric()->Call(node_id_, replica, "dn.read", req.AsSlice(),
+    last = dfs_->transport()->Call(node_id_, replica, "dn.read", req.AsSlice(),
                                 &resp);
     if (last.ok()) {
       out->Append(resp.AsSlice());

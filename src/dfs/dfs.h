@@ -3,7 +3,7 @@
 // Files are split into fixed-size blocks.  A NameNode (on the master)
 // keeps path → block metadata and picks replica placements with the
 // write-local-first policy the paper highlights; DataNodes (one per
-// slave) store block bytes and serve ranged reads over the RPC fabric.
+// slave) store block bytes and serve ranged reads over the RPC transport.
 // A DfsClient per node provides create/append/close, positional reads
 // and replica failover.
 #pragma once
@@ -18,7 +18,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
-#include "net/rpc.h"
+#include "net/transport.h"
 
 namespace bmr::dfs {
 
@@ -117,14 +117,14 @@ class DataNode {
   uint64_t stored_bytes_ BMR_GUARDED_BY(mu_) = 0;
 };
 
-/// The whole DFS: NameNode + DataNodes wired onto an RpcFabric.
+/// The whole DFS: NameNode + DataNodes wired onto a net::Transport.
 /// Master node id 0 hosts the NameNode service.
 class Dfs {
  public:
   /// Registers nn.* on node 0 and dn.* on every node.
-  Dfs(net::RpcFabric* fabric, int replication, uint64_t block_bytes);
+  Dfs(net::Transport* transport, int replication, uint64_t block_bytes);
 
-  net::RpcFabric* fabric() { return fabric_; }
+  net::Transport* transport() { return transport_; }
   uint64_t block_bytes() const { return block_bytes_; }
 
   /// Simulate a machine loss: drop its DataNode service and blocks and
@@ -148,7 +148,7 @@ class Dfs {
   void RegisterNameNodeService();
   void RegisterDataNodeService(int node);
 
-  net::RpcFabric* fabric_;
+  net::Transport* transport_;
   uint64_t block_bytes_;
   std::unique_ptr<NameNode> name_node_;
   std::vector<std::unique_ptr<DataNode>> data_nodes_;
@@ -160,7 +160,7 @@ class Dfs {
   uint64_t blocks_re_replicated_ BMR_GUARDED_BY(mu_) = 0;
 };
 
-/// Per-node client stub.  All traffic goes through the RPC fabric so it
+/// Per-node client stub.  All traffic goes through the RPC transport so it
 /// is metered like any other remote I/O.
 class DfsClient {
  public:

@@ -41,7 +41,7 @@ Status FaultInjector::OnRpcCall(int src, int dst, const std::string& method,
   (void)src;
   *duplicates = 0;
   // Decide under the lock, act (sleep / crash / fail) outside it: the
-  // crash callback re-enters the fabric and must not see our mutex held.
+  // crash callback re-enters the transport and must not see our mutex held.
   bool drop = false;
   double delay_ms = 0;
   int crash_node = -1;
@@ -69,7 +69,7 @@ Status FaultInjector::OnRpcCall(int src, int dst, const std::string& method,
           }
           break;
         case FaultKind::kNodeCrash:
-          // The trigger counts every fabric call, whatever its target.
+          // The trigger counts every transport call, whatever its target.
           if (s.Tick()) {
             crash_node = s.event.node;
             crash = crash_;

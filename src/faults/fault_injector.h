@@ -1,5 +1,5 @@
 // Thread-safe runtime for a FaultPlan: the hook points the substrates
-// consult (RPC fabric, shuffle fetch, spill I/O) plus a log of every
+// consult (net transport, shuffle fetch, spill I/O) plus a log of every
 // fault that actually fired, for export into the job's counters and
 // timeline.  The injector holds no references into the engine — node
 // crashes go through a caller-bound callback, and the fault-log clock
@@ -46,10 +46,10 @@ class FaultInjector {
   // applies whatever fires.  All hooks are cheap no-ops for calls no
   // event matches.
 
-  /// RPC fabric, before the handler lookup.  May sleep (delay), crash a
+  /// Transport Call, at the wire-send boundary.  May sleep (delay), crash a
   /// node (via the bound CrashFn), or fail the call (drop => the caller
   /// sees UNAVAILABLE).  `duplicates` out-param: how many extra times
-  /// the fabric should run the handler (at-least-once delivery).
+  /// the transport should deliver the request (at-least-once delivery).
   [[nodiscard]] Status OnRpcCall(int src, int dst, const std::string& method,
                                  int* duplicates) BMR_EXCLUDES(mu_);
 

@@ -61,7 +61,7 @@ FaultPlan FaultPlan::Generate(uint64_t seed, const FaultPlanOptions& options) {
     }
     switch (e.kind) {
       case FaultKind::kNodeCrash: {
-        // Any slave; the trigger counts every fabric call, so small
+        // Any slave; the trigger counts every transport call, so small
         // thresholds make the crash land mid-job reliably.
         int node = 1 + static_cast<int>(rng.NextBounded(
                            static_cast<uint32_t>(options.num_nodes - 1)));

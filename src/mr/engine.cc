@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "common/logging.h"
@@ -24,8 +25,23 @@ std::unique_ptr<ClusterContext> ClusterContext::Create(
   auto ctx = std::make_unique<ClusterContext>();
   ctx->spec = std::move(spec);
   int n = static_cast<int>(ctx->spec.nodes.size());
-  ctx->fabric = std::make_unique<net::RpcFabric>(n);
-  ctx->dfs = std::make_unique<dfs::Dfs>(ctx->fabric.get(),
+  // Transport selection: the spec's knob wins, then the environment
+  // (so whole test binaries can be re-run over TCP without code
+  // changes), then the deterministic in-process default.
+  std::string kind = ctx->spec.transport;
+  if (kind.empty()) {
+    const char* env = std::getenv("BMR_NET_TRANSPORT");
+    if (env != nullptr) kind = env;
+  }
+  auto transport = net::CreateTransport(kind, n);
+  if (!transport.ok()) {
+    BMR_ERROR << "cannot create '" << kind
+              << "' transport, falling back to inproc: "
+              << transport.status();
+    transport = net::CreateTransport("inproc", n);
+  }
+  ctx->transport = std::move(*transport);
+  ctx->dfs = std::make_unique<dfs::Dfs>(ctx->transport.get(),
                                         ctx->spec.dfs_replication,
                                         ctx->spec.dfs_block_bytes);
   ctx->clients.resize(n);
@@ -36,13 +52,13 @@ std::unique_ptr<ClusterContext> ClusterContext::Create(
 }
 
 void ClusterContext::KillNode(int node) {
-  fabric->KillNode(node);       // drops dn.*, shuffle fetch on that node
+  transport->KillNode(node);    // drops dn.*, shuffle fetch on that node
   dfs->KillDataNode(node);      // excludes it from future placement
 }
 
 void ClusterContext::InstallFaultInjector(faults::FaultInjector* injector) {
   fault_injector = injector;
-  fabric->SetFaultInjector(injector);
+  transport->SetFaultInjector(injector);
   if (injector != nullptr) {
     injector->BindCrash([this](int node) { KillNode(node); });
   }
@@ -131,14 +147,14 @@ JobResult JobExecution::Run() {
 
   // Compose the layers.  The obs.trace knob arms the job's tracer
   // before any layer is built, so every span and latency sample of the
-  // run lands in one log.  Tracing state is job-scoped; the shared RPC
-  // fabric carries one observer at a time (same single-traced-job
+  // run lands in one log.  Tracing state is job-scoped; the shared
+  // transport carries one observer at a time (same single-traced-job
   // caveat as the fault-injector clock below).
   const bool traced = spec_.config.GetBool("obs.trace", false);
   obs::Tracer* tracer = metrics_.tracer();
   if (traced) {
     metrics_.EnableTracing();
-    cluster_->fabric->SetObserver(tracer);
+    cluster_->transport->SetObserver(tracer);
   }
 
   int nmaps = static_cast<int>(splits_.size());
@@ -155,8 +171,9 @@ JobResult JobExecution::Run() {
   shuffle_options.fail_on_fetch_error =
       spec_.config.GetBool("shuffle.fail_on_fetch_error", false);
   shuffle_ = std::make_unique<ShuffleService>(
-      cluster_->fabric.get(), static_cast<int>(cluster_->spec.nodes.size()),
-      nmaps, cluster_->AllocateJobId(), shuffle_options);
+      cluster_->transport.get(),
+      static_cast<int>(cluster_->spec.nodes.size()), nmaps,
+      cluster_->AllocateJobId(), shuffle_options);
   TaskScheduler::Options sched_options;
   sched_options.speculative = spec_.speculative_maps;
   sched_options.slowness = spec_.speculation_slowness;
@@ -248,7 +265,7 @@ JobResult JobExecution::Run() {
 
   if (traced) {
     // Close the job span (it contains every task span by construction)
-    // and detach from the shared fabric before another job can trace.
+    // and detach from the shared transport before another job traces.
     obs::Span job_span;
     job_span.id = root_span;
     job_span.name = obs::kSpanJob;
@@ -256,7 +273,7 @@ JobResult JobExecution::Run() {
     job_span.start_s = 0;
     job_span.end_s = tracer->Now();
     tracer->EmitSpan(job_span);
-    cluster_->fabric->SetObserver(nullptr);
+    cluster_->transport->SetObserver(nullptr);
   }
 
   // Assemble the result from the metrics layer.

@@ -1,5 +1,5 @@
-// The real execution engine: runs a JobSpec on the in-process cluster
-// (RPC fabric + DFS + per-node slots), in either with-barrier or
+// The real execution engine: runs a JobSpec on one cluster context
+// (net transport + DFS + per-node slots), in either with-barrier or
 // barrier-less mode, on real data.
 //
 // JobRunner::Run is a thin composition of four layers, each its own
@@ -34,7 +34,7 @@
 #include "mr/metrics.h"
 #include "mr/timeline.h"
 #include "mr/types.h"
-#include "net/rpc.h"
+#include "net/transport.h"
 
 namespace bmr::faults {
 class FaultInjector;
@@ -42,13 +42,15 @@ class FaultInjector;
 
 namespace bmr::mr {
 
-/// Wires the substrates into one in-process cluster.  Shared-cluster
+/// Wires the substrates into one cluster: the spec's `transport` knob
+/// (or BMR_NET_TRANSPORT) picks the net::Transport carrying all RPC
+/// and shuffle traffic — in-process by default.  Shared-cluster
 /// mode: any number of JobRunners may run concurrently against one
 /// context — every job draws a unique id from AllocateJobId() and all
 /// of its shuffle state is scoped to that id.
 struct ClusterContext {
   cluster::ClusterSpec spec;
-  std::unique_ptr<net::RpcFabric> fabric;
+  std::unique_ptr<net::Transport> transport;
   std::unique_ptr<dfs::Dfs> dfs;
   std::vector<std::unique_ptr<dfs::DfsClient>> clients;
   std::atomic<int> next_job_id{0};
@@ -66,7 +68,7 @@ struct ClusterContext {
   void KillNode(int node);
 
   /// Install (or with nullptr, remove) a deterministic fault injector:
-  /// hooks it into the RPC fabric and binds its node-crash action to
+  /// hooks it into the transport and binds its node-crash action to
   /// KillNode.  The injector must outlive every job run against this
   /// cluster while installed.
   void InstallFaultInjector(faults::FaultInjector* injector);

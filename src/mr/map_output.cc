@@ -131,9 +131,9 @@ std::string ShuffleMethodName(int job_id) {
   return "shuffle.fetch." + std::to_string(job_id);
 }
 
-void RegisterShuffleService(net::RpcFabric* fabric, int node,
+void RegisterShuffleService(net::Transport* transport, int node,
                             MapOutputStore* store, int job_id) {
-  fabric->Register(node, ShuffleMethodName(job_id),
+  transport->Register(node, ShuffleMethodName(job_id),
                    [store](Slice req, ByteBuffer* resp) {
                      Decoder dec(req);
                      uint64_t map_task, partition;
@@ -149,11 +149,11 @@ void RegisterShuffleService(net::RpcFabric* fabric, int node,
                    });
 }
 
-void UnregisterShuffleService(net::RpcFabric* fabric, int node, int job_id) {
-  fabric->Unregister(node, ShuffleMethodName(job_id));
+void UnregisterShuffleService(net::Transport* transport, int node, int job_id) {
+  transport->Unregister(node, ShuffleMethodName(job_id));
 }
 
-Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
+Status FetchSegment(net::Transport* transport, int from_node, int at_node,
                     int map_task, int partition, std::string* segment,
                     int job_id) {
   ByteBuffer req;
@@ -161,7 +161,7 @@ Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
   enc.PutVarint64(static_cast<uint64_t>(map_task));
   enc.PutVarint64(static_cast<uint64_t>(partition));
   ByteBuffer resp;
-  BMR_RETURN_IF_ERROR(fabric->Call(at_node, from_node,
+  BMR_RETURN_IF_ERROR(transport->Call(at_node, from_node,
                                    ShuffleMethodName(job_id), req.AsSlice(),
                                    &resp));
   *segment = resp.ToString();

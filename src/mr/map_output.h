@@ -16,7 +16,7 @@
 #include "mr/job.h"
 #include "mr/record_batch.h"
 #include "mr/types.h"
-#include "net/rpc.h"
+#include "net/transport.h"
 
 namespace bmr::mr {
 
@@ -53,7 +53,7 @@ class MapOutputCollector {
 
 /// Per-node storage of finished map-output segments — the "local disk"
 /// the mappers write to and reducers remotely read from.  One instance
-/// per node per job; fetch is exposed on the RPC fabric under the
+/// per node per job; fetch is exposed on the RPC transport under the
 /// job-scoped method name ShuffleMethodName(job_id).
 class MapOutputStore {
  public:
@@ -77,14 +77,14 @@ std::string ShuffleMethodName(int job_id);
 /// Register the shuffle-fetch handler for `store` on `node` under job
 /// `job_id`.  Request: varint map_task, varint partition.  Response:
 /// segment.
-void RegisterShuffleService(net::RpcFabric* fabric, int node,
+void RegisterShuffleService(net::Transport* transport, int node,
                             MapOutputStore* store, int job_id = 0);
 
 /// Remove job `job_id`'s shuffle-fetch handler from `node`.
-void UnregisterShuffleService(net::RpcFabric* fabric, int node, int job_id);
+void UnregisterShuffleService(net::Transport* transport, int node, int job_id);
 
 /// Client side of the shuffle fetch.
-[[nodiscard]] Status FetchSegment(net::RpcFabric* fabric, int from_node, int at_node,
+[[nodiscard]] Status FetchSegment(net::Transport* transport, int from_node, int at_node,
                     int map_task, int partition, std::string* segment,
                     int job_id = 0);
 

@@ -6,9 +6,9 @@
 
 namespace bmr::mr {
 
-ShuffleService::ShuffleService(net::RpcFabric* fabric, int num_nodes,
+ShuffleService::ShuffleService(net::Transport* transport, int num_nodes,
                                int num_map_tasks, int job_id, Options options)
-    : fabric_(fabric),
+    : transport_(transport),
       num_nodes_(num_nodes),
       job_id_(job_id),
       options_(options),
@@ -16,13 +16,13 @@ ShuffleService::ShuffleService(net::RpcFabric* fabric, int num_nodes,
   stores_.resize(num_nodes);
   for (int n = 0; n < num_nodes; ++n) {
     stores_[n] = std::make_unique<MapOutputStore>();
-    RegisterShuffleService(fabric_, n, stores_[n].get(), job_id_);
+    RegisterShuffleService(transport_, n, stores_[n].get(), job_id_);
   }
 }
 
 ShuffleService::~ShuffleService() {
   for (int n = 0; n < num_nodes_; ++n) {
-    UnregisterShuffleService(fabric_, n, job_id_);
+    UnregisterShuffleService(transport_, n, job_id_);
   }
 }
 
@@ -71,7 +71,7 @@ std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
           obs::ScopedSpan fetch_span(options_.tracer, obs::kSpanShuffleFetch,
                                      "shuffle", m, parent_span);
           obs::LatencyTimer rtt(options_.tracer, obs::kHShuffleFetchRttUs);
-          st = FetchSegment(fabric_, loc.node, node, m, r, &segment, job_id_);
+          st = FetchSegment(transport_, loc.node, node, m, r, &segment, job_id_);
         }
         RecordBatch batch;
         if (st.ok()) {

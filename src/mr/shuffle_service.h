@@ -31,7 +31,7 @@
 #include "mr/record_batch.h"
 #include "mr/shuffle.h"
 #include "mr/types.h"
-#include "net/rpc.h"
+#include "net/transport.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 
@@ -149,8 +149,8 @@ class ShuffleService {
   using Options = ShuffleOptions;
 
   /// Registers a segment store for every node under the job-scoped
-  /// fetch method, so concurrent jobs on one fabric don't interfere.
-  ShuffleService(net::RpcFabric* fabric, int num_nodes, int num_map_tasks,
+  /// fetch method, so concurrent jobs on one transport don't interfere.
+  ShuffleService(net::Transport* transport, int num_nodes, int num_map_tasks,
                  int job_id, Options options = {});
   ~ShuffleService();  // unregisters the job's fetch handlers
 
@@ -237,7 +237,7 @@ class ShuffleService {
   /// as Cancel().
   void TaintConsumers(int map_task, int version) BMR_EXCLUDES(sinks_mu_);
 
-  net::RpcFabric* fabric_;
+  net::Transport* transport_;
   int num_nodes_;
   int job_id_;
   Options options_;

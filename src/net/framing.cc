@@ -1,0 +1,101 @@
+#include "net/framing.h"
+
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace bmr::net {
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::DataLoss("malformed frame: " + what);
+}
+
+}  // namespace
+
+void EncodeFrame(const Frame& frame, ByteBuffer* out) {
+  ByteBuffer body;
+  Encoder enc(&body);
+  enc.PutFixed32(kFrameMagic);
+  enc.PutU8(static_cast<uint8_t>(frame.type));
+  enc.PutFixed64(frame.request_id);
+  enc.PutVarint64(static_cast<uint64_t>(frame.src));
+  enc.PutVarint64(static_cast<uint64_t>(frame.dst));
+  enc.PutString(frame.method);
+  enc.PutU8(frame.status_code);
+  enc.PutString(frame.status_message);
+  enc.PutString(frame.payload);
+  enc.PutFixed64(Fnv1a64(body.AsSlice()));
+
+  Encoder prefix(out);
+  prefix.PutFixed32(static_cast<uint32_t>(body.size()));
+  out->Append(body.AsSlice());
+}
+
+DecodeResult DecodeFrame(Slice in, Frame* frame, size_t* consumed,
+                         Status* error) {
+  if (in.size() < 4) return DecodeResult::kNeedMore;
+  uint32_t body_len;
+  std::memcpy(&body_len, in.data(), 4);
+  // Reject oversized frames from the 4-byte prefix alone, before the
+  // body arrives — a corrupted length can't make us buffer gigabytes.
+  if (body_len > kMaxFrameBytes) {
+    *error = Malformed("body length " + std::to_string(body_len) +
+                       " exceeds cap " + std::to_string(kMaxFrameBytes));
+    return DecodeResult::kError;
+  }
+  if (in.size() < 4u + body_len) return DecodeResult::kNeedMore;
+
+  Slice body(in.data() + 4, body_len);
+  if (body_len < 8) {
+    *error = Malformed("body shorter than its checksum");
+    return DecodeResult::kError;
+  }
+  Slice checked(body.data(), body_len - 8);
+  uint64_t want_sum;
+  std::memcpy(&want_sum, body.data() + body_len - 8, 8);
+  if (Fnv1a64(checked) != want_sum) {
+    *error = Malformed("checksum mismatch");
+    return DecodeResult::kError;
+  }
+
+  Decoder dec(checked);
+  uint32_t magic;
+  uint8_t type;
+  uint64_t request_id, src, dst;
+  uint8_t status_code;
+  std::string method, status_message, payload;
+  if (!dec.GetFixed32(&magic) || magic != kFrameMagic) {
+    *error = Malformed("bad magic");
+    return DecodeResult::kError;
+  }
+  if (!dec.GetU8(&type) ||
+      (type != static_cast<uint8_t>(FrameType::kRequest) &&
+       type != static_cast<uint8_t>(FrameType::kResponse))) {
+    *error = Malformed("bad frame type");
+    return DecodeResult::kError;
+  }
+  if (!dec.GetFixed64(&request_id) || !dec.GetVarint64(&src) ||
+      !dec.GetVarint64(&dst) || !dec.GetString(&method) ||
+      !dec.GetU8(&status_code) || !dec.GetString(&status_message) ||
+      !dec.GetString(&payload)) {
+    *error = Malformed("truncated or malformed body fields");
+    return DecodeResult::kError;
+  }
+  if (!dec.empty()) {
+    *error = Malformed("trailing bytes after payload");
+    return DecodeResult::kError;
+  }
+
+  frame->type = static_cast<FrameType>(type);
+  frame->request_id = request_id;
+  frame->src = static_cast<int>(src);
+  frame->dst = static_cast<int>(dst);
+  frame->method = std::move(method);
+  frame->status_code = status_code;
+  frame->status_message = std::move(status_message);
+  frame->payload = std::move(payload);
+  *consumed = 4u + body_len;
+  return DecodeResult::kFrame;
+}
+
+}  // namespace bmr::net

@@ -1,0 +1,77 @@
+// Wire framing for the TCP transport.
+//
+// Every message on a connection is one frame:
+//
+//   [fixed32 body_length][body]
+//
+// where body is, in bmr wire format (common/serde.h):
+//
+//   fixed32  magic        0x424d5246 ("BMRF")
+//   u8       type         1 = request, 2 = response
+//   fixed64  request_id   matches responses to in-flight calls; a
+//                         retried call resends the SAME id so the
+//                         server's ResponseKeeper can replay instead
+//                         of re-executing
+//   varint   src          logical source node
+//   varint   dst          logical destination node
+//   string   method       (requests only; empty string in responses)
+//   u8       status_code  (responses only; StatusCode as int)
+//   string   status_msg   (responses only)
+//   string   payload      request bytes, or response bytes
+//   fixed64  checksum     FNV-1a over body minus these 8 bytes
+//
+// Decoding is defensive in the PR 4 discipline: truncated input asks
+// for more bytes, an oversized or malformed frame (bad magic, bad
+// type, overlong varint, length past the cap, checksum mismatch)
+// surfaces a Status error — never UB, so a corrupted or adversarial
+// peer cannot crash the event loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace bmr::net {
+
+inline constexpr uint32_t kFrameMagic = 0x424d5246;  // "BMRF"
+/// Hard cap on one frame's body; above it the frame (and with it the
+/// connection) is rejected before any allocation of body size.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// One decoded wire message.  `payload` owns its bytes (frames outlive
+/// the connection read buffer they were cut from).
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  int src = 0;
+  int dst = 0;
+  std::string method;        // requests
+  uint8_t status_code = 0;   // responses: StatusCode as int
+  std::string status_message;
+  std::string payload;
+};
+
+/// Appends the complete encoding (length prefix included) to `out`.
+void EncodeFrame(const Frame& frame, ByteBuffer* out);
+
+enum class DecodeResult {
+  kFrame,     // one frame decoded; *consumed bytes were eaten
+  kNeedMore,  // `in` is a prefix of a valid frame; read more bytes
+  kError,     // malformed; *error set; the connection must be dropped
+};
+
+/// Cuts one frame off the front of `in`.  On kFrame, `*consumed` is
+/// the total encoded size (prefix + body).  On kError the stream is
+/// unrecoverable: framing has lost sync, so the caller closes the
+/// connection rather than resynchronizing.
+DecodeResult DecodeFrame(Slice in, Frame* frame, size_t* consumed,
+                         Status* error);
+
+}  // namespace bmr::net

@@ -1,0 +1,47 @@
+#include "net/handler_registry.h"
+
+#include "common/logging.h"
+
+namespace bmr::net {
+
+void HandlerRegistry::Register(int node, const std::string& method,
+                               RpcHandler handler) {
+  MutexLock lock(mu_);
+  auto [it, inserted] = handlers_.try_emplace({node, method});
+  it->second = std::move(handler);
+  if (inserted) return;
+  reregistrations_.fetch_add(1, std::memory_order_relaxed);
+  if (!logged_reregistration_) {
+    logged_reregistration_ = true;
+    BMR_INFO << "handler re-registered: " << method << " on node " << node
+             << " (expected for DataNode restart; further overwrites are "
+                "counted in bmr_rpc_handler_reregistered_total only)";
+  }
+}
+
+void HandlerRegistry::Unregister(int node, const std::string& method) {
+  MutexLock lock(mu_);
+  handlers_.erase({node, method});
+}
+
+void HandlerRegistry::KillNode(int node) {
+  MutexLock lock(mu_);
+  auto it = handlers_.lower_bound({node, ""});
+  while (it != handlers_.end() && it->first.first == node) {
+    it = handlers_.erase(it);
+  }
+}
+
+Status HandlerRegistry::Lookup(int node, const std::string& method,
+                               RpcHandler* handler) const {
+  MutexLock lock(mu_);
+  auto it = handlers_.find({node, method});
+  if (it == handlers_.end()) {
+    return Status::NotFound("no handler for " + method + " on node " +
+                            std::to_string(node));
+  }
+  *handler = it->second;
+  return Status::Ok();
+}
+
+}  // namespace bmr::net

@@ -1,0 +1,57 @@
+// The (node, method) → handler table shared by both Transport
+// implementations.  The in-process transport dispatches straight out
+// of it; the TCP transport's server side looks handlers up here after
+// decoding a request frame.  Either way the contract is the same:
+//
+//   - lookups copy the handler out under the lock and run it outside,
+//     so a concurrent KillNode can never free a handler mid-call (the
+//     call completes, or a later call returns NotFound);
+//   - Register overwrites an existing handler — legitimate for DFS
+//     DataNode restart — but the overwrite is counted
+//     (bmr_rpc_handler_reregistered_total) and logged once per
+//     registry, so an accidental double registration is visible.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "net/transport.h"
+
+namespace bmr::net {
+
+class HandlerRegistry {
+ public:
+  HandlerRegistry() = default;
+  HandlerRegistry(const HandlerRegistry&) = delete;
+  HandlerRegistry& operator=(const HandlerRegistry&) = delete;
+
+  void Register(int node, const std::string& method, RpcHandler handler)
+      BMR_EXCLUDES(mu_);
+
+  void Unregister(int node, const std::string& method) BMR_EXCLUDES(mu_);
+
+  /// Remove every handler on `node`.
+  void KillNode(int node) BMR_EXCLUDES(mu_);
+
+  /// Copy the handler out (runs-outside-lock discipline).  NotFound
+  /// when the method is not registered on `node`.
+  [[nodiscard]] Status Lookup(int node, const std::string& method,
+                              RpcHandler* handler) const BMR_EXCLUDES(mu_);
+
+  uint64_t reregistrations() const {
+    return reregistrations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable OrderedMutex mu_{"net.handler_registry"};
+  std::map<std::pair<int, std::string>, RpcHandler> handlers_
+      BMR_GUARDED_BY(mu_);
+  std::atomic<uint64_t> reregistrations_{0};
+  bool logged_reregistration_ BMR_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace bmr::net

@@ -1,33 +1,15 @@
-#include "net/rpc.h"
+#include "net/inproc_transport.h"
 
+#include "faults/fault_injector.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 
 namespace bmr::net {
 
-void RpcFabric::Register(int node, const std::string& method,
-                         RpcHandler handler) {
-  MutexLock lock(mu_);
-  handlers_[{node, method}] = std::move(handler);
-}
-
-void RpcFabric::Unregister(int node, const std::string& method) {
-  MutexLock lock(mu_);
-  handlers_.erase({node, method});
-}
-
-void RpcFabric::KillNode(int node) {
-  MutexLock lock(mu_);
-  auto it = handlers_.lower_bound({node, ""});
-  while (it != handlers_.end() && it->first.first == node) {
-    it = handlers_.erase(it);
-  }
-}
-
-Status RpcFabric::Call(int src, int dst, const std::string& method,
-                       Slice request, ByteBuffer* response) {
+Status InProcessTransport::Call(int src, int dst, const std::string& method,
+                                Slice request, ByteBuffer* response) {
   obs::LatencyTimer timer(observer_.load(std::memory_order_acquire),
-                          obs::kHRpcCallUs);
+                          obs::kHRpcCallInprocUs);
   // Fault hook first, before the handler lookup: a crash it triggers
   // removes dst's handlers, so this very call already observes the
   // node as dead; a drop fails the call without touching the handler.
@@ -43,15 +25,7 @@ Status RpcFabric::Call(int src, int dst, const std::string& method,
     }
   }
   RpcHandler handler;
-  {
-    MutexLock lock(mu_);
-    auto it = handlers_.find({dst, method});
-    if (it == handlers_.end()) {
-      return Status::NotFound("no handler for " + method + " on node " +
-                              std::to_string(dst));
-    }
-    handler = it->second;  // copy so the handler runs outside the lock
-  }
+  BMR_RETURN_IF_ERROR(registry_.Lookup(dst, method, &handler));
   response->Clear();
   Status st = handler(request, response);
   // At-least-once delivery: rerun the handler, keeping the last
@@ -70,18 +44,18 @@ Status RpcFabric::Call(int src, int dst, const std::string& method,
   return st;
 }
 
-void RpcFabric::SetFaultInjector(faults::FaultInjector* injector) {
+void InProcessTransport::SetFaultInjector(faults::FaultInjector* injector) {
   MutexLock lock(mu_);
   injector_ = injector;
 }
 
-LinkStats RpcFabric::GetLinkStats(int src, int dst) const {
+LinkStats InProcessTransport::GetLinkStats(int src, int dst) const {
   MutexLock lock(mu_);
   auto it = link_stats_.find({src, dst});
   return it == link_stats_.end() ? LinkStats{} : it->second;
 }
 
-LinkStats RpcFabric::TotalRemoteTraffic() const {
+LinkStats InProcessTransport::TotalRemoteTraffic() const {
   MutexLock lock(mu_);
   LinkStats total;
   for (const auto& [key, ls] : link_stats_) {

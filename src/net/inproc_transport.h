@@ -1,0 +1,73 @@
+// The in-process Transport: the original RPC fabric, refactored onto
+// the Transport interface.
+//
+// The paper's Hadoop ran on a 16-node cluster; here the "nodes" are
+// logical endpoints inside one process.  Every "remote" fetch is a
+// function call in one address space — the same structure as Hadoop
+// RPC and the shuffle's HTTP fetches, minus the sockets.  Every call
+// is metered (bytes in/out per src→dst pair) so the simulator's cost
+// model can be calibrated against real transfer volumes, and the
+// absence of sockets keeps simmr calibration and the seeded chaos
+// harness fully deterministic.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "net/handler_registry.h"
+#include "net/transport.h"
+
+namespace bmr::net {
+
+/// Handlers run on the caller's thread with no transport lock held.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(int num_nodes) : num_nodes_(num_nodes) {}
+
+  int num_nodes() const override { return num_nodes_; }
+
+  void Register(int node, const std::string& method,
+                RpcHandler handler) override {
+    registry_.Register(node, method, std::move(handler));
+  }
+
+  void Unregister(int node, const std::string& method) override {
+    registry_.Unregister(node, method);
+  }
+
+  void KillNode(int node) override { registry_.KillNode(node); }
+
+  [[nodiscard]] Status Call(int src, int dst, const std::string& method,
+                            Slice request, ByteBuffer* response) override
+      BMR_EXCLUDES(mu_);
+
+  LinkStats GetLinkStats(int src, int dst) const override BMR_EXCLUDES(mu_);
+  LinkStats TotalRemoteTraffic() const override BMR_EXCLUDES(mu_);
+
+  uint64_t handler_reregistrations() const override {
+    return registry_.reregistrations();
+  }
+
+  void SetFaultInjector(faults::FaultInjector* injector) override
+      BMR_EXCLUDES(mu_);
+
+  void SetObserver(obs::Tracer* tracer) override {
+    observer_.store(tracer, std::memory_order_release);
+  }
+
+ private:
+  int num_nodes_;
+  HandlerRegistry registry_;
+  mutable OrderedMutex mu_{"net.inproc_transport"};
+  std::map<std::pair<int, int>, LinkStats> link_stats_ BMR_GUARDED_BY(mu_);
+  faults::FaultInjector* injector_ BMR_GUARDED_BY(mu_) = nullptr;
+  // Atomic, not guarded: read on every Call; installed/cleared at job
+  // boundaries with no concurrent traced calls in flight.
+  std::atomic<obs::Tracer*> observer_{nullptr};
+};
+
+}  // namespace bmr::net

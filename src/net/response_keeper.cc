@@ -1,0 +1,57 @@
+#include "net/response_keeper.h"
+
+namespace bmr::net {
+
+bool ResponseKeeper::Begin(uint64_t id, Frame* response) {
+  std::shared_ptr<InFlight> inf;
+  {
+    MutexLock lock(mu_);
+    auto done_it = completed_.find(id);
+    if (done_it != completed_.end()) {
+      ++replays_;
+      *response = done_it->second;
+      return false;
+    }
+    auto [it, inserted] =
+        in_flight_.try_emplace(id, std::make_shared<InFlight>());
+    if (inserted) return true;  // caller executes
+    ++replays_;
+    inf = it->second;
+    while (!inf->done) inf->done_cv.Wait(mu_);
+  }
+  *response = inf->response;
+  return false;
+}
+
+void ResponseKeeper::Complete(uint64_t id, Frame response) {
+  MutexLock lock(mu_);
+  auto it = in_flight_.find(id);
+  if (it != in_flight_.end()) {
+    // Publish to blocked duplicates through their shared InFlight
+    // before the map entry goes away.
+    it->second->response = response;
+    it->second->done = true;
+    it->second->done_cv.NotifyAll();
+    in_flight_.erase(it);
+  }
+  if (capacity_ == 0) return;
+  if (completed_.emplace(id, std::move(response)).second) {
+    eviction_order_.push_back(id);
+    while (eviction_order_.size() > capacity_) {
+      completed_.erase(eviction_order_.front());
+      eviction_order_.pop_front();
+    }
+  }
+}
+
+size_t ResponseKeeper::cached() const {
+  MutexLock lock(mu_);
+  return completed_.size();
+}
+
+uint64_t ResponseKeeper::replays() const {
+  MutexLock lock(mu_);
+  return replays_;
+}
+
+}  // namespace bmr::net

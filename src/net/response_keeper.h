@@ -1,0 +1,71 @@
+// Exactly-once replay for the TCP transport's server side, modeled on
+// ytsaurus's response keeper: the client retries a timed-out call with
+// the SAME request id, and the server must not re-execute a handler it
+// already ran — the first execution may have had side effects (a
+// NameNode mutation, a KV write).  Instead:
+//
+//   - first sight of an id: execute the handler, cache the response;
+//   - retry while the original is still executing: block until it
+//     completes, then send that one response;
+//   - retry after completion: replay the cached response.
+//
+// The cache is FIFO-bounded (response_keeper_entries): an id evicted
+// before its retry arrives re-executes.  That bound is acceptable here
+// because retries come milliseconds after the original (call timeout ×
+// max retries), while eviction needs thousands of newer calls first.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "net/framing.h"
+
+namespace bmr::net {
+
+class ResponseKeeper {
+ public:
+  explicit ResponseKeeper(size_t capacity) : capacity_(capacity) {}
+
+  ResponseKeeper(const ResponseKeeper&) = delete;
+  ResponseKeeper& operator=(const ResponseKeeper&) = delete;
+
+  /// Returns true if the caller owns execution of `id` (first sight):
+  /// run the handler and then call Complete.  Returns false for a
+  /// duplicate: `*response` is filled with the original execution's
+  /// response, blocking first if that execution is still in flight.
+  [[nodiscard]] bool Begin(uint64_t id, Frame* response)
+      BMR_EXCLUDES(mu_);
+
+  /// Publish the response of an execution Begin handed to this caller;
+  /// wakes blocked duplicates and makes the id replayable.
+  void Complete(uint64_t id, Frame response) BMR_EXCLUDES(mu_);
+
+  /// Completed responses currently cached (test/introspection).
+  size_t cached() const BMR_EXCLUDES(mu_);
+
+  /// Duplicates served from cache or an in-flight execution so far.
+  uint64_t replays() const BMR_EXCLUDES(mu_);
+
+ private:
+  struct InFlight {
+    CondVar done_cv;
+    bool done = false;   // guarded by the keeper's mu_
+    Frame response;      // valid once done
+  };
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  // Waiters hold the shared_ptr, so an InFlight outlives its map entry
+  // even if the id is completed and later evicted mid-wait.
+  std::map<uint64_t, std::shared_ptr<InFlight>> in_flight_
+      BMR_GUARDED_BY(mu_);
+  std::map<uint64_t, Frame> completed_ BMR_GUARDED_BY(mu_);
+  std::deque<uint64_t> eviction_order_ BMR_GUARDED_BY(mu_);
+  uint64_t replays_ BMR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bmr::net

@@ -1,0 +1,555 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "faults/fault_injector.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
+
+namespace bmr::net {
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+int SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int num_nodes, const TransportOptions& options)
+    : num_nodes_(num_nodes),
+      options_(options),
+      keeper_(options.response_keeper_entries) {}
+
+StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::Create(
+    int num_nodes, const TransportOptions& options) {
+  std::unique_ptr<TcpTransport> transport(
+      new TcpTransport(num_nodes, options));
+  BMR_RETURN_IF_ERROR(transport->Start());
+  return transport;
+}
+
+Status TcpTransport::Start() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return ErrnoStatus("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return ErrnoStatus("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(wakeup)");
+  }
+
+  ports_.resize(num_nodes_, 0);
+  for (int node = 0; node < num_nodes_; ++node) {
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return ErrnoStatus("socket(listen)");
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = LoopbackAddr(0);  // ephemeral port
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        listen(fd, 128) < 0 || SetNonBlocking(fd) < 0) {
+      Status st = ErrnoStatus("bind/listen node " + std::to_string(node));
+      close(fd);
+      return st;
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+      Status st = ErrnoStatus("getsockname");
+      close(fd);
+      return st;
+    }
+    ports_[node] = ntohs(addr.sin_port);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      Status st = ErrnoStatus("epoll_ctl(listen)");
+      close(fd);
+      return st;
+    }
+    listeners_[fd] = node;
+  }
+
+  handler_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max(4, 2 * num_nodes_)));
+  loop_pool_ = std::make_unique<ThreadPool>(1);
+  loop_pool_->Submit([this] { EventLoop(); });
+  return Status::Ok();
+}
+
+TcpTransport::~TcpTransport() {
+  shutdown_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+  loop_pool_.reset();     // joins the event loop
+  handler_pool_.reset();  // drains in-flight handlers
+  for (auto& [fd, conn] : conns_) {
+    MutexLock lock(conn->write_mu);
+    if (conn->fd >= 0) close(conn->fd);
+    conn->fd = -1;
+  }
+  for (const auto& [fd, node] : listeners_) close(fd);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void TcpTransport::EventLoop() {
+  epoll_event events[64];
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events, 64, /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BMR_ERROR << "tcp transport epoll_wait: " << std::strerror(errno);
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto listener = listeners_.find(fd);
+      if (listener != listeners_.end()) {
+        AcceptAll(fd);
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        MutexLock lock(conns_mu_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn == nullptr) continue;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      HandleReadable(conn);
+    }
+  }
+}
+
+void TcpTransport::AcceptAll(int listen_fd) {
+  for (;;) {
+    int fd = accept4(listen_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      BMR_WARN << "tcp transport accept: " << std::strerror(errno);
+      return;
+    }
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Conn>();
+    {
+      MutexLock lock(conn->write_mu);
+      conn->fd = fd;
+    }
+    {
+      MutexLock lock(conns_mu_);
+      conns_[fd] = conn;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      BMR_WARN << "tcp transport epoll_ctl(accept): " << std::strerror(errno);
+      CloseConn(conn);
+      return;
+    }
+  }
+}
+
+void TcpTransport::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  int fd;
+  {
+    MutexLock lock(conn->write_mu);
+    fd = conn->fd;
+  }
+  if (fd < 0) return;
+  char buf[64 << 10];
+  bool peer_closed = false;
+  for (;;) {
+    ssize_t r = recv(fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn->read_buf.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    peer_closed = true;
+    break;
+  }
+
+  size_t offset = 0;
+  obs::Tracer* observer = observer_.load(std::memory_order_acquire);
+  while (offset < conn->read_buf.size()) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error = Status::Ok();
+    DecodeResult result;
+    {
+      obs::LatencyTimer timer(observer, obs::kHNetFrameDecodeUs);
+      result = DecodeFrame(Slice(conn->read_buf.data() + offset,
+                                 conn->read_buf.size() - offset),
+                           &frame, &consumed, &error);
+    }
+    if (result == DecodeResult::kNeedMore) break;
+    if (result == DecodeResult::kError) {
+      // Framing has lost sync; the peer will reconnect and retry.
+      BMR_WARN << "tcp transport dropping connection: " << error;
+      CloseConn(conn);
+      return;
+    }
+    offset += consumed;
+    if (frame.type == FrameType::kRequest) {
+      DispatchRequest(conn, std::move(frame));
+    } else {
+      CompleteCall(std::move(frame));
+    }
+  }
+  if (offset > 0) conn->read_buf.erase(0, offset);
+  if (peer_closed) CloseConn(conn);
+}
+
+void TcpTransport::DispatchRequest(std::shared_ptr<Conn> conn, Frame frame) {
+  handler_pool_->Submit([this, conn, frame] {
+    Frame response;
+    if (keeper_.Begin(frame.request_id, &response)) {
+      response.type = FrameType::kResponse;
+      response.request_id = frame.request_id;
+      response.src = frame.src;
+      response.dst = frame.dst;
+      RpcHandler handler;
+      Status st = registry_.Lookup(frame.dst, frame.method, &handler);
+      if (st.ok()) {
+        ByteBuffer out;
+        st = handler(Slice(frame.payload), &out);
+        response.payload = out.ToString();
+      }
+      response.status_code = static_cast<uint8_t>(st.code());
+      response.status_message = st.message();
+      keeper_.Complete(frame.request_id, response);
+    }
+    // Replays reach here too: every response frame written is one wire
+    // send, so duplicate requests show up in response_bytes as well.
+    RecordResponseFrame(frame.src, frame.dst, response.payload.size());
+    Status sent = SendFrame(*conn, response);
+    if (!sent.ok()) {
+      // The caller's connection died; it will retry on a fresh one and
+      // the keeper will replay this response.
+      BMR_DEBUG << "tcp transport response send failed: " << sent;
+    }
+  });
+}
+
+void TcpTransport::CompleteCall(Frame frame) {
+  MutexLock lock(calls_mu_);
+  auto it = pending_.find(frame.request_id);
+  if (it == pending_.end()) return;  // late duplicate response
+  std::shared_ptr<PendingCall> call = it->second;
+  if (call->done) return;
+  if (frame.status_code == 0) {
+    call->status = Status::Ok();
+  } else {
+    call->status = Status(static_cast<StatusCode>(frame.status_code),
+                          std::move(frame.status_message));
+  }
+  call->payload = std::move(frame.payload);
+  call->done = true;
+  call->cv.NotifyAll();
+}
+
+void TcpTransport::CloseConn(const std::shared_ptr<Conn>& conn) {
+  int fd;
+  {
+    // Writers check fd under write_mu, so after this block none can
+    // touch the (possibly recycled) descriptor.
+    MutexLock lock(conn->write_mu);
+    fd = conn->fd;
+    conn->fd = -1;
+  }
+  if (fd < 0) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  MutexLock lock(conns_mu_);
+  conns_.erase(fd);
+  if (conn->client_src >= 0) {
+    auto it = client_conns_.find({conn->client_src, conn->client_dst});
+    if (it != client_conns_.end() && it->second == conn) {
+      client_conns_.erase(it);
+    }
+  }
+}
+
+StatusOr<std::shared_ptr<TcpTransport::Conn>> TcpTransport::GetClientConn(
+    int src, int dst) {
+  {
+    MutexLock lock(conns_mu_);
+    auto it = client_conns_.find({src, dst});
+    if (it != client_conns_.end()) return it->second;
+  }
+
+  obs::LatencyTimer timer(observer_.load(std::memory_order_acquire),
+                          obs::kHNetConnectUs);
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket(connect)");
+  sockaddr_in addr = LoopbackAddr(ports_[dst]);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    Status st = ErrnoStatus("connect to node " + std::to_string(dst));
+    close(fd);
+    return st;
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  int ready = poll(&pfd, 1, static_cast<int>(options_.connect_timeout_ms));
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (ready <= 0 ||
+      getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+      so_error != 0) {
+    close(fd);
+    return Status::Unavailable("connect to node " + std::to_string(dst) +
+                               (ready == 0 ? " timed out"
+                                           : ": " + std::string(std::strerror(
+                                                 so_error != 0 ? so_error
+                                                               : errno))));
+  }
+  SetNoDelay(fd);
+
+  auto conn = std::make_shared<Conn>();
+  {
+    MutexLock lock(conn->write_mu);
+    conn->fd = fd;
+  }
+  conn->client_src = src;
+  conn->client_dst = dst;
+  {
+    MutexLock lock(conns_mu_);
+    // A racing Call may have installed a connection first; keep it.
+    auto [it, inserted] = client_conns_.try_emplace({src, dst}, conn);
+    if (!inserted) {
+      lock.Unlock();
+      close(fd);
+      return it->second;
+    }
+    conns_[fd] = conn;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    Status st = ErrnoStatus("epoll_ctl(connect)");
+    CloseConn(conn);
+    return st;
+  }
+  return conn;
+}
+
+Status TcpTransport::SendFrame(Conn& conn, const Frame& frame) {
+  ByteBuffer wire;
+  EncodeFrame(frame, &wire);
+  MutexLock lock(conn.write_mu);
+  if (conn.fd < 0) return Status::Unavailable("connection closed");
+  const char* p = wire.data();
+  size_t left = wire.size();
+  while (left > 0) {
+    ssize_t w = send(conn.fd, p, left, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      left -= static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn.fd, POLLOUT, 0};
+      if (poll(&pfd, 1, static_cast<int>(options_.call_timeout_ms)) <= 0) {
+        return Status::Unavailable("send stalled");
+      }
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send");
+  }
+  return Status::Ok();
+}
+
+bool TcpTransport::WaitDone(const std::shared_ptr<PendingCall>& call,
+                            double timeout_ms) {
+  MutexLock lock(calls_mu_);
+  double left_ms = timeout_ms;
+  while (!call->done && left_ms > 0) {
+    Stopwatch waited;
+    (void)call->cv.WaitFor(calls_mu_, left_ms);
+    left_ms -= waited.ElapsedMillis();
+  }
+  return call->done;
+}
+
+Status TcpTransport::Call(int src, int dst, const std::string& method,
+                          Slice request, ByteBuffer* response) {
+  obs::LatencyTimer timer(observer_.load(std::memory_order_acquire),
+                          obs::kHRpcCallTcpUs);
+  if (dst < 0 || dst >= num_nodes_) {
+    return Status::NotFound("no such node " + std::to_string(dst));
+  }
+  // Fault hook at the wire-send boundary, consulted exactly once per
+  // Call (matching the in-process transport's fault-count semantics):
+  // a drop fails the call before any frame is written; a duplicate
+  // puts real extra frames on the wire below; a delay has already
+  // slept inside the hook; a crash has already killed the node's
+  // handlers, so this call gets NotFound back from the server.
+  int duplicates = 0;
+  {
+    faults::FaultInjector* injector;
+    {
+      MutexLock lock(injector_mu_);
+      injector = injector_;
+    }
+    if (injector != nullptr) {
+      BMR_RETURN_IF_ERROR(injector->OnRpcCall(src, dst, method, &duplicates));
+    }
+  }
+
+  const uint64_t id = next_request_id_.fetch_add(1) + 1;
+  Frame req;
+  req.type = FrameType::kRequest;
+  req.request_id = id;
+  req.src = src;
+  req.dst = dst;
+  req.method = method;
+  req.payload = request.ToString();
+
+  auto call = std::make_shared<PendingCall>();
+  {
+    MutexLock lock(calls_mu_);
+    pending_[id] = call;
+  }
+  Status final_status =
+      Status::Unavailable("rpc " + method + " to node " + std::to_string(dst) +
+                          " exhausted retries");
+  double backoff_ms = options_.retry_backoff_ms;
+  for (int attempt = 0; attempt <= options_.max_call_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.retry_backoff_max_ms);
+    }
+    auto conn_or = GetClientConn(src, dst);
+    if (!conn_or.ok()) {
+      final_status = conn_or.status();
+      continue;
+    }
+    std::shared_ptr<Conn> conn = std::move(*conn_or);
+    // A retry resends the SAME request id; injected duplicates ride on
+    // the first attempt as genuine extra wire frames.  Each frame
+    // written is one wire send in LinkStats.
+    int copies = 1 + (attempt == 0 ? duplicates : 0);
+    bool sent = false;
+    for (int c = 0; c < copies; ++c) {
+      Status send = SendFrame(*conn, req);
+      if (!send.ok()) {
+        final_status = send;
+        break;
+      }
+      sent = true;
+      RecordRequestFrame(src, dst, req.payload.size());
+    }
+    if (!sent) continue;
+    if (WaitDone(call, options_.call_timeout_ms)) {
+      MutexLock lock(calls_mu_);
+      pending_.erase(id);
+      lock.Unlock();
+      response->Clear();
+      response->Append(Slice(call->payload));
+      return call->status;
+    }
+    final_status = Status::Unavailable("rpc " + method + " to node " +
+                                       std::to_string(dst) + " timed out");
+  }
+  {
+    MutexLock lock(calls_mu_);
+    pending_.erase(id);
+  }
+  return final_status;
+}
+
+void TcpTransport::SetFaultInjector(faults::FaultInjector* injector) {
+  MutexLock lock(injector_mu_);
+  injector_ = injector;
+}
+
+void TcpTransport::RecordRequestFrame(int src, int dst, size_t payload_bytes) {
+  MutexLock lock(stats_mu_);
+  LinkStats& ls = link_stats_[{src, dst}];
+  ls.calls++;
+  ls.request_bytes += payload_bytes;
+}
+
+void TcpTransport::RecordResponseFrame(int src, int dst,
+                                       size_t payload_bytes) {
+  MutexLock lock(stats_mu_);
+  link_stats_[{src, dst}].response_bytes += payload_bytes;
+}
+
+LinkStats TcpTransport::GetLinkStats(int src, int dst) const {
+  MutexLock lock(stats_mu_);
+  auto it = link_stats_.find({src, dst});
+  return it == link_stats_.end() ? LinkStats{} : it->second;
+}
+
+LinkStats TcpTransport::TotalRemoteTraffic() const {
+  MutexLock lock(stats_mu_);
+  LinkStats total;
+  for (const auto& [key, ls] : link_stats_) {
+    if (key.first == key.second) continue;
+    total.calls += ls.calls;
+    total.request_bytes += ls.request_bytes;
+    total.response_bytes += ls.response_bytes;
+  }
+  return total;
+}
+
+}  // namespace bmr::net

@@ -1,0 +1,182 @@
+// The real-socket Transport: a TCP/epoll event loop over loopback.
+//
+// Each logical node gets a listening socket on 127.0.0.1 (ephemeral
+// port).  Clients keep one multiplexed nonblocking connection per
+// (src, dst) node pair; every message is a checksummed length-prefixed
+// frame (net/framing.h) carrying a request id.  A single event-loop
+// thread (owned by a one-thread ThreadPool, per the raw-thread rule)
+// reads every connection, cuts frames, and either completes the
+// pending client call or hands the request to a handler pool.
+//
+// Reliability semantics:
+//   - a Call that sees no response within call_timeout_ms resends the
+//     SAME request id with capped exponential backoff, up to
+//     max_call_retries times, then returns Unavailable;
+//   - the server side dedups request ids through a bounded
+//     ResponseKeeper, so retries (and injected duplicate frames)
+//     replay the cached response instead of re-executing the handler
+//     — exactly-once execution under at-least-once delivery;
+//   - fault hooks fire at the wire-send boundary: an injected drop
+//     fails the call before any frame is written, an injected
+//     duplicate puts a real extra frame on the wire.
+//
+// LinkStats on this transport count wire sends: every request frame
+// written bumps calls/request_bytes once (so injected duplicates and
+// timeout resends are each visible), and every response frame written
+// bumps response_bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "concurrency/thread_pool.h"
+#include "net/framing.h"
+#include "net/handler_registry.h"
+#include "net/response_keeper.h"
+#include "net/transport.h"
+
+namespace bmr::net {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds one loopback listener per node and starts the event loop;
+  /// Unavailable if the sockets cannot be set up.
+  [[nodiscard]] static StatusOr<std::unique_ptr<TcpTransport>> Create(
+      int num_nodes, const TransportOptions& options);
+
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  int num_nodes() const override { return num_nodes_; }
+
+  void Register(int node, const std::string& method,
+                RpcHandler handler) override {
+    registry_.Register(node, method, std::move(handler));
+  }
+
+  void Unregister(int node, const std::string& method) override {
+    registry_.Unregister(node, method);
+  }
+
+  /// Node death is modeled at the handler registry, matching the
+  /// in-process transport: the wire stays up and the "dead" node
+  /// answers NotFound.
+  void KillNode(int node) override { registry_.KillNode(node); }
+
+  [[nodiscard]] Status Call(int src, int dst, const std::string& method,
+                            Slice request, ByteBuffer* response) override;
+
+  LinkStats GetLinkStats(int src, int dst) const override
+      BMR_EXCLUDES(stats_mu_);
+  LinkStats TotalRemoteTraffic() const override BMR_EXCLUDES(stats_mu_);
+
+  uint64_t handler_reregistrations() const override {
+    return registry_.reregistrations();
+  }
+
+  void SetFaultInjector(faults::FaultInjector* injector) override;
+
+  void SetObserver(obs::Tracer* tracer) override {
+    observer_.store(tracer, std::memory_order_release);
+  }
+
+  /// Server-side replay dedup (test/introspection).
+  const ResponseKeeper& response_keeper() const { return keeper_; }
+
+  /// The loopback port node `n` listens on (tools/tests).
+  int listen_port(int node) const { return ports_[node]; }
+
+ private:
+  /// One socket, either an accepted server connection or a client
+  /// connection for a (src, dst) pair.  The read side (read_buf) is
+  /// touched only by the event-loop thread; writes come from caller
+  /// and handler threads serialized by write_mu.  Close transitions
+  /// fd to -1 under write_mu so a concurrent writer can never hit a
+  /// recycled descriptor.
+  struct Conn {
+    Mutex write_mu;
+    int fd BMR_GUARDED_BY(write_mu) = -1;
+    std::string read_buf;  // event-loop thread only
+    int client_src = -1;   // >= 0 for client conns (client_conns_ key)
+    int client_dst = -1;
+  };
+
+  /// A Call waiting for its response frame.  `done` and the payload
+  /// are guarded by the transport's calls_mu_.
+  struct PendingCall {
+    CondVar cv;
+    bool done = false;
+    Status status = Status::Ok();
+    std::string payload;
+  };
+
+  TcpTransport(int num_nodes, const TransportOptions& options);
+
+  [[nodiscard]] Status Start();
+  void EventLoop();
+  void AcceptAll(int listen_fd);
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void DispatchRequest(std::shared_ptr<Conn> conn, Frame frame);
+  void CompleteCall(Frame frame) BMR_EXCLUDES(calls_mu_);
+  /// Event-loop thread only: deregister, close, forget the conn.
+  void CloseConn(const std::shared_ptr<Conn>& conn) BMR_EXCLUDES(conns_mu_);
+
+  [[nodiscard]] StatusOr<std::shared_ptr<Conn>> GetClientConn(int src, int dst)
+      BMR_EXCLUDES(conns_mu_);
+  [[nodiscard]] Status SendFrame(Conn& conn, const Frame& frame);
+  /// Blocks until the call completes or `timeout_ms` passes; true on
+  /// completion.
+  [[nodiscard]] bool WaitDone(const std::shared_ptr<PendingCall>& call,
+                              double timeout_ms) BMR_EXCLUDES(calls_mu_);
+
+  void RecordRequestFrame(int src, int dst, size_t payload_bytes)
+      BMR_EXCLUDES(stats_mu_);
+  void RecordResponseFrame(int src, int dst, size_t payload_bytes)
+      BMR_EXCLUDES(stats_mu_);
+
+  const int num_nodes_;
+  const TransportOptions options_;
+  HandlerRegistry registry_;
+  ResponseKeeper keeper_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::vector<int> ports_;            // per-node listen ports
+  std::map<int, int> listeners_;      // listen fd -> node
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> next_request_id_{0};
+
+  mutable Mutex conns_mu_;
+  std::map<int, std::shared_ptr<Conn>> conns_ BMR_GUARDED_BY(conns_mu_);
+  std::map<std::pair<int, int>, std::shared_ptr<Conn>> client_conns_
+      BMR_GUARDED_BY(conns_mu_);
+
+  mutable Mutex calls_mu_;
+  std::map<uint64_t, std::shared_ptr<PendingCall>> pending_
+      BMR_GUARDED_BY(calls_mu_);
+
+  mutable Mutex stats_mu_;
+  std::map<std::pair<int, int>, LinkStats> link_stats_
+      BMR_GUARDED_BY(stats_mu_);
+
+  mutable Mutex injector_mu_;
+  faults::FaultInjector* injector_ BMR_GUARDED_BY(injector_mu_) = nullptr;
+  std::atomic<obs::Tracer*> observer_{nullptr};
+
+  // Declared last so they join before the sockets they use are torn
+  // down; the destructor resets them explicitly in loop-then-handlers
+  // order.
+  std::unique_ptr<ThreadPool> handler_pool_;
+  std::unique_ptr<ThreadPool> loop_pool_;
+};
+
+}  // namespace bmr::net

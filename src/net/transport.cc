@@ -1,0 +1,26 @@
+#include "net/transport.h"
+
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+
+namespace bmr::net {
+
+StatusOr<std::unique_ptr<Transport>> CreateTransport(
+    const std::string& kind, int num_nodes, const TransportOptions& options) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("transport needs at least one node");
+  }
+  if (kind.empty() || kind == "inproc") {
+    return std::unique_ptr<Transport>(
+        std::make_unique<InProcessTransport>(num_nodes));
+  }
+  if (kind == "tcp") {
+    auto transport = TcpTransport::Create(num_nodes, options);
+    BMR_RETURN_IF_ERROR(transport.status());
+    return std::unique_ptr<Transport>(std::move(*transport));
+  }
+  return Status::InvalidArgument("unknown transport kind '" + kind +
+                                 "' (expected inproc or tcp)");
+}
+
+}  // namespace bmr::net

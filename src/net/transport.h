@@ -1,0 +1,149 @@
+// The node-to-node transport abstraction of the execution engine.
+//
+// Everything above src/net/ — the shuffle fetchers, the DFS client
+// stubs, the engine wiring — speaks to this interface only (enforced
+// by scripts/lint.sh check 8): services register handlers under
+// (node, "Service.Method") and clients issue blocking calls with
+// serialized request/response payloads.  Two implementations exist:
+//
+//   InProcessTransport (inproc_transport.h)
+//       the original in-process registry.  Every "remote" fetch is a
+//       function call in one address space, which keeps simmr cost
+//       calibration and the seeded chaos harness fully deterministic.
+//
+//   TcpTransport (tcp_transport.h)
+//       a real TCP/epoll event loop: one multiplexed loopback
+//       connection per node pair, length-prefixed checksummed frames
+//       with request ids (net/framing.h), connect/call timeouts with
+//       capped exponential retry, and exactly-once replay semantics
+//       via a bounded ResponseKeeper (net/response_keeper.h).
+//
+// The payoff gate of the split: the chaos equivalence sweep and the
+// multijob tests pass byte-identical on both implementations, so every
+// layer above net/ is provably transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace bmr::faults {
+class FaultInjector;
+}  // namespace bmr::faults
+
+namespace bmr::obs {
+class Tracer;
+}  // namespace bmr::obs
+
+namespace bmr::net {
+
+using RpcHandler =
+    std::function<Status(Slice request, ByteBuffer* response)>;
+
+/// Byte/call counters for one directed node pair.  `calls` counts wire
+/// sends: on the TCP transport an injected duplicate or a timed-out
+/// resend is its own wire send and counts once per frame written; on
+/// the in-process transport one Call is one (virtual) wire send.
+struct LinkStats {
+  uint64_t calls = 0;
+  uint64_t request_bytes = 0;
+  uint64_t response_bytes = 0;
+};
+
+/// Node-to-node RPC + framed segment transfer.  Thread-safe.  All
+/// implementations share the contract the engine's recovery logic is
+/// built on:
+///   - Register overwrites an existing handler (DFS restart), bumping
+///     the re-registration counter and logging once per transport.
+///   - Call returns NotFound when the method is not registered on the
+///     destination (e.g. the node is down) and Unavailable on injected
+///     drops or exhausted transport-level retries.
+///   - KillNode removes every handler on the node; a Call racing the
+///     kill either completes normally or returns NotFound, never
+///     crashes (the handler is copied out before dispatch).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int num_nodes() const = 0;
+
+  /// Register a handler for `method` on `node`.  Overwrites on
+  /// re-registration (the DFS re-registers DataNode services on
+  /// restart after a failure) — counted, not silent.
+  virtual void Register(int node, const std::string& method,
+                        RpcHandler handler) = 0;
+
+  /// Remove one handler (job teardown: shuffle services are job-scoped
+  /// so concurrent jobs on a shared transport don't clobber each
+  /// other).
+  virtual void Unregister(int node, const std::string& method) = 0;
+
+  /// Remove every handler on `node` (simulated machine loss).  Node
+  /// death is modeled at the handler-registry layer on both
+  /// implementations: on TCP the wire stays up and the dead node
+  /// answers NotFound, exactly like the in-process registry.
+  virtual void KillNode(int node) = 0;
+
+  /// Issue a blocking call from `src` to `dst`.  The handler runs with
+  /// no transport lock held, so handlers may issue nested Calls
+  /// freely.
+  [[nodiscard]] virtual Status Call(int src, int dst,
+                                    const std::string& method, Slice request,
+                                    ByteBuffer* response) = 0;
+
+  /// Accumulated counters for the src→dst direction.
+  virtual LinkStats GetLinkStats(int src, int dst) const = 0;
+
+  /// Sum of counters over all pairs where src != dst (remote traffic).
+  virtual LinkStats TotalRemoteTraffic() const = 0;
+
+  /// Times Register overwrote a live handler (the
+  /// bmr_rpc_handler_reregistered_total series) — an accidental double
+  /// registration is no longer invisible.
+  virtual uint64_t handler_reregistrations() const = 0;
+
+  /// Install (or clear, with nullptr) a fault injector.  Every Call
+  /// consults it at the wire-send boundary, before any bytes move (and
+  /// before the handler lookup on the in-process path), so an injected
+  /// node crash takes effect on the very call that triggered it, a
+  /// drop fails the call without a wire send, and a duplicate sends a
+  /// real extra frame on the TCP path.  Not owned.
+  virtual void SetFaultInjector(faults::FaultInjector* injector) = 0;
+
+  /// Install (or clear, with nullptr) a tracing observer: every Call
+  /// records its end-to-end latency (handler included) into the
+  /// per-transport bmr_rpc_call_us series.  One observer at a time —
+  /// the traced job installs it for the run and clears it at the end.
+  /// Not owned.
+  virtual void SetObserver(obs::Tracer* tracer) = 0;
+};
+
+/// Transport selection + TCP tuning.  The engine fills this from the
+/// cluster spec's `transport` knob (itself defaulted from the
+/// BMR_NET_TRANSPORT environment variable).
+struct TransportOptions {
+  /// Handshake budget for one loopback connect.
+  double connect_timeout_ms = 1000;
+  /// One request's response wait before the call is retried with the
+  /// same request id (the ResponseKeeper dedups re-executions).
+  double call_timeout_ms = 2000;
+  /// Resends of one call after the first, with capped exponential
+  /// backoff between attempts.
+  int max_call_retries = 3;
+  double retry_backoff_ms = 1.0;
+  double retry_backoff_max_ms = 50.0;
+  /// Responses the TCP server keeps for replaying retried request ids
+  /// (bounds exactly-once memory; an evicted id re-executes).
+  size_t response_keeper_entries = 1024;
+};
+
+/// "inproc" or "tcp"; InvalidArgument on anything else.
+[[nodiscard]] StatusOr<std::unique_ptr<Transport>> CreateTransport(
+    const std::string& kind, int num_nodes,
+    const TransportOptions& options = {});
+
+}  // namespace bmr::net

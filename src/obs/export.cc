@@ -126,7 +126,21 @@ namespace {
 
 void AppendHistogram(std::string* out, const std::string& name,
                      const LogHistogram& h) {
-  *out += "# TYPE " + name + " histogram\n";
+  // A registered name may carry a label set (metric_names.h declares
+  // e.g. bmr_rpc_call_us{transport="tcp"}); the labels re-attach to
+  // every series of the family after the _bucket/_sum/_count suffix,
+  // with `le` kept last as Prometheus convention expects.
+  std::string base = name;
+  std::string labels;
+  size_t brace = name.find('{');
+  if (brace != std::string::npos && name.back() == '}') {
+    base = name.substr(0, brace);
+    labels = name.substr(brace + 1, name.size() - brace - 2);
+  }
+  const std::string plain = labels.empty() ? "" : "{" + labels + "}";
+  const std::string le_open =
+      labels.empty() ? "{le=\"" : "{" + labels + ",le=\"";
+  *out += "# TYPE " + base + " histogram\n";
   const std::vector<uint64_t>& buckets = h.buckets();
   size_t last = 0;
   for (size_t b = 0; b < buckets.size(); ++b) {
@@ -136,22 +150,13 @@ void AppendHistogram(std::string* out, const std::string& name,
   for (size_t b = 0; b <= last; ++b) {
     cumulative += buckets[b];
     uint64_t le = b == 0 ? 0 : (1ull << b) - 1;
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64
-                                    "\n",
-                  name.c_str(), le, cumulative);
-    *out += buf;
+    *out += base + "_bucket" + le_open + std::to_string(le) + "\"} " +
+            std::to_string(cumulative) + "\n";
   }
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
-                name.c_str(), h.count());
-  *out += buf;
-  std::snprintf(buf, sizeof(buf), "%s_sum %" PRIu64 "\n", name.c_str(),
-                h.sum());
-  *out += buf;
-  std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
-                h.count());
-  *out += buf;
+  *out += base + "_bucket" + le_open + "+Inf\"} " +
+          std::to_string(h.count()) + "\n";
+  *out += base + "_sum" + plain + " " + std::to_string(h.sum()) + "\n";
+  *out += base + "_count" + plain + " " + std::to_string(h.count()) + "\n";
 }
 
 }  // namespace

@@ -27,8 +27,23 @@ inline constexpr const char* kHStoreGetUs = "bmr_store_get_us";
 inline constexpr const char* kHStorePutUs = "bmr_store_put_us";
 /// One spill-file flush of the spill-merge store.
 inline constexpr const char* kHStoreSpillUs = "bmr_store_spill_us";
-/// One RPC fabric call, end to end (handler included).
+/// One transport Call, end to end (handler included); superseded by the
+/// per-transport labeled families below in new recording sites.
 inline constexpr const char* kHRpcCallUs = "bmr_rpc_call_us";
+/// Per-transport variants of bmr_rpc_call_us: same family, one series
+/// per Transport implementation.  Histogram names may carry a label
+/// suffix in braces; the exporter folds it into each _bucket/_sum/
+/// _count line (obs/export.cc).
+inline constexpr const char* kHRpcCallInprocUs =
+    "bmr_rpc_call_us{transport=\"inproc\"}";
+inline constexpr const char* kHRpcCallTcpUs =
+    "bmr_rpc_call_us{transport=\"tcp\"}";
+/// One loopback TCP connect (nonblocking connect to writable), client
+/// side of the TCP transport.
+inline constexpr const char* kHNetConnectUs = "bmr_net_connect_us";
+/// One frame cut + decoded off a connection's read buffer, event-loop
+/// side of the TCP transport.
+inline constexpr const char* kHNetFrameDecodeUs = "bmr_net_frame_decode_us";
 /// One reducer part-file write (serialize + DFS append + close).
 inline constexpr const char* kHOutputWriteUs = "bmr_output_write_us";
 
@@ -41,6 +56,10 @@ inline constexpr const char* kPromJobCounterPrefix = "bmr_job_";
 inline constexpr const char* kPromFaultsInjected = "bmr_faults_injected_total";
 /// The raw counter prefix the engine records fault firings under.
 inline constexpr const char* kCtrFaultInjectedPrefix = "fault_injected_";
+/// Times Transport::Register overwrote a live handler (DFS restarts
+/// do this deliberately; anything else is a registration bug).
+inline constexpr const char* kPromRpcHandlerReregistered =
+    "bmr_rpc_handler_reregistered_total";
 /// Job-level gauges.
 inline constexpr const char* kPromJobElapsedSeconds =
     "bmr_job_elapsed_seconds";

@@ -389,11 +389,18 @@ Status ValidatePrometheusText(const std::string& text) {
       return false;
     };
     if (strip("_bucket")) {
-      HistState& st = hists[base];
-      if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
-        return fail("_bucket without le label");
-      }
-      std::string le = labels.substr(4, labels.size() - 5);
+      // `le` must be the last label; any labels before it (e.g. the
+      // transport label on bmr_rpc_call_us) are part of the family
+      // key, so differently-labeled series validate independently.
+      size_t le_pos = labels.rfind("le=\"");
+      bool le_is_last =
+          le_pos != std::string::npos && labels.back() == '"' &&
+          (le_pos == 0 || labels[le_pos - 1] == ',');
+      if (!le_is_last) return fail("_bucket without trailing le label");
+      std::string le = labels.substr(le_pos + 4, labels.size() - le_pos - 5);
+      std::string family =
+          le_pos == 0 ? base : base + "{" + labels.substr(0, le_pos - 1) + "}";
+      HistState& st = hists[family];
       if (le == "+Inf") {
         st.has_inf = true;
         st.inf_bucket = value;
@@ -402,9 +409,10 @@ Status ValidatePrometheusText(const std::string& text) {
       }
       if (le != "+Inf") st.last_cumulative = value;
     } else if (strip("_sum")) {
-      hists[base].has_sum = true;
+      hists[labels.empty() ? base : base + "{" + labels + "}"].has_sum = true;
     } else if (strip("_count")) {
-      HistState& st = hists[base];
+      HistState& st =
+          hists[labels.empty() ? base : base + "{" + labels + "}"];
       st.has_count = true;
       st.count = value;
     }

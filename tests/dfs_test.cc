@@ -4,7 +4,8 @@
 
 #include "common/rng.h"
 #include "dfs/dfs.h"
-#include "net/rpc.h"
+#include "net/transport.h"
+#include "transport_test_util.h"
 
 namespace bmr::dfs {
 namespace {
@@ -12,8 +13,9 @@ namespace {
 struct DfsFixture {
   explicit DfsFixture(int nodes = 5, int replication = 3,
                       uint64_t block = 1024)
-      : fabric(nodes), dfs(&fabric, replication, block) {}
-  net::RpcFabric fabric;
+      : transport(testutil::MakeTransport(nodes)),
+        dfs(transport.get(), replication, block) {}
+  std::unique_ptr<net::Transport> transport;
   Dfs dfs;
 };
 

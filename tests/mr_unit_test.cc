@@ -11,7 +11,8 @@
 #include "mr/map_output.h"
 #include "mr/partition.h"
 #include "mr/shuffle.h"
-#include "net/rpc.h"
+#include "net/transport.h"
+#include "transport_test_util.h"
 
 namespace bmr::mr {
 namespace {
@@ -281,15 +282,15 @@ TEST(MapOutputTrackerTest, CancelWakesWaiters) {
 }
 
 TEST(MapOutputStoreTest, ShuffleServiceRoundTrip) {
-  net::RpcFabric fabric(3);
+  auto transport = testutil::MakeTransport(3);
   MapOutputStore store;
-  RegisterShuffleService(&fabric, 1, &store);
+  RegisterShuffleService(transport.get(), 1, &store);
   store.Put(4, 2, "segment-bytes");
 
   std::string segment;
-  ASSERT_TRUE(FetchSegment(&fabric, 1, 2, 4, 2, &segment).ok());
+  ASSERT_TRUE(FetchSegment(transport.get(), 1, 2, 4, 2, &segment).ok());
   EXPECT_EQ(segment, "segment-bytes");
-  EXPECT_EQ(FetchSegment(&fabric, 1, 2, 9, 9, &segment).code(),
+  EXPECT_EQ(FetchSegment(transport.get(), 1, 2, 9, 9, &segment).code(),
             StatusCode::kNotFound);
   // Re-run overwrite keeps accounting straight.
   store.Put(4, 2, "new");

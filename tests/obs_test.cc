@@ -229,6 +229,34 @@ TEST(Exporters, PrometheusTextExposesAllFamilies) {
   EXPECT_NE(text.find("bmr_shuffle_fetch_rtt_us_count 3"), std::string::npos);
 }
 
+// Histograms registered with a label set (the per-transport RPC
+// latency families) re-attach their labels to every series, keep `le`
+// last, and validate as independent families.
+TEST(Exporters, LabeledHistogramsRoundTripThroughValidator) {
+  obs::MetricsSnapshot snap;
+  LogHistogram inproc;
+  inproc.Add(2);
+  inproc.Add(40);
+  snap.histograms[obs::kHRpcCallInprocUs] = inproc;
+  LogHistogram tcp;
+  tcp.Add(900);
+  snap.histograms[obs::kHRpcCallTcpUs] = tcp;
+
+  const std::string text = obs::PrometheusText(snap);
+  Status st = obs::ValidatePrometheusText(text);
+  EXPECT_TRUE(st.ok()) << st << "\n" << text;
+  EXPECT_NE(
+      text.find("bmr_rpc_call_us_bucket{transport=\"inproc\",le=\"+Inf\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bmr_rpc_call_us_sum{transport=\"inproc\"} 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmr_rpc_call_us_count{transport=\"tcp\"} 1"),
+            std::string::npos);
+  // The label never leaks into the family name itself.
+  EXPECT_EQ(text.find("bmr_rpc_call_us{"), std::string::npos);
+}
+
 TEST(Exporters, PrometheusValidatorEnforcesNamingAndCoherence) {
   // Off-convention family name (no bmr_ prefix).
   EXPECT_FALSE(obs::ValidatePrometheusText("my_metric_total 1\n").ok());
@@ -311,7 +339,7 @@ TEST(EngineTracing, TracedRunProducesNestedSpansAndHistograms) {
   for (const char* name :
        {obs::kHShuffleFetchRttUs, obs::kHShuffleQueueWaitUs,
         obs::kHReduceInvokeUs, obs::kHStoreGetUs, obs::kHStorePutUs,
-        obs::kHRpcCallUs, obs::kHOutputWriteUs}) {
+        obs::kHRpcCallInprocUs, obs::kHOutputWriteUs}) {
     auto it = result.histograms.find(name);
     ASSERT_NE(it, result.histograms.end()) << name;
     EXPECT_GT(it->second.count(), 0u) << name;

@@ -1,86 +1,110 @@
-// Tests for the in-process RPC fabric.
+// Tests for the node-to-node transport layer, run against BOTH
+// implementations: every case in TransportTest is instantiated once
+// over the in-process registry and once over real TCP/epoll sockets,
+// which is the per-method form of the PR's payoff gate (everything
+// above net/ must be unable to tell the transports apart).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/serde.h"
-#include "net/rpc.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "transport_test_util.h"
 
 namespace bmr::net {
 namespace {
 
-TEST(RpcFabricTest, CallInvokesHandler) {
-  RpcFabric fabric(4);
-  fabric.Register(1, "echo", [](Slice req, ByteBuffer* resp) {
+class TransportTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Transport> Make(int num_nodes,
+                                  const TransportOptions& options = {}) {
+    return testutil::MakeTransportOfKind(GetParam(), num_nodes, options);
+  }
+  bool IsTcp() const { return std::string(GetParam()) == "tcp"; }
+};
+
+TEST_P(TransportTest, CallInvokesHandler) {
+  auto transport = Make(4);
+  transport->Register(1, "echo", [](Slice req, ByteBuffer* resp) {
     resp->Append(req);
     return Status::Ok();
   });
   ByteBuffer resp;
-  ASSERT_TRUE(fabric.Call(0, 1, "echo", "hello", &resp).ok());
+  ASSERT_TRUE(transport->Call(0, 1, "echo", "hello", &resp).ok());
   EXPECT_EQ(resp.ToString(), "hello");
 }
 
-TEST(RpcFabricTest, UnknownMethodIsNotFound) {
-  RpcFabric fabric(2);
+TEST_P(TransportTest, UnknownMethodIsNotFound) {
+  auto transport = Make(2);
   ByteBuffer resp;
-  EXPECT_EQ(fabric.Call(0, 1, "nope", "", &resp).code(),
+  EXPECT_EQ(transport->Call(0, 1, "nope", "", &resp).code(),
             StatusCode::kNotFound);
 }
 
-TEST(RpcFabricTest, HandlerErrorPropagates) {
-  RpcFabric fabric(2);
-  fabric.Register(1, "fail", [](Slice, ByteBuffer*) {
+TEST_P(TransportTest, HandlerErrorPropagates) {
+  auto transport = Make(2);
+  transport->Register(1, "fail", [](Slice, ByteBuffer*) {
     return Status::Unavailable("down");
   });
   ByteBuffer resp;
-  EXPECT_EQ(fabric.Call(0, 1, "fail", "", &resp).code(),
+  EXPECT_EQ(transport->Call(0, 1, "fail", "", &resp).code(),
             StatusCode::kUnavailable);
 }
 
-TEST(RpcFabricTest, KillNodeDropsItsHandlersOnly) {
-  RpcFabric fabric(3);
-  fabric.Register(1, "svc", [](Slice, ByteBuffer*) { return Status::Ok(); });
-  fabric.Register(2, "svc", [](Slice, ByteBuffer*) { return Status::Ok(); });
-  fabric.KillNode(1);
+TEST_P(TransportTest, KillNodeDropsItsHandlersOnly) {
+  auto transport = Make(3);
+  transport->Register(1, "svc",
+                      [](Slice, ByteBuffer*) { return Status::Ok(); });
+  transport->Register(2, "svc",
+                      [](Slice, ByteBuffer*) { return Status::Ok(); });
+  transport->KillNode(1);
   ByteBuffer resp;
-  EXPECT_EQ(fabric.Call(0, 1, "svc", "", &resp).code(), StatusCode::kNotFound);
-  EXPECT_TRUE(fabric.Call(0, 2, "svc", "", &resp).ok());
+  EXPECT_EQ(transport->Call(0, 1, "svc", "", &resp).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(transport->Call(0, 2, "svc", "", &resp).ok());
 }
 
-TEST(RpcFabricTest, LinkStatsMeterTraffic) {
-  RpcFabric fabric(3);
-  fabric.Register(2, "pad", [](Slice, ByteBuffer* resp) {
+TEST_P(TransportTest, LinkStatsMeterTraffic) {
+  auto transport = Make(3);
+  transport->Register(2, "pad", [](Slice, ByteBuffer* resp) {
     resp->Append(Slice(std::string(100, 'x')));
     return Status::Ok();
   });
   ByteBuffer resp;
-  ASSERT_TRUE(fabric.Call(1, 2, "pad", "abc", &resp).ok());
-  ASSERT_TRUE(fabric.Call(1, 2, "pad", "defg", &resp).ok());
-  LinkStats stats = fabric.GetLinkStats(1, 2);
+  ASSERT_TRUE(transport->Call(1, 2, "pad", "abc", &resp).ok());
+  ASSERT_TRUE(transport->Call(1, 2, "pad", "defg", &resp).ok());
+  LinkStats stats = transport->GetLinkStats(1, 2);
   EXPECT_EQ(stats.calls, 2u);
   EXPECT_EQ(stats.request_bytes, 7u);
   EXPECT_EQ(stats.response_bytes, 200u);
   // Local (self) calls are excluded from remote totals.
-  fabric.Register(1, "pad", [](Slice, ByteBuffer*) { return Status::Ok(); });
-  ASSERT_TRUE(fabric.Call(1, 1, "pad", "zzzz", &resp).ok());
-  LinkStats total = fabric.TotalRemoteTraffic();
+  transport->Register(1, "pad",
+                      [](Slice, ByteBuffer*) { return Status::Ok(); });
+  ASSERT_TRUE(transport->Call(1, 1, "pad", "zzzz", &resp).ok());
+  LinkStats total = transport->TotalRemoteTraffic();
   EXPECT_EQ(total.calls, 2u);
   EXPECT_EQ(total.request_bytes, 7u);
 }
 
-TEST(RpcFabricTest, ConcurrentCallsAreSafe) {
-  RpcFabric fabric(4);
+TEST_P(TransportTest, ConcurrentCallsAreSafe) {
+  auto transport = Make(4);
   std::atomic<int> hits{0};
-  fabric.Register(0, "inc", [&hits](Slice, ByteBuffer*) {
+  transport->Register(0, "inc", [&hits](Slice, ByteBuffer*) {
     hits.fetch_add(1);
     return Status::Ok();
   });
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
-    threads.emplace_back([&fabric] {
+    threads.emplace_back([&transport] {
       ByteBuffer resp;
       for (int i = 0; i < 500; ++i) {
-        ASSERT_TRUE(fabric.Call(1, 0, "inc", "", &resp).ok());
+        ASSERT_TRUE(transport->Call(1, 0, "inc", "", &resp).ok());
       }
     });
   }
@@ -88,19 +112,144 @@ TEST(RpcFabricTest, ConcurrentCallsAreSafe) {
   EXPECT_EQ(hits.load(), 4000);
 }
 
-TEST(RpcFabricTest, ReRegisterReplacesHandler) {
-  RpcFabric fabric(2);
-  fabric.Register(0, "v", [](Slice, ByteBuffer* r) {
+TEST_P(TransportTest, ReRegisterReplacesHandlerAndIsCounted) {
+  auto transport = Make(2);
+  EXPECT_EQ(transport->handler_reregistrations(), 0u);
+  transport->Register(0, "v", [](Slice, ByteBuffer* r) {
     r->Append(Slice("one"));
     return Status::Ok();
   });
-  fabric.Register(0, "v", [](Slice, ByteBuffer* r) {
+  // Registering a *different* method is not a re-registration.
+  transport->Register(0, "w",
+                      [](Slice, ByteBuffer*) { return Status::Ok(); });
+  EXPECT_EQ(transport->handler_reregistrations(), 0u);
+  transport->Register(0, "v", [](Slice, ByteBuffer* r) {
     r->Append(Slice("two"));
     return Status::Ok();
   });
   ByteBuffer resp;
-  ASSERT_TRUE(fabric.Call(1, 0, "v", "", &resp).ok());
+  ASSERT_TRUE(transport->Call(1, 0, "v", "", &resp).ok());
   EXPECT_EQ(resp.ToString(), "two");
+  // The overwrite kept working (DFS restart relies on it) but is no
+  // longer silent: bmr_rpc_handler_reregistered_total sees it.
+  EXPECT_EQ(transport->handler_reregistrations(), 1u);
+  transport->KillNode(0);
+  transport->Register(0, "v",
+                      [](Slice, ByteBuffer*) { return Status::Ok(); });
+  // Re-adding after KillNode is a fresh registration, not an overwrite.
+  EXPECT_EQ(transport->handler_reregistrations(), 1u);
+}
+
+// Regression test for KillNode racing in-flight Calls: the handler is
+// copied out of the registry before dispatch, so a call either runs to
+// completion or observes the node as dead (NotFound) — it must never
+// crash or see a half-destroyed handler.
+TEST_P(TransportTest, KillNodeRacingCallCompletesOrNotFound) {
+  auto transport = Make(3);
+  std::atomic<bool> stop{false};
+  transport->Register(1, "slow", [](Slice, ByteBuffer* resp) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    resp->Append(Slice("done"));
+    return Status::Ok();
+  });
+  std::atomic<int> completed{0};
+  std::atomic<int> not_found{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      ByteBuffer resp;
+      while (!stop.load()) {
+        Status st = transport->Call(0, 1, "slow", "x", &resp);
+        if (st.ok()) {
+          ASSERT_EQ(resp.ToString(), "done");
+          completed.fetch_add(1);
+        } else {
+          ASSERT_EQ(st.code(), StatusCode::kNotFound) << st;
+          not_found.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Let calls get in flight, then yank the node out from under them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  transport->KillNode(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  for (auto& t : callers) t.join();
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_GT(not_found.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, TransportTest,
+                         ::testing::Values("inproc", "tcp"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(TransportFactoryTest, RejectsUnknownKind) {
+  auto transport = CreateTransport("carrier-pigeon", 2);
+  ASSERT_FALSE(transport.ok());
+  EXPECT_EQ(transport.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransportFactoryTest, EmptyKindIsInproc) {
+  auto transport = CreateTransport("", 2);
+  ASSERT_TRUE(transport.ok());
+  EXPECT_EQ((*transport)->num_nodes(), 2);
+}
+
+TEST(TransportFactoryTest, RejectsNonPositiveNodeCount) {
+  EXPECT_FALSE(CreateTransport("inproc", 0).ok());
+  EXPECT_FALSE(CreateTransport("tcp", -1).ok());
+}
+
+// Satellite coverage: on the wire transport an injected duplicate is a
+// real extra frame, counted exactly once per wire send in LinkStats,
+// and deduped server-side so the handler still runs exactly once.
+TEST(TcpTransportTest, InjectedDuplicateIsOneExtraWireSend) {
+  auto created = TcpTransport::Create(2, {});
+  ASSERT_TRUE(created.ok()) << created.status();
+  std::unique_ptr<TcpTransport> transport = std::move(*created);
+  std::atomic<int> executions{0};
+  transport->Register(1, "read", [&executions](Slice, ByteBuffer* resp) {
+    executions.fetch_add(1);
+    resp->Append(Slice("payload"));
+    return Status::Ok();
+  });
+
+  faults::FaultEvent dup;
+  dup.kind = faults::FaultKind::kRpcDuplicate;
+  dup.method_prefix = "read";
+  faults::FaultPlan plan;
+  plan.events = {dup};
+  faults::FaultInjector injector(plan);
+  transport->SetFaultInjector(&injector);
+
+  ByteBuffer resp;
+  ASSERT_TRUE(transport->Call(0, 1, "read", "abcde", &resp).ok());
+  EXPECT_EQ(resp.ToString(), "payload");
+  transport->SetFaultInjector(nullptr);
+  ASSERT_TRUE(transport->Call(0, 1, "read", "abcde", &resp).ok());
+
+  EXPECT_EQ(injector.injected(faults::FaultKind::kRpcDuplicate), 1u);
+  // The duplicate's replayed response is written asynchronously; give
+  // the server a moment to finish the third wire send before checking.
+  LinkStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats = transport->GetLinkStats(0, 1);
+    if (stats.response_bytes >= 21u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Call 1 put two frames on the wire (original + injected duplicate),
+  // call 2 put one: three wire sends, each counted exactly once.
+  EXPECT_EQ(stats.calls, 3u);
+  EXPECT_EQ(stats.request_bytes, 15u);
+  // The duplicate was answered from the response keeper, not by a
+  // second handler execution...
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_GE(transport->response_keeper().replays(), 1u);
+  // ...but its replayed response is still a wire send of its own.
+  EXPECT_EQ(stats.response_bytes, 21u);
 }
 
 }  // namespace

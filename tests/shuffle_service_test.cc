@@ -12,7 +12,8 @@
 #include "faults/fault_plan.h"
 #include "mr/map_output.h"
 #include "mr/shuffle_service.h"
-#include "net/rpc.h"
+#include "net/transport.h"
+#include "transport_test_util.h"
 
 namespace bmr::mr {
 namespace {
@@ -51,8 +52,8 @@ std::multiset<std::pair<std::string, std::string>> DrainFifo(FifoSink& sink) {
 }
 
 TEST(ShuffleServiceTest, FifoSinkReceivesEveryMapOutputThenCloses) {
-  net::RpcFabric fabric(3);
-  ShuffleService service(&fabric, 3, /*num_map_tasks=*/2, /*job_id=*/7);
+  auto transport = testutil::MakeTransport(3);
+  ShuffleService service(transport.get(), 3, /*num_map_tasks=*/2, /*job_id=*/7);
 
   service.Publish(0, 1, {MakeSegment({{"a", "1"}, {"b", "2"}})});
   service.Publish(1, 2, {MakeSegment({{"c", "3"}})});
@@ -72,8 +73,8 @@ TEST(ShuffleServiceTest, FifoSinkReceivesEveryMapOutputThenCloses) {
 }
 
 TEST(ShuffleServiceTest, BarrierSinkCollectsPerMapperRuns) {
-  net::RpcFabric fabric(3);
-  ShuffleService service(&fabric, 3, /*num_map_tasks=*/2, /*job_id=*/1);
+  auto transport = testutil::MakeTransport(3);
+  ShuffleService service(transport.get(), 3, /*num_map_tasks=*/2, /*job_id=*/1);
 
   service.Publish(0, 1, {MakeSegment({{"x", "0"}})});
   service.Publish(1, 1, {MakeSegment({{"y", "1"}, {"z", "2"}})});
@@ -95,8 +96,8 @@ TEST(ShuffleServiceTest, CancelAfterFetchDestructionTouchesNoDeadSink) {
   // returns early destroys its sink and Fetch; a later job-level
   // Cancel must not reach the dead sink.  (The RAII Fetch destructor
   // unregisters the sink — ASan would flag the old dangling pointer.)
-  net::RpcFabric fabric(3);
-  ShuffleService service(&fabric, 3, /*num_map_tasks=*/1, /*job_id=*/2);
+  auto transport = testutil::MakeTransport(3);
+  ShuffleService service(transport.get(), 3, /*num_map_tasks=*/1, /*job_id=*/2);
   service.Publish(0, 1, {MakeSegment({{"k", "v"}})});
   {
     FifoSink sink(4);
@@ -112,7 +113,7 @@ TEST(ShuffleServiceTest, CancelAfterFetchDestructionTouchesNoDeadSink) {
 TEST(ShuffleServiceTest, TransientFetchFailuresAreRetriedUntilSuccess) {
   // An injected fetch timeout is transient: the fetcher must back off
   // and retry rather than surface the error, and count its retries.
-  net::RpcFabric fabric(3);
+  auto transport = testutil::MakeTransport(3);
   faults::FaultEvent timeout;
   timeout.kind = faults::FaultKind::kFetchTimeout;
   timeout.count = 2;
@@ -125,7 +126,7 @@ TEST(ShuffleServiceTest, TransientFetchFailuresAreRetriedUntilSuccess) {
   options.max_fetch_retries = 4;
   options.backoff_ms = 0.1;
   options.backoff_max_ms = 0.5;
-  ShuffleService service(&fabric, 3, /*num_map_tasks=*/1, /*job_id=*/5,
+  ShuffleService service(transport.get(), 3, /*num_map_tasks=*/1, /*job_id=*/5,
                          options);
   service.Publish(0, 1, {MakeSegment({{"k", "v"}})});
 
@@ -146,7 +147,7 @@ TEST(ShuffleServiceTest, ExhaustedRetriesSurfaceWhenFailFastIsSet) {
   // With fail_on_fetch_error (the chaos harness's "teeth" switch) a
   // persistent failure reaches the error callback instead of the
   // lost-map recovery path.
-  net::RpcFabric fabric(3);
+  auto transport = testutil::MakeTransport(3);
   faults::FaultEvent timeout;
   timeout.kind = faults::FaultKind::kFetchTimeout;
   timeout.count = 1;
@@ -157,7 +158,7 @@ TEST(ShuffleServiceTest, ExhaustedRetriesSurfaceWhenFailFastIsSet) {
   ShuffleOptions options;
   options.injector = &injector;
   options.fail_on_fetch_error = true;
-  ShuffleService service(&fabric, 3, /*num_map_tasks=*/1, /*job_id=*/6,
+  ShuffleService service(transport.get(), 3, /*num_map_tasks=*/1, /*job_id=*/6,
                          options);
   service.Publish(0, 1, {MakeSegment({{"k", "v"}})});
 
@@ -172,9 +173,9 @@ TEST(ShuffleServiceTest, ExhaustedRetriesSurfaceWhenFailFastIsSet) {
 }
 
 TEST(ShuffleServiceTest, ConcurrentJobsKeepSeparateSegmentStores) {
-  net::RpcFabric fabric(3);
-  ShuffleService job_a(&fabric, 3, 1, /*job_id=*/10);
-  ShuffleService job_b(&fabric, 3, 1, /*job_id=*/11);
+  auto transport = testutil::MakeTransport(3);
+  ShuffleService job_a(transport.get(), 3, 1, /*job_id=*/10);
+  ShuffleService job_b(transport.get(), 3, 1, /*job_id=*/11);
 
   // Same (map_task, partition, node) coordinates in both jobs.
   job_a.Publish(0, 1, {"segment-of-job-a"});
@@ -182,24 +183,24 @@ TEST(ShuffleServiceTest, ConcurrentJobsKeepSeparateSegmentStores) {
 
   std::string segment;
   ASSERT_TRUE(
-      FetchSegment(&fabric, 1, 2, 0, 0, &segment, /*job_id=*/10).ok());
+      FetchSegment(transport.get(), 1, 2, 0, 0, &segment, /*job_id=*/10).ok());
   EXPECT_EQ(segment, "segment-of-job-a");
   ASSERT_TRUE(
-      FetchSegment(&fabric, 1, 2, 0, 0, &segment, /*job_id=*/11).ok());
+      FetchSegment(transport.get(), 1, 2, 0, 0, &segment, /*job_id=*/11).ok());
   EXPECT_EQ(segment, "segment-of-job-b");
 }
 
 TEST(ShuffleServiceTest, DestructionUnregistersTheJobsFetchHandler) {
-  net::RpcFabric fabric(2);
+  auto transport = testutil::MakeTransport(2);
   {
-    ShuffleService service(&fabric, 2, 1, /*job_id=*/3);
+    ShuffleService service(transport.get(), 2, 1, /*job_id=*/3);
     service.Publish(0, 1, {"bytes"});
     std::string segment;
-    ASSERT_TRUE(FetchSegment(&fabric, 1, 0, 0, 0, &segment, 3).ok());
+    ASSERT_TRUE(FetchSegment(transport.get(), 1, 0, 0, 0, &segment, 3).ok());
   }
   // The job is gone: its method name no longer resolves.
   std::string segment;
-  EXPECT_FALSE(FetchSegment(&fabric, 1, 0, 0, 0, &segment, 3).ok());
+  EXPECT_FALSE(FetchSegment(transport.get(), 1, 0, 0, 0, &segment, 3).ok());
 }
 
 }  // namespace

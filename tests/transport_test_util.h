@@ -1,0 +1,43 @@
+// Transport construction for tests.  Unit tests that exercise RPC
+// (shuffle service, DFS, the rpc suite itself) build their transport
+// through these helpers so the same binaries re-run over TCP with
+// BMR_NET_TRANSPORT=tcp — the check.sh `tcp` leg does exactly that.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+
+namespace bmr::testutil {
+
+/// The transport kind under test: BMR_NET_TRANSPORT, or "inproc".
+inline std::string TransportKind() {
+  const char* env = std::getenv("BMR_NET_TRANSPORT");
+  return env != nullptr && *env != '\0' ? env : "inproc";
+}
+
+/// Build a transport of the kind under test; fails the test (and
+/// returns null) if construction fails.
+inline std::unique_ptr<net::Transport> MakeTransport(
+    int num_nodes, const net::TransportOptions& options = {}) {
+  auto transport = net::CreateTransport(TransportKind(), num_nodes, options);
+  EXPECT_TRUE(transport.ok()) << transport.status();
+  if (!transport.ok()) return nullptr;
+  return std::move(*transport);
+}
+
+/// Build a transport of an explicit kind (cross-transport tests).
+inline std::unique_ptr<net::Transport> MakeTransportOfKind(
+    const std::string& kind, int num_nodes,
+    const net::TransportOptions& options = {}) {
+  auto transport = net::CreateTransport(kind, num_nodes, options);
+  EXPECT_TRUE(transport.ok()) << kind << ": " << transport.status();
+  if (!transport.ok()) return nullptr;
+  return std::move(*transport);
+}
+
+}  // namespace bmr::testutil

@@ -203,12 +203,22 @@ int RunCheck(CliOptions cli) {
   for (const char* name :
        {obs::kHShuffleFetchRttUs, obs::kHShuffleQueueWaitUs,
         obs::kHReduceInvokeUs, obs::kHStoreGetUs, obs::kHStorePutUs,
-        obs::kHRpcCallUs, obs::kHOutputWriteUs}) {
+        obs::kHOutputWriteUs}) {
     auto it = metrics->histograms.find(name);
     if (it == metrics->histograms.end() || it->second.count() == 0) {
       return fail(std::string("missing/empty histogram ") + name);
     }
   }
+  // RPC latency is recorded per transport (bmr_rpc_call_us{transport=...});
+  // whichever transport carried the run must have samples.
+  bool rpc_seen = false;
+  for (const char* name : {obs::kHRpcCallInprocUs, obs::kHRpcCallTcpUs}) {
+    auto it = metrics->histograms.find(name);
+    if (it != metrics->histograms.end() && it->second.count() > 0) {
+      rpc_seen = true;
+    }
+  }
+  if (!rpc_seen) return fail("missing/empty bmr_rpc_call_us family");
 
   const std::string json = obs::PerfettoTraceJson(mr::BuildTraceLog(*metrics));
   Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/10);
