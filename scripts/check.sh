@@ -3,14 +3,16 @@
 # the repo lint gate.
 #
 #   scripts/check.sh              # default preset only
+#   scripts/check.sh analyze      # static analyzer (tools/bmr_check)
 #   scripts/check.sh lint         # just the lint gate (scripts/lint.sh)
 #   scripts/check.sh asan         # just the asan preset
+#   scripts/check.sh ubsan        # decoder/store suites under UBSan
 #   scripts/check.sh chaos        # full chaos sweep (scripts/chaos.sh)
 #   scripts/check.sh bench        # smoke bench + BENCH_datapath.json gate
 #   scripts/check.sh obs          # traced wordcount + artifact validation
 #   scripts/check.sh tcp          # RPC-heavy suites over the TCP transport
-#   scripts/check.sh all          # lint, default, tcp, chaos, bench, obs,
-#                                 # asan, tsan
+#   scripts/check.sh all          # analyze, lint, default, tcp, chaos,
+#                                 # bench, obs, asan, tsan, ubsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -24,14 +26,39 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default)
 elif [ "${presets[0]}" = "all" ]; then
-  presets=(lint default tcp chaos bench obs asan tsan)
+  # analyze runs first: the static analyzer compiles in ~2s and fails
+  # fast on invariant violations before any build or test time is spent.
+  presets=(analyze lint default tcp chaos bench obs asan tsan ubsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 for preset in "${presets[@]}"; do
   echo "== preset: ${preset} =="
+  if [ "${preset}" = analyze ]; then
+    # Static analyzer (docs/GUIDE.md §12): compiled directly — no cmake
+    # configure needed — so the leg gates `all` in seconds.
+    mkdir -p build
+    g++ -std=c++20 -O2 -Wall -Wextra -Werror -I tools/bmr_check \
+      -o build/bmr_check_gate tools/bmr_check/analyzer.cc \
+      tools/bmr_check/main.cc
+    ./build/bmr_check_gate --root=.
+    continue
+  fi
   if [ "${preset}" = lint ]; then
     scripts/lint.sh
+    continue
+  fi
+  if [ "${preset}" = ubsan ]; then
+    # UBSan leg: the untrusted-input decoders and the store stack — the
+    # suites whose inputs the fuzzer mutates — with recovery disabled
+    # so any UB report is fatal.
+    cmake --preset ubsan >/dev/null
+    cmake --build --preset ubsan -j "${jobs}" --target \
+      common_test net_framing_test stores_test fuzz_decoders_test >/dev/null
+    for t in common_test net_framing_test stores_test fuzz_decoders_test; do
+      echo "== ubsan: ${t} =="
+      "./build-ubsan/tests/${t}"
+    done
     continue
   fi
   if [ "${preset}" = chaos ]; then

@@ -8,13 +8,8 @@
 #                      only inside src/common/ and src/concurrency/.
 #                      Everything else uses bmr::Mutex / bmr::OrderedMutex /
 #                      bmr::MutexLock / bmr::CondVar / ThreadPool.
-#   2. nodiscard       every Status / StatusOr returner declared in a
-#                      header carries [[nodiscard]].
 #   3. determinism     src/sim/ and src/simmr/ are simulation layers:
 #                      no wall clocks, no rand(), no sleeps.
-#   4. layering        include-what-you-use-lite: each src/<dir> may
-#                      include only the directories listed for it below
-#                      (core additionally gets the two leaf mr headers).
 #   5. fault-injection encapsulation: faults/internal.h (the injector's
 #                      event-matching machinery) is private to
 #                      src/faults/ — hook sites everywhere else go
@@ -23,10 +18,13 @@
 #                      sinks move RecordBatches via PushAll (one lock
 #                      cycle and one wakeup per batch, see
 #                      mr/record_batch.h).
-#   7. metric-names    counter / histogram / span names are registry
-#                      constants (mr/types.h, obs/metric_names.h), never
-#                      string literals at the recording site — so the
-#                      exporters and the naming lint see every series.
+#
+# Former checks 2 (nodiscard), 4 (include layering) and 7 (metric
+# names) moved to the static analyzer, tools/bmr_check (`check.sh
+# analyze`), which checks them token-exactly and transitively — the
+# grep/awk versions missed multi-line declarations and could not see
+# include cycles or dead metric constants.  Keep them out of this file:
+# two enforcers of one rule drift and double-report.
 #
 # Tests, benches and examples are exempt: the gate polices the library
 # layers, not the harnesses around them.
@@ -53,27 +51,8 @@ if [ -n "${hits}" ]; then
 fi
 
 # ---------------------------------------------------------------------
-# 2. [[nodiscard]] on Status/StatusOr returners declared in headers.
-#    A declaration line starting with Status/StatusOr (optionally
-#    static/virtual) must carry [[nodiscard]] on the same line or the
-#    line above.  `Status status;` members and `using`/comment lines
-#    don't match the function-declaration shape.
-hits=$(awk '
-  /\[\[nodiscard\]\]/ { carry = 1; print_line = 0 }
-  {
-    line = $0
-    sub(/^[ \t]+/, "", line)
-    is_decl = (line ~ /^(static |virtual )*(Status[ \t]+|StatusOr<.*>[ \t]+)[A-Za-z_][A-Za-z0-9_]*[ \t]*\(/)
-    if (is_decl && line !~ /\[\[nodiscard\]\]/ && !carry) {
-      printf "%s:%d: %s\n", FILENAME, FNR, line
-    }
-    if (line !~ /\[\[nodiscard\]\]$/) carry = 0
-  }
-' $(find src -name '*.h') )
-if [ -n "${hits}" ]; then
-  echo "${hits}" >&2
-  fail "Status/StatusOr returners in headers must be [[nodiscard]]"
-fi
+# 2. nodiscard — moved to tools/bmr_check (`check.sh analyze`).
+echo "lint: check 2 (nodiscard) now enforced by bmr_check analyze leg"
 
 # ---------------------------------------------------------------------
 # 3. Determinism in the simulation layers: simulated time only.
@@ -85,58 +64,10 @@ if [ -n "${hits}" ]; then
 fi
 
 # ---------------------------------------------------------------------
-# 4. Include layering (include-what-you-use-lite).  For each directory,
-#    the project-include prefixes it may use.  The dependency DAG:
-#      common -> {}          concurrency -> {common}
-#      obs -> {common}       sim -> {}
-#      net -> {common, concurrency, faults, obs}
-#      cluster -> {common}   dfs -> {common, net}
-#      core -> {common, faults, obs} (+ the two leaf mr headers below)
-#      faults -> {common}
-#      mr -> {cluster, common, concurrency, core, dfs, faults, net, obs}
-#      workload -> {common, mr}
-#      simmr -> {cluster, common, core, mr, sim}
-#      apps -> {common, core, mr}
-declare -A allowed=(
-  [common]="common"
-  [concurrency]="concurrency common"
-  [obs]="obs common"
-  [net]="net common concurrency faults obs"
-  [sim]="sim"
-  [cluster]="cluster common"
-  [dfs]="dfs common net"
-  [core]="core common faults obs"
-  [faults]="faults common"
-  [mr]="mr cluster common concurrency core dfs faults net obs"
-  [workload]="workload common mr"
-  [simmr]="simmr cluster common core mr sim"
-  [apps]="apps common core mr"
-)
-# core may use exactly the two dependency-free mr leaf headers (Record /
-# emitter interfaces) — the documented exception that lets the store
-# layer speak the engine's record type without depending on the engine.
-core_exceptions='^(mr/types\.h|mr/emitter\.h)$'
-
-for dir in "${!allowed[@]}"; do
-  [ -d "src/${dir}" ] || continue
-  while IFS=: read -r file _ inc; do
-    [ -n "${inc}" ] || continue
-    target=${inc%%/*}
-    ok=0
-    for a in ${allowed[$dir]}; do
-      if [ "${target}" = "${a}" ]; then ok=1; break; fi
-    done
-    if [ "${ok}" = 0 ] && [ "${dir}" = core ] && [[ "${inc}" =~ ${core_exceptions} ]]; then
-      ok=1
-    fi
-    if [ "${ok}" = 0 ]; then
-      echo "${file}: includes \"${inc}\" (src/${dir} may only include: ${allowed[$dir]})" >&2
-      failures=$((failures + 1))
-    fi
-  done < <(grep -rnoE '#include "[a-z_]+/[a-z_.]+"' "src/${dir}" \
-             --include='*.h' --include='*.cc' \
-           | sed -E 's/#include "([^"]+)"/\1/')
-done
+# 4. layering — moved to tools/bmr_check (`check.sh analyze`), which
+#    builds the real include graph: direction violations against the
+#    same DAG, include cycles, and stale includes.
+echo "lint: check 4 (layering) now enforced by bmr_check analyze leg"
 
 # ---------------------------------------------------------------------
 # 5. Fault-injection encapsulation: the injector's event-matching
@@ -163,16 +94,10 @@ if [ -n "${hits}" ]; then
 fi
 
 # ---------------------------------------------------------------------
-# 7. Central metric names: recording sites pass registry constants
-#    (mr/types.h counter names, obs/metric_names.h histogram/span
-#    names), never a raw string literal — a literal-typo'd name would
-#    silently create a new series the exporters and dashboards miss.
-name_call_re='(AddCounter|RecordLatency|MergeHistogram)[[:space:]]*\([[:space:]]*"|LatencyTimer[[:space:]]+[A-Za-z_][A-Za-z0-9_]*\([^,)]*,[[:space:]]*"'
-hits=$(grep -rnE "${name_call_re}" src/ --include='*.h' --include='*.cc' || true)
-if [ -n "${hits}" ]; then
-  echo "${hits}" >&2
-  fail "string-literal metric name at a recording site — use the constants in mr/types.h / obs/metric_names.h"
-fi
+# 7. metric-names — moved to tools/bmr_check (`check.sh analyze`),
+#    which also cross-checks the registry itself (dead constants,
+#    unregistered names at recording sites).
+echo "lint: check 7 (metric-names) now enforced by bmr_check analyze leg"
 
 # ---------------------------------------------------------------------
 # 8. Transport encapsulation: everything above src/net/ programs against

@@ -9,7 +9,6 @@
 #include <string>
 
 #include "common/bytes.h"
-#include "common/status.h"
 
 namespace bmr {
 

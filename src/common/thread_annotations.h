@@ -48,6 +48,16 @@
 // result (rarely needed; prefer returning copies out of the lock).
 #define BMR_RETURN_CAPABILITY(x) BMR_THREAD_ANNOTATION_(lock_returned(x))
 
+// Declares a static lock-order edge for tools/bmr_check: the
+// OrderedMutex declared immediately after this annotation may be
+// acquired while the named lock(s) are held (GUIDE §7 canonical order,
+// GUIDE §12 static analysis).  Expands to nothing — the runtime
+// detector (common/lock_order.h) learns the same edges dynamically;
+// this makes the documented order checkable before any test runs.
+//   BMR_ACQUIRED_AFTER("mr.task_scheduler")
+//   mutable OrderedMutex mu_{"mr.shuffle.tracker"};
+#define BMR_ACQUIRED_AFTER(...)
+
 // Escape hatch for code the analysis cannot express.  Every use must
 // carry a comment justifying why the locking is still correct.
 #define BMR_NO_THREAD_SAFETY_ANALYSIS \

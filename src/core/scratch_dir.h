@@ -4,7 +4,6 @@
 #include <filesystem>
 #include <string>
 
-#include "common/status.h"
 
 namespace bmr::core {
 

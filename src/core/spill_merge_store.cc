@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/spill_file.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 

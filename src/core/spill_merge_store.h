@@ -15,7 +15,6 @@
 #include "core/ordered_map.h"
 #include "core/partial_store.h"
 #include "core/scratch_dir.h"
-#include "core/spill_file.h"
 
 namespace bmr::core {
 

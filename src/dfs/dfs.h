@@ -83,6 +83,7 @@ class NameNode {
   int PickNextReplica(int exclude_first, const std::vector<int>& chosen)
       BMR_REQUIRES(mu_);
 
+  BMR_ACQUIRED_AFTER("dfs.control")
   mutable OrderedMutex mu_{"dfs.namenode"};
   int num_nodes_;
   int replication_;
@@ -112,6 +113,7 @@ class DataNode {
 
  private:
   int node_id_;
+  BMR_ACQUIRED_AFTER("dfs.control")
   mutable OrderedMutex mu_{"dfs.datanode"};
   std::unordered_map<uint64_t, std::string> blocks_ BMR_GUARDED_BY(mu_);
   uint64_t stored_bytes_ BMR_GUARDED_BY(mu_) = 0;

@@ -286,6 +286,8 @@ JobResult JobExecution::Run() {
   result.events = std::move(metrics.events);
   result.memory_samples = std::move(metrics.memory_samples);
   result.output_files = std::move(metrics.output_files);
+  result.rpc_handler_reregistrations =
+      cluster_->transport->handler_reregistrations();
   result.trace_enabled = metrics.trace_enabled;
   result.trace = std::move(metrics.trace);
   result.histograms = std::move(metrics.histograms);
@@ -303,6 +305,7 @@ JobMetrics JobResult::ToMetrics() const {
   m.elapsed_seconds = elapsed_seconds;
   m.first_map_done = first_map_done;
   m.last_map_done = last_map_done;
+  m.rpc_handler_reregistrations = rpc_handler_reregistrations;
   m.trace_enabled = trace_enabled;
   m.trace = trace;
   m.histograms = histograms;

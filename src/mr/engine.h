@@ -83,6 +83,7 @@ struct JobResult {
   std::vector<TaskEvent> events;
   std::vector<std::string> output_files;
   std::vector<MemorySample> memory_samples;
+  uint64_t rpc_handler_reregistrations = 0;
   /// Filled when the run had obs.trace=on (see mr/obs_export.h).
   bool trace_enabled = false;
   obs::TraceLog trace;

@@ -36,6 +36,9 @@ struct JobMetrics {
   double elapsed_seconds = 0;
   double first_map_done = 0;
   double last_map_done = 0;
+  /// Times Transport::Register overwrote a live handler during the run
+  /// (exported as bmr_rpc_handler_reregistered_total; zero for simmr).
+  uint64_t rpc_handler_reregistrations = 0;
 
   /// Observability extension (populated only when the run had
   /// obs.trace=on; simmr fills spans from simulated TaskEvents).

@@ -57,6 +57,8 @@ obs::MetricsSnapshot BuildMetricsSnapshot(const JobMetrics& m) {
   snap.gauges[obs::kPromJobElapsedSeconds] = m.elapsed_seconds;
   snap.gauges[obs::kPromJobFirstMapDoneSeconds] = m.first_map_done;
   snap.gauges[obs::kPromJobLastMapDoneSeconds] = m.last_map_done;
+  snap.gauges[obs::kPromRpcHandlerReregistered] =
+      static_cast<double>(m.rpc_handler_reregistrations);
   uint64_t peak = 0;
   for (const MemorySample& s : m.memory_samples) peak = std::max(peak, s.bytes);
   snap.gauges[obs::kPromReducerHeapPeakBytes] = static_cast<double>(peak);

@@ -53,6 +53,7 @@ class MapOutputTracker {
   };
 
   const int num_map_tasks_;
+  BMR_ACQUIRED_AFTER("mr.task_scheduler")
   mutable OrderedMutex mu_{"mr.shuffle.tracker"};
   CondVar cv_;
   std::vector<TaskState> state_ BMR_GUARDED_BY(mu_);

@@ -30,7 +30,6 @@
 #include "mr/map_output.h"
 #include "mr/record_batch.h"
 #include "mr/shuffle.h"
-#include "mr/types.h"
 #include "net/transport.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"

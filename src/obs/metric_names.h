@@ -27,11 +27,9 @@ inline constexpr const char* kHStoreGetUs = "bmr_store_get_us";
 inline constexpr const char* kHStorePutUs = "bmr_store_put_us";
 /// One spill-file flush of the spill-merge store.
 inline constexpr const char* kHStoreSpillUs = "bmr_store_spill_us";
-/// One transport Call, end to end (handler included); superseded by the
-/// per-transport labeled families below in new recording sites.
-inline constexpr const char* kHRpcCallUs = "bmr_rpc_call_us";
-/// Per-transport variants of bmr_rpc_call_us: same family, one series
-/// per Transport implementation.  Histogram names may carry a label
+/// One transport Call, end to end (handler included): one series per
+/// Transport implementation, as a labeled family.  Histogram names may
+/// carry a label
 /// suffix in braces; the exporter folds it into each _bucket/_sum/
 /// _count line (obs/export.cc).
 inline constexpr const char* kHRpcCallInprocUs =

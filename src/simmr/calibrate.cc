@@ -114,7 +114,8 @@ MicroCosts MeasureWith(std::string name, uint64_t records, uint64_t distinct,
   SumGroupReducer reducer(&sink);
   NullReduceCtx ctx;
   timer.Restart();
-  (void)mr::ReduceGroups(merged, nullptr, &reducer, &ctx);
+  (void)mr::ReduceGroups(merged, nullptr,
+                         &reducer, &ctx);  // timing probe; cannot fail in-mem
   costs.grouped_reduce_secs_per_record = timer.ElapsedSeconds() / records;
 
   // Barrier-less path: fold every record through the store in a fresh
@@ -135,12 +136,13 @@ MicroCosts MeasureWith(std::string name, uint64_t records, uint64_t distinct,
   }
   timer.Restart();
   for (const auto& record : stream) {
-    (void)driver.Consume(Slice(record.key), Slice(record.value), &emitter);
+    (void)driver.Consume(Slice(record.key), Slice(record.value),
+                         &emitter);  // timing probe; store errors moot
   }
   costs.incremental_secs_per_record = timer.ElapsedSeconds() / records;
 
   timer.Restart();
-  (void)driver.Finalize(&emitter);
+  (void)driver.Finalize(&emitter);  // timing probe; output discarded anyway
   costs.finalize_secs_per_key =
       timer.ElapsedSeconds() / std::max<uint64_t>(distinct, 1);
   return costs;

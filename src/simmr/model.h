@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <string>
 
-#include "cluster/cluster.h"
 #include "core/partial_store.h"
 
 namespace bmr::simmr {

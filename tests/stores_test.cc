@@ -10,6 +10,7 @@
 #include "core/inmemory_store.h"
 #include "core/kvstore.h"
 #include "core/partial_store.h"
+#include "core/spill_file.h"
 #include "core/spill_merge_store.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"

@@ -1,0 +1,71 @@
+// bmr_check CLI — run the repo's static analyzer (docs/GUIDE.md §12).
+//
+//   bmr_check [--root=DIR] [--check=a,b,...] [--list]
+//
+// Exit status: 0 when every enabled check is clean, 1 when findings
+// were reported, 2 on usage errors.  `scripts/check.sh analyze` builds
+// and runs this before anything else in `check.sh all`.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analyzer.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bmr_check::Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      std::string list = arg.substr(8);
+      size_t pos = 0;
+      while (pos != std::string::npos) {
+        size_t comma = list.find(',', pos);
+        std::string id = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!id.empty()) options.checks.insert(id);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--list") {
+      for (const std::string& id : bmr_check::AllCheckIds())
+        std::printf("%s\n", id.c_str());
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bmr_check [--root=DIR] [--check=a,b,...] [--list]\n");
+      return 2;
+    }
+  }
+  for (const std::string& id : options.checks) {
+    bool known = false;
+    for (const std::string& all : bmr_check::AllCheckIds())
+      if (all == id) known = true;
+    if (!known) {
+      std::fprintf(stderr, "bmr_check: unknown check '%s' (see --list)\n",
+                   id.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<bmr_check::FileContent> files = bmr_check::LoadTree(root);
+  if (files.empty()) {
+    std::fprintf(stderr, "bmr_check: no src/**/*.{h,cc} under '%s'\n",
+                 root.c_str());
+    return 2;
+  }
+  std::vector<bmr_check::Finding> findings =
+      bmr_check::Analyze(files, options);
+  if (!findings.empty()) {
+    std::string report = bmr_check::FormatFindings(findings);
+    std::fwrite(report.data(), 1, report.size(), stderr);
+    std::fprintf(stderr, "bmr_check: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  size_t nchecks = options.checks.empty() ? bmr_check::AllCheckIds().size()
+                                          : options.checks.size();
+  std::printf("bmr_check: OK (%zu files, %zu checks)\n", files.size(),
+              nchecks);
+  return 0;
+}
