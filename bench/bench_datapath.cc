@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/serde.h"
@@ -27,6 +28,7 @@
 #include "core/spill_merge_store.h"
 #include "mr/map_output.h"
 #include "mr/record_batch.h"
+#include "mr/segment_codec.h"
 #include "mr/shuffle_service.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"
@@ -55,6 +57,35 @@ std::vector<mr::Record> MakeRecords(size_t n, uint32_t distinct) {
   for (size_t i = 0; i < n; ++i) {
     records.emplace_back("key" + std::to_string(rng.NextBounded(distinct)),
                          "v" + std::to_string(i % 997));
+  }
+  return records;
+}
+
+/// Wordcount-shaped shuffle payload for the codec pair: zipf-skewed
+/// word keys and "1" values, the stream the map side actually emits.
+/// The uniform key<N> records above stay for the queue benches — they
+/// are a deliberate worst case for batching, but as near-random bytes
+/// they understate what block compression does to real shuffle traffic.
+std::vector<mr::Record> MakeWordRecords(size_t n) {
+  Pcg32 rng(kSeed);
+  static const char* const kSyllables[] = {
+      "an", "ber", "con", "dis", "en",  "for", "ing", "lo",
+      "ma", "nor", "per", "qua", "re",  "sta", "ter", "un"};
+  std::vector<std::string> vocab;
+  vocab.reserve(5000);
+  for (size_t i = 0; i < 5000; ++i) {
+    std::string w;
+    size_t parts = 2 + rng.NextBounded(3);
+    for (size_t p = 0; p < parts; ++p) w += kSyllables[rng.NextBounded(16)];
+    vocab.push_back(std::move(w));
+  }
+  std::vector<mr::Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Two chained bounded draws skew toward the head of the vocabulary
+    // — the zipf-ish shape of natural-language word frequencies.
+    records.emplace_back(vocab[rng.NextBounded(rng.NextBounded(5000) + 1)],
+                         "1");
   }
   return records;
 }
@@ -275,6 +306,78 @@ void BenchObsOverhead(const std::vector<std::string>& segments,
       {"obs", "trace_overhead_ratio", traced / untraced, "x"});
 }
 
+/// One codec leg of the shuffle-wire pair: wrap every framed segment in
+/// the block-compressed container, then run the fetch side's full
+/// decode path — per-block checksum verify, decompress into a
+/// pool-backed buffer, zero-copy batch decode — and count records out.
+struct CodecLeg {
+  uint64_t wire_bytes = 0;
+  double records_per_sec = 0;
+};
+
+CodecLeg RunCodecLeg(const std::vector<std::string>& segments,
+                     size_t total_records, const char* name) {
+  StatusOr<const Codec*> codec = FindCodec(name);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "codec %s: %s\n", name,
+                 codec.status().message().c_str());
+    std::exit(1);
+  }
+  CodecLeg leg;
+  std::vector<std::string> wire;
+  wire.reserve(segments.size());
+  ByteBuffer buf;
+  for (const std::string& segment : segments) {
+    buf.Clear();
+    mr::EncodeShuffleSegment(Slice(segment), **codec,
+                             mr::kDefaultShuffleBlockBytes, &buf);
+    leg.wire_bytes += buf.size();
+    wire.push_back(buf.ToString());
+  }
+  uint64_t consumed_bytes = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& w : wire) {
+    std::shared_ptr<const std::string> raw;
+    if (!mr::DecodeShuffleSegment(Slice(w), &raw).ok()) std::exit(1);
+    mr::RecordBatch batch;
+    if (!mr::DecodeSegment(std::move(raw), &batch).ok()) std::exit(1);
+    for (const mr::RecordBatch::Entry& e : batch) {
+      consumed_bytes += e.key.size() + e.value.size();
+    }
+  }
+  double secs = SecondsSince(t0);
+  if (consumed_bytes == 0) secs = 1;
+  leg.records_per_sec = static_cast<double>(total_records) / secs;
+  return leg;
+}
+
+void BenchCodec(const std::vector<std::string>& segments,
+                size_t total_records, std::vector<MetricRow>* rows) {
+  // Best-of-3 per leg: both derived ratios are acceptance gates.
+  CodecLeg none = RunCodecLeg(segments, total_records, "none");
+  CodecLeg lz4 = RunCodecLeg(segments, total_records, "lz4");
+  for (int i = 0; i < 2; ++i) {
+    CodecLeg n = RunCodecLeg(segments, total_records, "none");
+    none.records_per_sec = std::max(none.records_per_sec, n.records_per_sec);
+    CodecLeg z = RunCodecLeg(segments, total_records, "lz4");
+    lz4.records_per_sec = std::max(lz4.records_per_sec, z.records_per_sec);
+  }
+  rows->push_back({"codec", "none_decode_records_per_sec",
+                   none.records_per_sec, "records/sec"});
+  rows->push_back({"codec", "lz4_decode_records_per_sec",
+                   lz4.records_per_sec, "records/sec"});
+  // Baseline 0.375 x the 80% gate floor = 0.30: lz4 must keep at least
+  // 30% of the shuffle bytes off the wire.
+  rows->push_back({"codec", "lz4_wire_saved_ratio",
+                   1.0 - static_cast<double>(lz4.wire_bytes) /
+                             static_cast<double>(none.wire_bytes),
+                   "x"});
+  // Baseline 1.125 x 0.8 = 0.9: the compressed decode path must retain
+  // >= 90% of the uncompressed record throughput.
+  rows->push_back({"codec", "lz4_throughput_ratio",
+                   lz4.records_per_sec / none.records_per_sec, "x"});
+}
+
 template <typename Store>
 double StoreOpsPerSec(Store& store, const std::vector<mr::Record>& records) {
   std::string partial;
@@ -327,7 +430,7 @@ void WriteJson(const std::vector<MetricRow>& rows, const std::string& path) {
   std::fprintf(f, "[\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
-                 "  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.1f, "
+                 "  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.3f, "
                  "\"unit\": \"%s\", \"seed\": %llu}%s\n",
                  rows[i].bench.c_str(), rows[i].metric.c_str(), rows[i].value,
                  rows[i].unit.c_str(),
@@ -377,6 +480,8 @@ int Main(int argc, char** argv) {
 
   rows.push_back(BenchFetchToReduce(segments, records.size()));
   BenchObsOverhead(segments, records.size(), &rows);
+  BenchCodec(EncodeSegments(MakeWordRecords(queue_records), segment_bytes),
+             queue_records, &rows);
   BenchStores(MakeRecords(store_records, /*distinct=*/10'000), &rows);
 
   WriteJson(rows, out);

@@ -13,7 +13,10 @@
 # regressions (a lost batching path, a reintroduced per-record lock
 # cycle), not machine-to-machine noise.  The batched_speedup baseline of
 # 2.5 makes the 80% floor exactly the 2x batched-vs-per-record
-# acceptance bar.
+# acceptance bar; likewise the codec baselines of 0.375 (wire bytes
+# saved) and 1.125 (lz4-vs-none decode throughput) make the floors
+# exactly the >=30%-fewer-wire-bytes and >=90%-of-uncompressed-
+# throughput acceptance bars.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -20,13 +20,19 @@ jobs=$(nproc 2>/dev/null || echo 2)
 
 cmake --preset default
 cmake --build --preset default -j "${jobs}"
-# The sweep runs once per transport: every scenario must recover to
-# byte-identical output whether the RPCs ride the in-process registry
-# or real TCP sockets — the transports are interchangeable under fault
-# load, or they are not interchangeable at all.
+# The sweep runs once per (transport, codec) pair: every scenario must
+# recover to byte-identical output whether the RPCs ride the in-process
+# registry or real TCP sockets, and whether shuffle segments travel
+# uncompressed or lz4-block-compressed — the data plane's knobs are
+# interchangeable under fault load, or they are not interchangeable at
+# all.
 for transport in inproc tcp; do
-  echo "== chaos sweep: ${seeds} seeded scenarios (net.transport=${transport}) =="
-  BMR_CHAOS_SEEDS="${seeds}" BMR_NET_TRANSPORT="${transport}" \
-    ctest --preset default -L chaos -j "${jobs}"
+  for codec in none lz4; do
+    echo "== chaos sweep: ${seeds} seeded scenarios" \
+         "(net.transport=${transport}, shuffle.codec=${codec}) =="
+    BMR_CHAOS_SEEDS="${seeds}" BMR_NET_TRANSPORT="${transport}" \
+      BMR_SHUFFLE_CODEC="${codec}" \
+      ctest --preset default -L chaos -j "${jobs}"
+  done
 done
-echo "== chaos sweep passed (${seeds} seeds, both transports) =="
+echo "== chaos sweep passed (${seeds} seeds, both transports, both codecs) =="

@@ -11,8 +11,9 @@
 #   scripts/check.sh bench        # smoke bench + BENCH_datapath.json gate
 #   scripts/check.sh obs          # traced wordcount + artifact validation
 #   scripts/check.sh tcp          # RPC-heavy suites over the TCP transport
-#   scripts/check.sh all          # analyze, lint, default, tcp, chaos,
-#                                 # bench, obs, asan, tsan, ubsan
+#   scripts/check.sh codec        # shuffle-heavy suites with shuffle.codec=lz4
+#   scripts/check.sh all          # analyze, lint, default, tcp, codec,
+#                                 # chaos, bench, obs, asan, tsan, ubsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -28,7 +29,7 @@ if [ ${#presets[@]} -eq 0 ]; then
 elif [ "${presets[0]}" = "all" ]; then
   # analyze runs first: the static analyzer compiles in ~2s and fails
   # fast on invariant violations before any build or test time is spent.
-  presets=(analyze lint default tcp chaos bench obs asan tsan ubsan)
+  presets=(analyze lint default tcp codec chaos bench obs asan tsan ubsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -84,6 +85,23 @@ for preset in "${presets[@]}"; do
              mr_unit_test multijob_test; do
       echo "== tcp: ${t} =="
       BMR_NET_TRANSPORT=tcp "./build/tests/${t}"
+    done
+    continue
+  fi
+  if [ "${preset}" = codec ]; then
+    # Codec-parity leg: rerun the suites that push real segments through
+    # the shuffle path with block compression on (BMR_SHUFFLE_CODEC is
+    # the env fallback for the shuffle.codec knob), so every framed
+    # record stream also round-trips the lz4 encoder, the per-block
+    # checksums, and the pool-backed decode buffers.  The chaos leg
+    # covers codecs under fault load; this one covers them in the plain
+    # unit suites.
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "${jobs}" >/dev/null
+    for t in shuffle_service_test mr_unit_test multijob_test \
+             fuzz_decoders_test arena_test; do
+      echo "== codec: ${t} =="
+      BMR_SHUFFLE_CODEC=lz4 "./build/tests/${t}"
     done
     continue
   fi

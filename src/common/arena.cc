@@ -1,0 +1,177 @@
+#include "common/arena.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace bmr {
+
+namespace {
+
+// Process-wide arena counters; relaxed — these are monitoring totals,
+// not synchronization.
+std::atomic<uint64_t> g_arena_allocated_bytes{0};
+std::atomic<uint64_t> g_arena_chunks_created{0};
+std::atomic<uint64_t> g_arena_chunks_reused{0};
+
+}  // namespace
+
+Arena::Arena(size_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+char* Arena::Allocate(size_t n) {
+  if (static_cast<size_t>(end_ - ptr_) >= n && ptr_ != nullptr) {
+    char* out = ptr_;
+    ptr_ += n;
+    allocated_bytes_ += n;
+    g_arena_allocated_bytes.fetch_add(n, std::memory_order_relaxed);
+    return out;
+  }
+  return AllocateSlow(n);
+}
+
+char* Arena::AllocateSlow(size_t n) {
+  // Oversized requests get a dedicated chunk and leave the bump cursor
+  // alone, so they cannot strand the tail of the current chunk.
+  if (n > chunk_bytes_) {
+    Chunk big;
+    big.data = std::make_unique<char[]>(n);
+    big.size = n;
+    g_arena_chunks_created.fetch_add(1, std::memory_order_relaxed);
+    char* out = big.data.get();
+    // Keep the bump chunk (if any) at the back: insert before it.
+    chunks_.insert(chunks_.empty() ? chunks_.end() : chunks_.end() - 1,
+                   std::move(big));
+    allocated_bytes_ += n;
+    g_arena_allocated_bytes.fetch_add(n, std::memory_order_relaxed);
+    return out;
+  }
+  // Reuse a parked chunk when one is big enough, else malloc a fresh
+  // one.  Parked chunks are all chunk_bytes_ or larger, so the first
+  // fit check is really just "is there one".
+  Chunk next;
+  while (!free_.empty()) {
+    Chunk candidate = std::move(free_.back());
+    free_.pop_back();
+    if (candidate.size >= chunk_bytes_) {
+      next = std::move(candidate);
+      g_arena_chunks_reused.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  if (next.data == nullptr) {
+    next.data = std::make_unique<char[]>(chunk_bytes_);
+    next.size = chunk_bytes_;
+    g_arena_chunks_created.fetch_add(1, std::memory_order_relaxed);
+  }
+  ptr_ = next.data.get();
+  end_ = ptr_ + next.size;
+  chunks_.push_back(std::move(next));
+  char* out = ptr_;
+  ptr_ += n;
+  allocated_bytes_ += n;
+  g_arena_allocated_bytes.fetch_add(n, std::memory_order_relaxed);
+  return out;
+}
+
+Slice Arena::Copy(Slice s) {
+  char* dst = Allocate(s.size());
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+  return Slice(dst, s.size());
+}
+
+void Arena::Reset() {
+  for (Chunk& c : chunks_) free_.push_back(std::move(c));
+  chunks_.clear();
+  ptr_ = nullptr;
+  end_ = nullptr;
+  allocated_bytes_ = 0;
+  ++generation_;
+}
+
+Arena::GlobalStatsSnapshot Arena::GlobalStats() {
+  GlobalStatsSnapshot snap;
+  snap.allocated_bytes = g_arena_allocated_bytes.load(std::memory_order_relaxed);
+  snap.chunks_created = g_arena_chunks_created.load(std::memory_order_relaxed);
+  snap.chunks_reused = g_arena_chunks_reused.load(std::memory_order_relaxed);
+  return snap;
+}
+
+BufferPool::BufferPool(size_t max_cached_bytes)
+    : max_cached_bytes_(max_cached_bytes) {}
+
+BufferPool::~BufferPool() { Trim(); }
+
+BufferPool* BufferPool::Global() {
+  // Deliberately leaked: buffers recycled from detached threads during
+  // process teardown must always find a live pool.
+  static BufferPool* pool = new BufferPool();
+  return pool;
+}
+
+size_t BufferPool::ClassIndex(size_t size) {
+  size_t cls = 0;
+  size_t cap = kMinClassBytes;
+  while (cap < size && cls + 1 < kNumClasses) {
+    cap <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+std::shared_ptr<std::string> BufferPool::Acquire(size_t size) {
+  std::string* s = nullptr;
+  {
+    MutexLock lock(mu_);
+    ++stats_.acquires;
+    // Start at the request's own class and take the smallest cached
+    // buffer that fits; capacity above the class ceiling was recycled
+    // into the class of its capacity, so lookups stay O(kNumClasses).
+    for (size_t cls = ClassIndex(size); cls < kNumClasses && s == nullptr;
+         ++cls) {
+      auto& shelf = classes_[cls];
+      if (!shelf.empty() && shelf.back()->capacity() >= size) {
+        s = shelf.back();
+        shelf.pop_back();
+        stats_.cached_bytes -= s->capacity();
+        --stats_.cached_buffers;
+        ++stats_.reuses;
+      }
+    }
+  }
+  if (s == nullptr) s = new std::string();
+  s->resize(size);
+  return std::shared_ptr<std::string>(s,
+                                      [this](std::string* p) { Recycle(p); });
+}
+
+void BufferPool::Recycle(std::string* s) {
+  {
+    MutexLock lock(mu_);
+    if (stats_.cached_bytes + s->capacity() <= max_cached_bytes_) {
+      s->clear();  // keeps capacity
+      classes_[ClassIndex(s->capacity())].push_back(s);
+      stats_.cached_bytes += s->capacity();
+      stats_.recycled_bytes += s->capacity();
+      ++stats_.cached_buffers;
+      return;
+    }
+  }
+  delete s;  // pool is full — let the allocator have it back
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+void BufferPool::Trim() {
+  MutexLock lock(mu_);
+  for (auto& shelf : classes_) {
+    for (std::string* s : shelf) delete s;
+    shelf.clear();
+  }
+  stats_.cached_buffers = 0;
+  stats_.cached_bytes = 0;
+}
+
+}  // namespace bmr

@@ -1,0 +1,148 @@
+// Pooled memory for the shuffle data plane (ROADMAP item 3a, the
+// ytsaurus chunked_memory_pool idiom):
+//
+//   bmr::Arena       chunked bump allocator for one task's short-lived
+//                    byte staging (map-output records).  Allocation is
+//                    a pointer bump; Reset() retires every allocation
+//                    at once and parks the chunks on a local freelist
+//                    for the next generation, so a long-running task
+//                    slot stops paying the global allocator per record.
+//                    NOT thread-safe — one Arena per task.
+//
+//   bmr::BufferPool  process-wide, thread-safe recycler of whole
+//                    segment buffers (std::string), keyed by
+//                    power-of-two size class.  Acquire() returns a
+//                    shared_ptr whose deleter hands the string back to
+//                    the pool, so RecordBatch's shared-ownership buffer
+//                    type is unchanged — pooling is invisible above
+//                    this layer.  Cached bytes are capped; overflow is
+//                    simply freed.
+//
+// Both report into process-wide counters (Arena::GlobalStats /
+// BufferPool::stats) exported as the bmr_arena_* gauge family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace bmr {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 << 10;
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `n` bytes (unaligned — this is byte staging, not
+  /// object storage).  Valid until the next Reset().  n == 0 returns a
+  /// non-null pointer.
+  char* Allocate(size_t n);
+
+  /// Copy `s` into the arena and return a view of the copy.
+  Slice Copy(Slice s);
+
+  /// Retire every allocation.  Chunks are kept for reuse by the next
+  /// generation; the generation counter advances, so any Slice handed
+  /// out before Reset() is dangling — callers that stage slices must
+  /// not let them outlive the generation they were allocated in
+  /// (regression-tested in tests/arena_test.cc).
+  void Reset();
+
+  /// Generation counter: starts at 1, +1 per Reset().  Lets holders of
+  /// arena-backed slices assert they are still in the generation that
+  /// allocated them.
+  uint64_t generation() const { return generation_; }
+
+  /// Bytes handed out in the current generation.
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+  struct GlobalStatsSnapshot {
+    uint64_t allocated_bytes = 0;  ///< bump-allocated, process lifetime
+    uint64_t chunks_created = 0;   ///< chunks malloc'd by all arenas
+    uint64_t chunks_reused = 0;    ///< chunks recycled across Reset()s
+  };
+  /// Process-wide totals across every Arena ever constructed
+  /// (monotonic; exported as bmr_arena_* gauges at job end).
+  static GlobalStatsSnapshot GlobalStats();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Slow path: current chunk exhausted; pull one off the freelist or
+  /// malloc a new one (oversized requests get a dedicated chunk).
+  char* AllocateSlow(size_t n);
+
+  size_t chunk_bytes_;
+  char* ptr_ = nullptr;  // bump cursor into chunks_.back()
+  char* end_ = nullptr;
+  std::vector<Chunk> chunks_;  // live in this generation
+  std::vector<Chunk> free_;    // parked by Reset() for reuse
+  uint64_t generation_ = 1;
+  uint64_t allocated_bytes_ = 0;
+};
+
+class BufferPool {
+ public:
+  /// Total bytes of idle buffers the pool keeps before it starts
+  /// freeing returns outright.
+  static constexpr size_t kDefaultMaxCachedBytes = 64 << 20;
+
+  explicit BufferPool(size_t max_cached_bytes = kDefaultMaxCachedBytes);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// The process-wide pool used by the shuffle data plane.
+  static BufferPool* Global();
+
+  /// A string of exactly `size` bytes (contents unspecified) whose
+  /// deleter recycles the storage into this pool.  Implicitly converts
+  /// to the shared_ptr<const std::string> that RecordBatch holds.
+  std::shared_ptr<std::string> Acquire(size_t size) BMR_EXCLUDES(mu_);
+
+  struct Stats {
+    uint64_t acquires = 0;       ///< total Acquire() calls
+    uint64_t reuses = 0;         ///< acquires served from the freelist
+    uint64_t recycled_bytes = 0; ///< capacity returned and kept
+    uint64_t cached_buffers = 0; ///< idle buffers right now
+    uint64_t cached_bytes = 0;   ///< idle capacity right now
+  };
+  Stats stats() const BMR_EXCLUDES(mu_);
+
+  /// Drop every idle buffer (tests; also bounds rss between bench runs).
+  void Trim() BMR_EXCLUDES(mu_);
+
+ private:
+  // Size classes are powers of two from kMinClassBytes up; class i
+  // caches strings whose capacity serves requests of at most
+  // kMinClassBytes << i.
+  static constexpr size_t kMinClassBytes = 4 << 10;
+  static constexpr size_t kNumClasses = 16;  // 4 KiB .. 128 MiB
+
+  static size_t ClassIndex(size_t size);
+
+  void Recycle(std::string* s) BMR_EXCLUDES(mu_);
+
+  const size_t max_cached_bytes_;
+  mutable Mutex mu_;
+  std::array<std::vector<std::string*>, kNumClasses> classes_
+      BMR_GUARDED_BY(mu_);
+  Stats stats_ BMR_GUARDED_BY(mu_);
+};
+
+}  // namespace bmr

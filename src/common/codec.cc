@@ -1,0 +1,235 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace bmr {
+
+namespace {
+
+class NoneCodec final : public Codec {
+ public:
+  const char* name() const override { return "none"; }
+  uint8_t id() const override { return 0; }
+
+  bool Compress(Slice raw, ByteBuffer* out) const override {
+    (void)raw;
+    (void)out;
+    return false;  // never smaller: every block is stored verbatim
+  }
+
+  Status Decompress(Slice encoded, char* out,
+                    size_t raw_size) const override {
+    if (encoded.size() != raw_size) {
+      return Status::DataLoss("none codec: size mismatch");
+    }
+    if (raw_size != 0) std::memcpy(out, encoded.data(), raw_size);
+    return Status::Ok();
+  }
+};
+
+// ---- "lz4"-style LZ77 ------------------------------------------------
+//
+// Sequence stream:  { varint lit_len, <literals>, varint token }*
+// where token == 0 ends the block and token >= 1 means a match of
+// length token+3 followed by varint offset (1 <= offset <= bytes
+// already produced).  Matches may overlap their output (offset 1 is
+// byte-RLE).
+
+constexpr size_t kMinMatch = 4;
+constexpr int kTableBits = 13;
+constexpr size_t kTableSize = size_t{1} << kTableBits;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline uint32_t Hash4(const char* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kTableBits);
+}
+
+inline size_t VarintCost(uint64_t v) {
+  size_t c = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++c;
+  }
+  return c;
+}
+
+// Pointer-cursor varint reader for the decompress hot loop — same
+// semantics as Decoder::GetVarint64 (truncation and the overlong
+// 10th-byte encoding both fail) without per-byte Slice mutation, plus
+// a single-compare fast path for the 1-byte values that dominate
+// sequence streams (short literal runs, near offsets).
+inline bool ReadVarint(const uint8_t*& p, const uint8_t* end, uint64_t* v) {
+  if (p < end && *p < 0x80) {
+    *v = *p++;
+    return true;
+  }
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (p == end) return false;
+    const uint8_t byte = *p++;
+    if (shift == 63 && (byte & 0xfe) != 0) return false;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // varint longer than 10 bytes
+}
+
+class Lz4StyleCodec final : public Codec {
+ public:
+  const char* name() const override { return "lz4"; }
+  uint8_t id() const override { return 1; }
+
+  bool Compress(Slice raw, ByteBuffer* out) const override {
+    const char* base = raw.data();
+    const size_t n = raw.size();
+    if (n < kMinMatch + 1) return false;
+    ByteBuffer scratch(n / 2);
+    Encoder enc(&scratch);
+    // table[h] holds position+1 of the last occurrence of a 4-byte
+    // prefix hashing to h; 0 = empty.
+    uint32_t table[kTableSize] = {0};
+    size_t i = 0;
+    size_t lit_start = 0;
+    while (i + kMinMatch <= n) {
+      const uint32_t h = Hash4(base + i);
+      const size_t cand = table[h];
+      table[h] = static_cast<uint32_t>(i + 1);
+      if (cand != 0 && Load32(base + cand - 1) == Load32(base + i)) {
+        const size_t match = cand - 1;
+        size_t len = kMinMatch;
+        while (i + len < n && base[match + len] == base[i + len]) ++len;
+        // A sequence spends one byte closing the literal run plus the
+        // token and offset varints; a short far match (4 bytes at a
+        // 3-byte offset varint) expands the stream, so take a match
+        // only when it beats emitting its bytes as literals.
+        const size_t cost =
+            1 + VarintCost(len - kMinMatch + 1) + VarintCost(i - match);
+        if (len < cost + 2) {
+          ++i;
+          continue;
+        }
+        enc.PutVarint64(i - lit_start);
+        scratch.Append(base + lit_start, i - lit_start);
+        enc.PutVarint64(len - kMinMatch + 1);  // token >= 1
+        enc.PutVarint64(i - match);            // offset
+        i += len;
+        lit_start = i;
+        if (scratch.size() >= n) return false;  // expanding — store it
+        // Seed the table near the match tail so the next occurrence of
+        // this run's suffix can land a candidate.
+        if (i >= 2 && i + 2 <= n) {
+          table[Hash4(base + i - 2)] = static_cast<uint32_t>(i - 1);
+        }
+      } else {
+        ++i;
+      }
+    }
+    enc.PutVarint64(n - lit_start);
+    scratch.Append(base + lit_start, n - lit_start);
+    enc.PutVarint64(0);  // end of block
+    if (scratch.size() >= n) return false;
+    out->Append(scratch.AsSlice());
+    return true;
+  }
+
+  Status Decompress(Slice encoded, char* out,
+                    size_t raw_size) const override {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(encoded.data());
+    const uint8_t* const end = p + encoded.size();
+    size_t pos = 0;
+    for (;;) {
+      uint64_t lit_len;
+      if (!ReadVarint(p, end, &lit_len)) {
+        return Status::DataLoss("lz4: truncated literal length");
+      }
+      if (lit_len > raw_size - pos) {
+        return Status::DataLoss("lz4: literal run overruns block");
+      }
+      if (lit_len > static_cast<size_t>(end - p)) {
+        return Status::DataLoss("lz4: truncated literal run");
+      }
+      if (lit_len != 0) {
+        // Fixed-width copy for the short runs that dominate sequence
+        // streams: two 8-byte moves compile to load/store pairs, and
+        // the bytes past lit_len are block-interior scratch the next
+        // sequence overwrites.
+        if (lit_len <= 16 && static_cast<size_t>(end - p) >= 16 &&
+            raw_size - pos >= 16) {
+          std::memcpy(out + pos, p, 8);
+          std::memcpy(out + pos + 8, p + 8, 8);
+        } else {
+          std::memcpy(out + pos, p, lit_len);
+        }
+        p += lit_len;
+        pos += lit_len;
+      }
+      uint64_t token;
+      if (!ReadVarint(p, end, &token)) {
+        return Status::DataLoss("lz4: truncated match token");
+      }
+      if (token == 0) break;
+      const uint64_t len = token + kMinMatch - 1;
+      uint64_t offset;
+      if (!ReadVarint(p, end, &offset)) {
+        return Status::DataLoss("lz4: truncated match offset");
+      }
+      if (offset == 0 || offset > pos) {
+        return Status::DataLoss("lz4: match offset out of range");
+      }
+      if (len > raw_size - pos) {
+        return Status::DataLoss("lz4: match overruns block");
+      }
+      const char* src = out + pos - offset;
+      if (len <= 16 && offset >= 8 && raw_size - pos >= 16) {
+        // Same fixed-width trick for short matches.  offset >= 8 keeps
+        // each 8-byte move non-overlapping, and doing them in order
+        // still replicates forward when 8 <= offset < 16.
+        std::memcpy(out + pos, src, 8);
+        std::memcpy(out + pos + 8, src + 8, 8);
+      } else if (offset >= len) {
+        std::memcpy(out + pos, src, len);
+      } else {
+        // Byte-wise forward copy: overlapping matches (offset < len)
+        // replicate earlier output, which is the RLE case.
+        for (uint64_t k = 0; k < len; ++k) out[pos + k] = src[k];
+      }
+      pos += len;
+    }
+    if (pos != raw_size) {
+      return Status::DataLoss("lz4: block decodes short");
+    }
+    if (p != end) {
+      return Status::DataLoss("lz4: trailing bytes after end token");
+    }
+    return Status::Ok();
+  }
+};
+
+const NoneCodec kNone;
+const Lz4StyleCodec kLz4;
+
+}  // namespace
+
+StatusOr<const Codec*> FindCodec(const std::string& name) {
+  if (name.empty() || name == "none") return static_cast<const Codec*>(&kNone);
+  if (name == "lz4") return static_cast<const Codec*>(&kLz4);
+  return Status::InvalidArgument("unknown shuffle codec '" + name + "'");
+}
+
+const Codec* CodecById(uint8_t id) {
+  if (id == kNone.id()) return &kNone;
+  if (id == kLz4.id()) return &kLz4;
+  return nullptr;
+}
+
+}  // namespace bmr

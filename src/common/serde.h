@@ -155,6 +155,16 @@ class Decoder {
     return true;
   }
 
+  /// Unprefixed raw bytes: view of the next n bytes, consumed.  For
+  /// formats that interleave varints with counted byte runs (block
+  /// codecs).
+  bool GetBytes(size_t n, Slice* s) {
+    if (in_.size() < n) return false;
+    *s = Slice(in_.data(), n);
+    in_.RemovePrefix(n);
+    return true;
+  }
+
  private:
   Slice in_;
 };

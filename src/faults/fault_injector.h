@@ -58,8 +58,11 @@ class FaultInjector {
   [[nodiscard]] Status OnShuffleFetch(int from_node, int at_node,
                                       int map_task) BMR_EXCLUDES(mu_);
 
-  /// After a successful fetch: true => `segment` was truncated so the
-  /// decode fails (corruption in flight; the store copy stays intact).
+  /// At the serving node's wire boundary, on the response about to
+  /// leave it: true => `segment` was truncated so the decode fails
+  /// (corruption in flight; the store copy stays intact for the retry).
+  /// Serving-side injection means both transports corrupt at the same
+  /// point — on TCP the broken bytes really cross the socket.
   bool MaybeCorruptSegment(int from_node, int map_task,
                            std::string* segment) BMR_EXCLUDES(mu_);
 

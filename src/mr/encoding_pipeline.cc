@@ -1,0 +1,87 @@
+#include "mr/encoding_pipeline.h"
+
+#include <cstring>
+
+#include "common/arena.h"
+#include "obs/metric_names.h"
+
+namespace bmr::mr {
+
+EncodingPipeline::EncodingPipeline(Options options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          options.threads > 0 ? static_cast<size_t>(options.threads) : 1)) {}
+
+EncodingPipeline::~EncodingPipeline() { Drain(); }
+
+void EncodingPipeline::Submit(std::vector<std::string> segments, DoneFn done) {
+  uint64_t raw_bytes = 0;
+  for (const std::string& s : segments) raw_bytes += s.size();
+  {
+    MutexLock lock(mu_);
+    // Admit when the window has room — or unconditionally when the
+    // pipeline is idle, so one oversized task cannot wedge forever.
+    while (pending_bytes_ != 0 &&
+           pending_bytes_ + raw_bytes > options_.window_bytes) {
+      window_open_.Wait(mu_);
+    }
+    pending_bytes_ += raw_bytes;
+    ++pending_jobs_;
+  }
+  // shared_ptr wrapper: std::function must stay copyable.
+  auto task = std::make_shared<std::pair<std::vector<std::string>, DoneFn>>(
+      std::move(segments), std::move(done));
+  pool_->Submit([this, task, raw_bytes] {
+    Encode(task->first, task->second);
+    MutexLock lock(mu_);
+    pending_bytes_ -= raw_bytes;
+    --pending_jobs_;
+    lock.Unlock();
+    window_open_.NotifyAll();
+    idle_.NotifyAll();
+  });
+}
+
+void EncodingPipeline::Encode(const std::vector<std::string>& segments,
+                              DoneFn& done) {
+  Encoded encoded(segments.size());
+  SegmentEncodeStats total;
+  {
+    obs::LatencyTimer encode_time(options_.tracer, obs::kHCodecEncodeUs);
+    ByteBuffer scratch;
+    for (size_t p = 0; p < segments.size(); ++p) {
+      scratch.Clear();
+      SegmentEncodeStats stats;
+      EncodeShuffleSegment(Slice(segments[p]), *options_.codec,
+                           options_.block_bytes, &scratch, &stats);
+      std::shared_ptr<std::string> buf =
+          BufferPool::Global()->Acquire(scratch.size());
+      if (scratch.size() != 0) {
+        std::memcpy(buf->data(), scratch.data(), scratch.size());
+      }
+      encoded[p] = std::move(buf);
+      total.raw_bytes += stats.raw_bytes;
+      total.wire_bytes += stats.wire_bytes;
+      total.blocks += stats.blocks;
+      total.compressed_blocks += stats.compressed_blocks;
+    }
+  }
+  done(std::move(encoded));
+  MutexLock lock(mu_);
+  stats_.raw_bytes += total.raw_bytes;
+  stats_.wire_bytes += total.wire_bytes;
+  stats_.blocks += total.blocks;
+  stats_.compressed_blocks += total.compressed_blocks;
+}
+
+void EncodingPipeline::Drain() {
+  MutexLock lock(mu_);
+  while (pending_jobs_ != 0) idle_.Wait(mu_);
+}
+
+SegmentEncodeStats EncodingPipeline::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace bmr::mr

@@ -1,0 +1,85 @@
+// Window-limited asynchronous segment encoder (the ytsaurus
+// encoding_writer shape): map tasks hand their finished per-partition
+// segments to Submit() and return to mapping immediately; a small
+// worker pool compresses the segments into the block container
+// (mr/segment_codec.h) and runs the completion callback — in the
+// shuffle service, the store Put + tracker MarkDone.  Compression
+// therefore overlaps map execution instead of serializing it.
+//
+// The window bounds raw bytes admitted but not yet encoded: a Submit
+// that would overflow it blocks the *map* thread (backpressure toward
+// the producer, never toward fetchers — encoded segments are already
+// in the store by the time fetchers can see the task as done).  A
+// single oversized submit is always admitted when the pipeline is
+// idle, so the window cannot deadlock.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "concurrency/thread_pool.h"
+#include "mr/segment_codec.h"
+#include "obs/trace.h"
+
+namespace bmr::mr {
+
+class EncodingPipeline {
+ public:
+  struct Options {
+    /// Resolved block codec; must not be null.
+    const Codec* codec = nullptr;
+    size_t block_bytes = kDefaultShuffleBlockBytes;
+    /// Raw bytes admitted but not yet encoded before Submit blocks.
+    size_t window_bytes = 8 << 20;
+    /// Encoder worker threads.
+    int threads = 2;
+    /// For the bmr_codec_encode_us histogram; null = no recording.
+    obs::Tracer* tracer = nullptr;
+  };
+
+  /// One map task's encoded output: segments[p] is partition p's block
+  /// container, in a pool-backed buffer.
+  using Encoded = std::vector<std::shared_ptr<const std::string>>;
+  /// Runs on an encoder thread, once per Submit, in submit order per
+  /// worker but unordered across workers.
+  using DoneFn = std::function<void(Encoded encoded)>;
+
+  explicit EncodingPipeline(Options options);
+  ~EncodingPipeline();  // drains
+
+  EncodingPipeline(const EncodingPipeline&) = delete;
+  EncodingPipeline& operator=(const EncodingPipeline&) = delete;
+
+  /// Queue one map task's raw segments for encoding.  May block on the
+  /// window (see above).
+  void Submit(std::vector<std::string> segments, DoneFn done)
+      BMR_EXCLUDES(mu_);
+
+  /// Block until every submitted task has been encoded and its DoneFn
+  /// has returned.
+  void Drain() BMR_EXCLUDES(mu_);
+
+  /// Aggregate encode stats of everything drained so far.
+  SegmentEncodeStats stats() const BMR_EXCLUDES(mu_);
+
+ private:
+  void Encode(const std::vector<std::string>& segments, DoneFn& done)
+      BMR_EXCLUDES(mu_);
+
+  Options options_;
+  mutable Mutex mu_;
+  CondVar window_open_;
+  CondVar idle_;
+  uint64_t pending_bytes_ BMR_GUARDED_BY(mu_) = 0;
+  int pending_jobs_ BMR_GUARDED_BY(mu_) = 0;
+  SegmentEncodeStats stats_ BMR_GUARDED_BY(mu_);
+  // Last member: workers must stop before the state above dies.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace bmr::mr

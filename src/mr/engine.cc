@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/arena.h"
+#include "common/codec.h"
 #include "common/logging.h"
 #include "concurrency/thread_pool.h"
 #include "faults/fault_injector.h"
@@ -170,6 +172,21 @@ JobResult JobExecution::Run() {
       "shuffle.fetch.backoff_max_ms", shuffle_options.backoff_max_ms);
   shuffle_options.fail_on_fetch_error =
       spec_.config.GetBool("shuffle.fail_on_fetch_error", false);
+  // Segment codec selection mirrors the transport knob: the spec wins,
+  // then the environment (BMR_SHUFFLE_CODEC — resolved inside
+  // ShuffleService so directly-constructed services honor it too).  A
+  // knob typo fails the job rather than silently running uncompressed.
+  const std::string codec_name = spec_.config.GetString("shuffle.codec", "");
+  if (!codec_name.empty()) {
+    StatusOr<const Codec*> codec = FindCodec(codec_name);
+    if (!codec.ok()) {
+      result.status = codec.status();
+      return result;
+    }
+    shuffle_options.codec = *codec;
+  }
+  shuffle_options.block_bytes = static_cast<size_t>(spec_.config.GetInt(
+      "shuffle.block_bytes", static_cast<int64_t>(kDefaultShuffleBlockBytes)));
   shuffle_ = std::make_unique<ShuffleService>(
       cluster_->transport.get(),
       static_cast<int>(cluster_->spec.nodes.size()), nmaps,
@@ -276,6 +293,19 @@ JobResult JobExecution::Run() {
     cluster_->transport->SetObserver(nullptr);
   }
 
+  // Every reducer has drained and every map completed: flush any encode
+  // still in flight so the codec byte counts below are complete.
+  shuffle_->DrainPublishes();
+  SegmentEncodeStats encode_stats = shuffle_->encode_stats();
+  result.data_plane.codec_raw_bytes = encode_stats.raw_bytes;
+  result.data_plane.codec_wire_bytes = encode_stats.wire_bytes;
+  Arena::GlobalStatsSnapshot arena_stats = Arena::GlobalStats();
+  result.data_plane.arena_allocated_bytes = arena_stats.allocated_bytes;
+  result.data_plane.arena_chunk_reuses = arena_stats.chunks_reused;
+  BufferPool::Stats pool_stats = BufferPool::Global()->stats();
+  result.data_plane.arena_buffer_reuses = pool_stats.reuses;
+  result.data_plane.arena_cached_bytes = pool_stats.cached_bytes;
+
   // Assemble the result from the metrics layer.
   JobMetrics metrics = metrics_.Snapshot();
   result.status = control_->status();
@@ -306,6 +336,7 @@ JobMetrics JobResult::ToMetrics() const {
   m.first_map_done = first_map_done;
   m.last_map_done = last_map_done;
   m.rpc_handler_reregistrations = rpc_handler_reregistrations;
+  m.data_plane = data_plane;
   m.trace_enabled = trace_enabled;
   m.trace = trace;
   m.histograms = histograms;

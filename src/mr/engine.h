@@ -84,6 +84,8 @@ struct JobResult {
   std::vector<std::string> output_files;
   std::vector<MemorySample> memory_samples;
   uint64_t rpc_handler_reregistrations = 0;
+  /// Shuffle codec byte counts + pooled-memory counters (GUIDE §13).
+  DataPlaneStats data_plane;
   /// Filled when the run had obs.trace=on (see mr/obs_export.h).
   bool trace_enabled = false;
   obs::TraceLog trace;

@@ -1,6 +1,7 @@
 #include "mr/map_output.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/serde.h"
 #include "mr/input.h"
@@ -16,7 +17,13 @@ MapOutputCollector::MapOutputCollector(int num_partitions,
 
 void MapOutputCollector::Emit(Slice key, Slice value) {
   int p = partitioner_(key, num_partitions_);
-  buffers_[p].emplace_back(key.ToString(), value.ToString());
+  // One arena allocation covers both byte runs; the Slices stay valid
+  // until Finish() retires this generation.
+  char* dst = arena_.Allocate(key.size() + value.size());
+  if (!key.empty()) std::memcpy(dst, key.data(), key.size());
+  if (!value.empty()) std::memcpy(dst + key.size(), value.data(), value.size());
+  buffers_[p].push_back(
+      Staged{Slice(dst, key.size()), Slice(dst + key.size(), value.size())});
 }
 
 uint64_t MapOutputCollector::buffered_records() const {
@@ -25,31 +32,33 @@ uint64_t MapOutputCollector::buffered_records() const {
   return n;
 }
 
-namespace {
-
 /// Applies the combiner to consecutive same-key runs of a sorted
-/// partition buffer.
-class CombineEmitter final : public MapEmitter {
+/// partition buffer.  Combined output is staged back into the arena —
+/// the combiner's emitted bytes may alias its inputs, and the inputs'
+/// generation is still live, so the copies are safe and stay pooled.
+class MapOutputCollector::CombineEmitter final : public MapEmitter {
  public:
-  explicit CombineEmitter(std::vector<Record>* out) : out_(out) {}
+  CombineEmitter(Arena* arena, std::vector<Staged>* out)
+      : arena_(arena), out_(out) {}
   void Emit(Slice key, Slice value) override {
-    out_->emplace_back(key.ToString(), value.ToString());
+    out_->push_back(Staged{arena_->Copy(key), arena_->Copy(value)});
   }
 
  private:
-  std::vector<Record>* out_;
+  Arena* arena_;
+  std::vector<Staged>* out_;
 };
 
-std::vector<Record> RunCombiner(std::vector<Record> sorted, Combiner* combiner,
-                                const KeyCompareFn& cmp, uint64_t* in,
-                                uint64_t* out_count) {
-  std::vector<Record> combined;
-  CombineEmitter emitter(&combined);
+std::vector<MapOutputCollector::Staged> MapOutputCollector::RunCombiner(
+    std::vector<Staged> sorted, Combiner* combiner, const KeyCompareFn& cmp,
+    uint64_t* in, uint64_t* out_count) {
+  std::vector<Staged> combined;
+  CombineEmitter emitter(&arena_, &combined);
   size_t i = 0;
   while (i < sorted.size()) {
     size_t j = i + 1;
     while (j < sorted.size() &&
-           (cmp ? cmp(Slice(sorted[j].key), Slice(sorted[i].key)) == 0
+           (cmp ? cmp(sorted[j].key, sorted[i].key) == 0
                 : sorted[j].key == sorted[i].key)) {
       ++j;
     }
@@ -57,27 +66,24 @@ std::vector<Record> RunCombiner(std::vector<Record> sorted, Combiner* combiner,
     values.reserve(j - i);
     for (size_t k = i; k < j; ++k) values.emplace_back(sorted[k].value);
     *in += j - i;
-    combiner->Combine(Slice(sorted[i].key), values, &emitter);
+    combiner->Combine(sorted[i].key, values, &emitter);
     i = j;
   }
   *out_count += combined.size();
   return combined;
 }
 
-}  // namespace
-
 StatusOr<MapOutputCollector::Finished> MapOutputCollector::Finish(
     bool sort, const KeyCompareFn& sort_cmp, Combiner* combiner) {
   Finished result;
   result.segments.resize(num_partitions_);
   for (int p = 0; p < num_partitions_; ++p) {
-    std::vector<Record>& buf = buffers_[p];
+    std::vector<Staged>& buf = buffers_[p];
     if (sort) {
       std::stable_sort(buf.begin(), buf.end(),
-                       [&sort_cmp](const Record& a, const Record& b) {
-                         return sort_cmp
-                                    ? sort_cmp(Slice(a.key), Slice(b.key)) < 0
-                                    : a.key < b.key;
+                       [&sort_cmp](const Staged& a, const Staged& b) {
+                         return sort_cmp ? sort_cmp(a.key, b.key) < 0
+                                         : a.key < b.key;
                        });
     }
     if (combiner != nullptr) {
@@ -89,8 +95,8 @@ StatusOr<MapOutputCollector::Finished> MapOutputCollector::Finish(
                         &result.combine_in, &result.combine_out);
     }
     ByteBuffer segment;
-    for (const Record& r : buf) {
-      AppendFramedRecord(&segment, Slice(r.key), Slice(r.value));
+    for (const Staged& r : buf) {
+      AppendFramedRecord(&segment, r.key, r.value);
     }
     result.output_records += buf.size();
     result.output_bytes += segment.size();
@@ -98,21 +104,31 @@ StatusOr<MapOutputCollector::Finished> MapOutputCollector::Finish(
     buf.clear();
     buf.shrink_to_fit();
   }
+  // All partitions are serialized: retire the staged bytes in one stroke
+  // and park the chunks for this task slot's next attempt.
+  arena_.Reset();
   return result;
 }
 
-void MapOutputStore::Put(int map_task, int partition, std::string segment) {
+void MapOutputStore::Put(int map_task, int partition,
+                         std::shared_ptr<const std::string> segment) {
   MutexLock lock(mu_);
   auto key = std::make_pair(map_task, partition);
   auto it = segments_.find(key);
   if (it != segments_.end()) {
-    stored_bytes_ -= it->second.size();  // re-run overwrites
+    stored_bytes_ -= it->second->size();  // re-run overwrites
   }
-  stored_bytes_ += segment.size();
+  stored_bytes_ += segment->size();
   segments_[key] = std::move(segment);
 }
 
-StatusOr<std::string> MapOutputStore::Get(int map_task, int partition) const {
+void MapOutputStore::Put(int map_task, int partition, std::string segment) {
+  Put(map_task, partition,
+      std::make_shared<const std::string>(std::move(segment)));
+}
+
+StatusOr<std::shared_ptr<const std::string>> MapOutputStore::Get(
+    int map_task, int partition) const {
   MutexLock lock(mu_);
   auto it = segments_.find({map_task, partition});
   if (it == segments_.end()) {
@@ -132,21 +148,36 @@ std::string ShuffleMethodName(int job_id) {
 }
 
 void RegisterShuffleService(net::Transport* transport, int node,
-                            MapOutputStore* store, int job_id) {
-  transport->Register(node, ShuffleMethodName(job_id),
-                   [store](Slice req, ByteBuffer* resp) {
-                     Decoder dec(req);
-                     uint64_t map_task, partition;
-                     if (!dec.GetVarint64(&map_task) ||
-                         !dec.GetVarint64(&partition)) {
-                       return Status::DataLoss("bad shuffle.fetch req");
-                     }
-                     auto segment = store->Get(static_cast<int>(map_task),
-                                               static_cast<int>(partition));
-                     if (!segment.ok()) return segment.status();
-                     resp->Append(Slice(*segment));
-                     return Status::Ok();
-                   });
+                            MapOutputStore* store, int job_id,
+                            faults::FaultInjector* injector) {
+  transport->Register(
+      node, ShuffleMethodName(job_id),
+      [store, node, injector](Slice req, ByteBuffer* resp) {
+        Decoder dec(req);
+        uint64_t map_task, partition;
+        if (!dec.GetVarint64(&map_task) || !dec.GetVarint64(&partition)) {
+          return Status::DataLoss("bad shuffle.fetch req");
+        }
+        auto segment = store->Get(static_cast<int>(map_task),
+                                  static_cast<int>(partition));
+        if (!segment.ok()) return segment.status();
+        if (injector != nullptr) {
+          // Wire-boundary corruption injection: mangle the response
+          // bytes as they leave the serving node, identically on both
+          // transports (satellite of PR 8 — the hook used to fire
+          // client-side after the fetch).  The store copy is intact,
+          // so the fetcher's retry can succeed.
+          std::string wire(**segment);
+          if (injector->MaybeCorruptSegment(node,
+                                            static_cast<int>(map_task),
+                                            &wire)) {
+            resp->Append(Slice(wire));
+            return Status::Ok();
+          }
+        }
+        resp->Append(Slice(**segment));
+        return Status::Ok();
+      });
 }
 
 void UnregisterShuffleService(net::Transport* transport, int node, int job_id) {

@@ -26,6 +26,19 @@ struct MemorySample {
   uint64_t bytes = 0;
 };
 
+/// Shuffle data-plane memory/encoding stats (GUIDE §13): the block
+/// codec's byte counts for this job, and the process-wide pooled-memory
+/// counters snapshotted at job end.  Exported as the bmr_codec_* /
+/// bmr_arena_* gauge families.
+struct DataPlaneStats {
+  uint64_t codec_raw_bytes = 0;   ///< published segment bytes pre-codec
+  uint64_t codec_wire_bytes = 0;  ///< same segments in container form
+  uint64_t arena_allocated_bytes = 0;  ///< process-lifetime bump allocs
+  uint64_t arena_chunk_reuses = 0;     ///< chunks recycled across resets
+  uint64_t arena_buffer_reuses = 0;    ///< BufferPool freelist hits
+  uint64_t arena_cached_bytes = 0;     ///< idle pooled capacity now
+};
+
 /// The common reporting schema of a job run — real (engine) or virtual
 /// (simmr::ToJobMetrics).
 struct JobMetrics {
@@ -39,6 +52,9 @@ struct JobMetrics {
   /// Times Transport::Register overwrote a live handler during the run
   /// (exported as bmr_rpc_handler_reregistered_total; zero for simmr).
   uint64_t rpc_handler_reregistrations = 0;
+  /// Shuffle codec/arena stats (zero for simmr — virtual bytes are not
+  /// encoded).
+  DataPlaneStats data_plane;
 
   /// Observability extension (populated only when the run had
   /// obs.trace=on; simmr fills spans from simulated TaskEvents).

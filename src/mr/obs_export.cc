@@ -62,6 +62,18 @@ obs::MetricsSnapshot BuildMetricsSnapshot(const JobMetrics& m) {
   uint64_t peak = 0;
   for (const MemorySample& s : m.memory_samples) peak = std::max(peak, s.bytes);
   snap.gauges[obs::kPromReducerHeapPeakBytes] = static_cast<double>(peak);
+  const DataPlaneStats& dp = m.data_plane;
+  snap.gauges[obs::kPromCodecRawBytes] = static_cast<double>(dp.codec_raw_bytes);
+  snap.gauges[obs::kPromCodecWireBytes] =
+      static_cast<double>(dp.codec_wire_bytes);
+  snap.gauges[obs::kPromArenaAllocatedBytes] =
+      static_cast<double>(dp.arena_allocated_bytes);
+  snap.gauges[obs::kPromArenaChunkReuseTotal] =
+      static_cast<double>(dp.arena_chunk_reuses);
+  snap.gauges[obs::kPromArenaBufferReuseTotal] =
+      static_cast<double>(dp.arena_buffer_reuses);
+  snap.gauges[obs::kPromArenaCachedBytes] =
+      static_cast<double>(dp.arena_cached_bytes);
   return snap;
 }
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
+
+#include "mr/segment_codec.h"
 
 namespace bmr::mr {
 
@@ -13,14 +16,31 @@ ShuffleService::ShuffleService(net::Transport* transport, int num_nodes,
       job_id_(job_id),
       options_(options),
       tracker_(num_map_tasks) {
+  if (options_.codec == nullptr) {
+    const char* env = std::getenv("BMR_SHUFFLE_CODEC");
+    // Unknown env values fall back to "none": the env var is a test
+    // override, not job configuration — the engine validates the
+    // shuffle.codec knob properly and fails the job on a typo.
+    auto codec = FindCodec(env == nullptr ? "" : env);
+    options_.codec = codec.ok() ? *codec : *FindCodec("none");
+  }
+  EncodingPipeline::Options enc_options;
+  enc_options.codec = options_.codec;
+  enc_options.block_bytes = options_.block_bytes;
+  enc_options.window_bytes = options_.encoder_window_bytes;
+  enc_options.threads = options_.encoder_threads;
+  enc_options.tracer = options_.tracer;
+  encoder_ = std::make_unique<EncodingPipeline>(enc_options);
   stores_.resize(num_nodes);
   for (int n = 0; n < num_nodes; ++n) {
     stores_[n] = std::make_unique<MapOutputStore>();
-    RegisterShuffleService(transport_, n, stores_[n].get(), job_id_);
+    RegisterShuffleService(transport_, n, stores_[n].get(), job_id_,
+                           options_.injector);
   }
 }
 
 ShuffleService::~ShuffleService() {
+  encoder_->Drain();  // in-flight encodes still Put into stores_
   for (int n = 0; n < num_nodes_; ++n) {
     UnregisterShuffleService(transport_, n, job_id_);
   }
@@ -28,10 +48,17 @@ ShuffleService::~ShuffleService() {
 
 void ShuffleService::Publish(int map_task, int node,
                              std::vector<std::string> segments) {
-  for (size_t p = 0; p < segments.size(); ++p) {
-    stores_[node]->Put(map_task, static_cast<int>(p), std::move(segments[p]));
-  }
-  tracker_.MarkDone(map_task, node);
+  encoder_->Submit(
+      std::move(segments),
+      [this, map_task, node](EncodingPipeline::Encoded encoded) {
+        for (size_t p = 0; p < encoded.size(); ++p) {
+          stores_[node]->Put(map_task, static_cast<int>(p),
+                             std::move(encoded[p]));
+        }
+        // Only after every partition is stored: a fetcher woken by
+        // MarkDone must find its segment.
+        tracker_.MarkDone(map_task, node);
+      });
 }
 
 ShuffleService::Fetch::~Fetch() {
@@ -75,17 +102,20 @@ std::unique_ptr<ShuffleService::Fetch> ShuffleService::StartFetch(
         }
         RecordBatch batch;
         if (st.ok()) {
-          if (options_.injector) {
-            options_.injector->MaybeCorruptSegment(loc.node, m, &segment);
+          // Unwrap the block container: verify every block checksum,
+          // decompress into a pool-backed buffer, then decode the
+          // record framing zero-copy — the batch shares the pooled
+          // buffer and the last batch standing recycles it.
+          std::shared_ptr<const std::string> raw;
+          {
+            obs::LatencyTimer decode_time(options_.tracer,
+                                          obs::kHCodecDecodeUs);
+            st = DecodeShuffleSegment(Slice(segment), &raw);
           }
-          // The batch takes shared ownership of the segment buffer and
-          // views into it — the last batch standing frees the bytes.
-          st = DecodeSegment(
-              std::make_shared<const std::string>(std::move(segment)),
-              &batch);
+          if (st.ok()) st = DecodeSegment(std::move(raw), &batch);
         }
         if (st.ok()) {
-          f->bytes_.fetch_add(batch.buffer()->size());
+          f->bytes_.fetch_add(segment.size());  // wire (encoded) bytes
           // Record the consumed attempt before handing records to the
           // sink, so a concurrent loss report can never miss us.
           NoteDelivered(f, m, loc.version);

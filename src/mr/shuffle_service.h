@@ -21,12 +21,14 @@
 #include <memory>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "concurrency/bounded_queue.h"
 #include "concurrency/thread_pool.h"
 #include "faults/fault_injector.h"
+#include "mr/encoding_pipeline.h"
 #include "mr/map_output.h"
 #include "mr/record_batch.h"
 #include "mr/shuffle.h"
@@ -128,6 +130,16 @@ struct ShuffleOptions {
   /// Fetch observability (shuffle.fetch spans + RTT histogram).  Not
   /// owned; null or disabled = no recording.
   obs::Tracer* tracer = nullptr;
+  /// Block codec for published segments (`shuffle.codec` knob).  Null
+  /// resolves from the BMR_SHUFFLE_CODEC env var, default "none" — so
+  /// whole test binaries rerun compressed with one env var, mirroring
+  /// BMR_NET_TRANSPORT.
+  const Codec* codec = nullptr;
+  /// Raw bytes per compression block (`shuffle.block_bytes` knob).
+  size_t block_bytes = kDefaultShuffleBlockBytes;
+  /// Async encoder tuning (see mr/encoding_pipeline.h).
+  size_t encoder_window_bytes = 8 << 20;
+  int encoder_threads = 2;
 };
 
 class ShuffleService {
@@ -159,10 +171,22 @@ class ShuffleService {
   int job_id() const { return job_id_; }
   MapOutputTracker& tracker() { return tracker_; }
   MapOutputStore& store(int node) { return *stores_[node]; }
+  /// The resolved block codec ("none" unless configured otherwise).
+  const Codec& codec() const { return *options_.codec; }
+  /// Aggregate encode stats of every Publish drained so far (the
+  /// engine exports them as the bmr_codec_* gauges at job end).
+  SegmentEncodeStats encode_stats() const { return encoder_->stats(); }
 
   /// Publish one committed map attempt's per-partition segments from
-  /// `node` and mark the task fetchable.
+  /// `node`: the raw record streams are handed to the async encoding
+  /// pipeline, and the task is marked fetchable once its encoded
+  /// segments are in the store — so compression overlaps map execution
+  /// and fetchers can never observe a half-encoded task.
   void Publish(int map_task, int node, std::vector<std::string> segments);
+
+  /// Block until every Publish so far is encoded, stored and marked
+  /// done (tests and benchmarks; the destructor drains implicitly).
+  void DrainPublishes() { encoder_->Drain(); }
 
   /// One reducer's in-flight fetch: per-mapper threads delivering into
   /// `sink`.  The sink is registered for job-failure cancellation for
@@ -242,6 +266,9 @@ class ShuffleService {
   Options options_;
   MapOutputTracker tracker_;
   std::vector<std::unique_ptr<MapOutputStore>> stores_;
+  // After stores_: the pipeline's destructor drains in-flight encodes
+  // (which Put into stores_) before the stores can die.
+  std::unique_ptr<EncodingPipeline> encoder_;
 
   OrderedMutex sinks_mu_{"mr.shuffle.sinks"};
   std::vector<FetchEntry> live_sinks_ BMR_GUARDED_BY(sinks_mu_);

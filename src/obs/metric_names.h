@@ -44,6 +44,11 @@ inline constexpr const char* kHNetConnectUs = "bmr_net_connect_us";
 inline constexpr const char* kHNetFrameDecodeUs = "bmr_net_frame_decode_us";
 /// One reducer part-file write (serialize + DFS append + close).
 inline constexpr const char* kHOutputWriteUs = "bmr_output_write_us";
+/// One map attempt's segments through the block codec (all partitions,
+/// async encoder thread — see mr/encoding_pipeline.h).
+inline constexpr const char* kHCodecEncodeUs = "bmr_codec_encode_us";
+/// One fetched segment's checksum verify + decompress, fetcher thread.
+inline constexpr const char* kHCodecDecodeUs = "bmr_codec_decode_us";
 
 // ---- Prometheus series emitted by the exporters ----------------------
 /// Engine counters are exported as bmr_job_<counter>_total; this is
@@ -67,6 +72,20 @@ inline constexpr const char* kPromJobLastMapDoneSeconds =
     "bmr_job_last_map_done_seconds";
 inline constexpr const char* kPromReducerHeapPeakBytes =
     "bmr_reducer_heap_peak_bytes";
+/// Shuffle data-plane gauges (GUIDE §13): bytes before/after the block
+/// codec for the job's published map output...
+inline constexpr const char* kPromCodecRawBytes = "bmr_codec_raw_bytes";
+inline constexpr const char* kPromCodecWireBytes = "bmr_codec_wire_bytes";
+/// ...and the pooled-memory families (process-lifetime monotonic
+/// totals, snapshotted at job end: deltas between runs are the
+/// per-job view).
+inline constexpr const char* kPromArenaAllocatedBytes =
+    "bmr_arena_allocated_bytes";
+inline constexpr const char* kPromArenaChunkReuseTotal =
+    "bmr_arena_chunk_reuse_total";
+inline constexpr const char* kPromArenaBufferReuseTotal =
+    "bmr_arena_buffer_reuse_total";
+inline constexpr const char* kPromArenaCachedBytes = "bmr_arena_cached_bytes";
 
 // ---- Span names ------------------------------------------------------
 // Spans are display labels, not series names, but keeping them here

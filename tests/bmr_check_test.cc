@@ -306,8 +306,8 @@ TEST(MetricRegistry, DeadConstantIsReported) {
   std::vector<FileContent> files = {
       {"src/obs/metric_names.h", R"cc(
 #pragma once
-inline constexpr const char* kHUsedUs = "bmr_used_us";
-inline constexpr const char* kHDeadUs = "bmr_dead_us";
+inline constexpr const char* kHUsedUs = "bmr_job_used_us";
+inline constexpr const char* kHDeadUs = "bmr_job_dead_us";
 )cc"},
       {"src/mr/rec.cc", "void F(M* m) { m->RecordLatency(kHUsedUs, 1); }\n"},
   };
@@ -341,6 +341,54 @@ TEST(MetricRegistry, StringLiteralAtSiteIsReported) {
   auto fs = Of(RunCheck(files, "metric-registry"), "metric-registry");
   ASSERT_EQ(fs.size(), 1u) << FormatFindings(fs);
   EXPECT_NE(fs[0].message.find("string-literal"), std::string::npos);
+}
+
+TEST(MetricRegistry, UnknownSubsystemInNameIsReported) {
+  std::vector<FileContent> files = {
+      {"src/obs/metric_names.h",
+       "#pragma once\n"
+       "inline constexpr const char* kHBadUs = \"bmr_warpdrive_spin_us\";\n"},
+      {"src/mr/rec.cc", "void F(M* m) { m->RecordLatency(kHBadUs, 1); }\n"},
+  };
+  auto fs = Of(RunCheck(files, "metric-registry"), "metric-registry");
+  ASSERT_EQ(fs.size(), 1u) << FormatFindings(fs);
+  EXPECT_NE(fs[0].message.find("unknown subsystem 'warpdrive'"),
+            std::string::npos);
+}
+
+TEST(MetricRegistry, MissingUnitSuffixIsReported) {
+  std::vector<FileContent> files = {
+      {"src/obs/metric_names.h",
+       "#pragma once\n"
+       "inline constexpr const char* kHBad = \"bmr_codec_blocks\";\n"},
+      {"src/mr/rec.cc", "void F(M* m) { m->AddCounter(kHBad, 1); }\n"},
+  };
+  auto fs = Of(RunCheck(files, "metric-registry"), "metric-registry");
+  ASSERT_EQ(fs.size(), 1u) << FormatFindings(fs);
+  EXPECT_NE(fs[0].message.find("unit suffix"), std::string::npos);
+}
+
+TEST(MetricRegistry, ArenaCodecFamiliesAndLabeledNamesAreValid) {
+  // The PR 8 families pass the taxonomy, a {label} suffix is stripped
+  // before validation, and a trailing-underscore prefix constant is
+  // exempt (it names a family, not a series).
+  std::vector<FileContent> files = {
+      {"src/obs/metric_names.h", R"cc(
+#pragma once
+inline constexpr const char* kPromArenaCachedBytes = "bmr_arena_cached_bytes";
+inline constexpr const char* kHCodecEncodeUs = "bmr_codec_encode_us";
+inline constexpr const char* kHRpcInproc =
+    "bmr_rpc_call_us{transport=\"inproc\"}";
+inline constexpr const char* kPromJobCounterPrefix = "bmr_job_";
+)cc"},
+      {"src/mr/rec.cc",
+       "void F(M* m, T* t) { m->AddCounter(kPromArenaCachedBytes, 1);\n"
+       "  LatencyTimer a(t, kHCodecEncodeUs);\n"
+       "  LatencyTimer b(t, kHRpcInproc);\n"
+       "  Use(kPromJobCounterPrefix); }\n"},
+  };
+  auto fs = Of(RunCheck(files, "metric-registry"), "metric-registry");
+  EXPECT_TRUE(fs.empty()) << FormatFindings(fs);
 }
 
 // ---- suppression ---------------------------------------------------

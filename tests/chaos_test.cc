@@ -208,6 +208,52 @@ TEST(ChaosTest, BatchedDeliveryPreservesOutputAcrossStores) {
   }
 }
 
+// The shuffle codec is an implementation detail of the wire, not an
+// observable: for every store backend, every `shuffle.codec` value
+// must yield output byte-identical to the uncompressed golden run.
+// scripts/chaos.sh re-runs this whole binary per (transport, codec)
+// combination via BMR_NET_TRANSPORT / BMR_SHUFFLE_CODEC, so the full
+// matrix is {mem,spill,kv} x {inproc,tcp} x {none,lz4} — with seeded
+// faults riding along in the sweep above.
+TEST(ChaosTest, ShuffleCodecPreservesOutputAcrossStores) {
+  const char* const kCodecs[] = {"none", "lz4"};
+  for (core::StoreType store : kStores) {
+    std::vector<std::string> golden;
+    for (size_t c = 0; c < std::size(kCodecs); ++c) {
+      auto cluster = MakeChaosCluster();
+      auto files = MakeInput(cluster.get(), "wordcount");
+      mr::JobSpec spec = MakeChaosSpec("wordcount", files, store, "/out");
+      spec.config.Set("shuffle.codec", kCodecs[c]);
+      spec.config.SetInt("shuffle.block_bytes", 4 << 10);  // many blocks
+      auto out = testutil::RunAndReadOutput(cluster.get(), spec);
+      ASSERT_TRUE(out.ok()) << core::StoreTypeName(store) << " codec "
+                            << kCodecs[c] << ": " << out.status();
+      auto seq = testutil::ExactSequence(*out);
+      ASSERT_FALSE(seq.empty());
+      if (c == 0) {
+        golden = std::move(seq);
+      } else {
+        EXPECT_EQ(seq, golden)
+            << "codec " << kCodecs[c] << " changed output for store "
+            << core::StoreTypeName(store);
+      }
+    }
+  }
+}
+
+// An unknown codec name is a job-spec typo: the run must fail loudly
+// at submit time, never fall back to an unencoded shuffle.
+TEST(ChaosTest, UnknownCodecFailsTheJobUpFront) {
+  auto cluster = MakeChaosCluster();
+  auto files = MakeInput(cluster.get(), "wordcount");
+  mr::JobSpec spec =
+      MakeChaosSpec("wordcount", files, core::StoreType::kInMemory, "/out");
+  spec.config.Set("shuffle.codec", "zstd-but-typoed");
+  JobRunner runner(cluster.get());
+  mr::JobResult result = runner.Run(spec);
+  EXPECT_FALSE(result.ok());
+}
+
 // The harness has teeth: disable the recovery path and the same kind
 // of fault must fail the run (and hence the sweep above would catch a
 // recovery regression, not silently pass).

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/serde.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
+#include "mr/map_output.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "transport_test_util.h"
@@ -250,6 +252,47 @@ TEST(TcpTransportTest, InjectedDuplicateIsOneExtraWireSend) {
   EXPECT_GE(transport->response_keeper().replays(), 1u);
   // ...but its replayed response is still a wire send of its own.
   EXPECT_EQ(stats.response_bytes, 21u);
+}
+
+// Satellite parity assert: the segment-corruption hook fires at the
+// serving node's wire boundary (RegisterShuffleService), so the exact
+// same corrupted bytes come back over the in-process registry and over
+// real TCP — and the store copy stays intact for the retry fetch.
+// Before the move the hook ran client-side after the fetch, which on
+// TCP corrupted bytes that had already crossed the socket cleanly.
+TEST(ShuffleCorruptionParityTest, BothTransportsCorruptAtTheWireBoundary) {
+  const std::string payload = "framed-segment-bytes-to-corrupt";
+  std::map<std::string, std::string> corrupted;
+  for (const char* kind : {"inproc", "tcp"}) {
+    auto transport = testutil::MakeTransportOfKind(kind, 2);
+    ASSERT_NE(transport, nullptr);
+    mr::MapOutputStore store;
+    store.Put(/*map_task=*/0, /*partition=*/0, payload);
+
+    faults::FaultEvent corrupt;
+    corrupt.kind = faults::FaultKind::kSegmentCorrupt;
+    faults::FaultPlan plan;
+    plan.events = {corrupt};
+    faults::FaultInjector injector(plan);
+    mr::RegisterShuffleService(transport.get(), /*node=*/0, &store,
+                               /*job_id=*/0, &injector);
+
+    std::string first, second;
+    ASSERT_TRUE(mr::FetchSegment(transport.get(), /*from_node=*/0,
+                                 /*at_node=*/1, 0, 0, &first)
+                    .ok());
+    ASSERT_TRUE(mr::FetchSegment(transport.get(), /*from_node=*/0,
+                                 /*at_node=*/1, 0, 0, &second)
+                    .ok());
+    EXPECT_EQ(injector.injected(faults::FaultKind::kSegmentCorrupt), 1u)
+        << kind;
+    EXPECT_NE(first, payload) << kind << ": corruption never hit the wire";
+    EXPECT_EQ(second, payload) << kind << ": store copy was not intact";
+    corrupted[kind] = first;
+    mr::UnregisterShuffleService(transport.get(), 0, 0);
+  }
+  EXPECT_EQ(corrupted["inproc"], corrupted["tcp"])
+      << "transports injected corruption at different points";
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "mr/map_output.h"
+#include "mr/segment_codec.h"
 #include "mr/shuffle_service.h"
 #include "net/transport.h"
 #include "transport_test_util.h"
@@ -180,14 +181,21 @@ TEST(ShuffleServiceTest, ConcurrentJobsKeepSeparateSegmentStores) {
   // Same (map_task, partition, node) coordinates in both jobs.
   job_a.Publish(0, 1, {"segment-of-job-a"});
   job_b.Publish(0, 1, {"segment-of-job-b"});
+  job_a.DrainPublishes();
+  job_b.DrainPublishes();
 
+  // Publish encodes into the block container: fetch the wire bytes and
+  // decode back to the raw payload to compare.
   std::string segment;
+  std::shared_ptr<const std::string> raw;
   ASSERT_TRUE(
       FetchSegment(transport.get(), 1, 2, 0, 0, &segment, /*job_id=*/10).ok());
-  EXPECT_EQ(segment, "segment-of-job-a");
+  ASSERT_TRUE(DecodeShuffleSegment(Slice(segment), &raw).ok());
+  EXPECT_EQ(*raw, "segment-of-job-a");
   ASSERT_TRUE(
       FetchSegment(transport.get(), 1, 2, 0, 0, &segment, /*job_id=*/11).ok());
-  EXPECT_EQ(segment, "segment-of-job-b");
+  ASSERT_TRUE(DecodeShuffleSegment(Slice(segment), &raw).ok());
+  EXPECT_EQ(*raw, "segment-of-job-b");
 }
 
 TEST(ShuffleServiceTest, DestructionUnregistersTheJobsFetchHandler) {
@@ -195,6 +203,7 @@ TEST(ShuffleServiceTest, DestructionUnregistersTheJobsFetchHandler) {
   {
     ShuffleService service(transport.get(), 2, 1, /*job_id=*/3);
     service.Publish(0, 1, {"bytes"});
+    service.DrainPublishes();
     std::string segment;
     ASSERT_TRUE(FetchSegment(transport.get(), 1, 0, 0, 0, &segment, 3).ok());
   }

@@ -1071,11 +1071,22 @@ bool IsRegistryFile(const Pf& f) {
   return f.path == "src/obs/metric_names.h" || f.path == "src/mr/types.h";
 }
 
+/// Subsystems allowed in bmr_<subsystem>_... series names (GUIDE §10).
+/// A new family (like arena/codec in PR 8) is registered by adding its
+/// subsystem here — a name outside the list is a taxonomy typo.
+const std::set<std::string>& MetricSubsystems() {
+  static const std::set<std::string> subsystems = {
+      "arena", "codec",  "faults", "job",     "net",  "output",
+      "reduce", "reducer", "rpc",  "shuffle", "store"};
+  return subsystems;
+}
+
 void CheckMetricRegistry(Ctx* ctx) {
   const std::string kCheck = "metric-registry";
   struct Constant {
     const Pf* file;
     int line;
+    std::string value;
   };
   std::map<std::string, Constant> registry;
   for (const Pf& f : ctx->files) {
@@ -1084,10 +1095,57 @@ void CheckMetricRegistry(Ctx* ctx) {
     for (size_t i = 0; i + 2 < t.size(); ++i) {
       if (t[i].kind != Token::kIdent || t[i].text[0] != 'k') continue;
       if (t[i + 1].text != "=" || t[i + 2].kind != Token::kString) continue;
-      registry[t[i].text] = {&f, t[i].line};
+      registry[t[i].text] = {&f, t[i].line, t[i + 2].text};
     }
   }
   if (registry.empty()) return;
+
+  // Name-format validation: every bmr_-prefixed series name must be
+  // bmr_<subsystem>_<name>_<unit> with a known subsystem and unit.
+  // Raw counter names, span labels (no bmr_ prefix) and prefix
+  // constants (trailing '_') are exempt; a {label="..."} suffix is
+  // stripped before validation.
+  static const std::set<std::string> kUnits = {"us", "bytes", "seconds",
+                                               "total"};
+  for (const auto& [name, def] : registry) {
+    std::string v = def.value;
+    if (v.rfind("bmr_", 0) != 0) continue;
+    if (!v.empty() && v.back() == '_') continue;  // family prefix
+    size_t brace = v.find('{');
+    if (brace != std::string::npos) v = v.substr(0, brace);
+    bool well_formed = !v.empty();
+    for (char c : v) {
+      if (!(std::islower(static_cast<unsigned char>(c)) ||
+            std::isdigit(static_cast<unsigned char>(c)) || c == '_'))
+        well_formed = false;
+    }
+    if (!well_formed) {
+      ctx->Report(kCheck, *def.file, def.line,
+                  "metric name \"" + def.value + "\" ('" + name +
+                      "') has characters outside [a-z0-9_]");
+      continue;
+    }
+    size_t sub_end = v.find('_', 4);
+    std::string subsystem =
+        sub_end == std::string::npos ? "" : v.substr(4, sub_end - 4);
+    if (MetricSubsystems().count(subsystem) == 0) {
+      ctx->Report(kCheck, *def.file, def.line,
+                  "metric name \"" + v + "\" ('" + name +
+                      "') has unknown subsystem '" + subsystem +
+                      "' — bmr_<subsystem>_<name>_<unit>, subsystems "
+                      "listed in MetricSubsystems() "
+                      "(tools/bmr_check/analyzer.cc)");
+    }
+    size_t unit_at = v.find_last_of('_');
+    std::string unit =
+        unit_at == std::string::npos ? "" : v.substr(unit_at + 1);
+    if (kUnits.count(unit) == 0) {
+      ctx->Report(kCheck, *def.file, def.line,
+                  "metric name \"" + v + "\" ('" + name +
+                      "') does not end in a unit suffix "
+                      "(us, bytes, seconds, total)");
+    }
+  }
 
   // Recording sites: the metric-name argument must be a registered
   // constant (an identifier the exporters and this check can resolve),

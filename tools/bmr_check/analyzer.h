@@ -28,7 +28,11 @@
 //   metric-registry  every constant in obs/metric_names.h / mr/types.h
 //                    is recorded at >=1 site and every recording site
 //                    resolves to a registered constant (dead series and
-//                    typo'd names both fail).
+//                    typo'd names both fail).  Registered bmr_* names
+//                    must also follow the GUIDE §10 taxonomy —
+//                    bmr_<subsystem>_<name>_<unit> with a known
+//                    subsystem (arena, codec, job, ...) and unit
+//                    (us/bytes/seconds/total).
 //
 // Suppression: a finding is silenced by an inline annotation on the
 // same or the preceding line —
