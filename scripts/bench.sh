@@ -1,70 +1,98 @@
 #!/usr/bin/env bash
-# Run the data-path benchmark and emit machine-readable
-# BENCH_datapath.json (schema: {bench, metric, value, unit, seed} per
-# row), then gate it against the checked-in baseline:
+# Run the benchmark suites and gate each against its checked-in
+# baseline:
 #
-#   scripts/bench.sh            # full-size workloads
-#   scripts/bench.sh --smoke    # CI-size workloads (scripts/check.sh bench)
+#   scripts/bench.sh                        # all suites, full workloads
+#   scripts/bench.sh --smoke                # CI-size workloads
+#   scripts/bench.sh --suite datapath       # one suite only
+#   scripts/bench.sh --suite service --smoke
 #
-# Every metric is higher-is-better throughput; the gate fails if any
-# metric lands below 80% of its baseline value.  The baseline
-# (bench/BENCH_datapath.baseline.json) is deliberately conservative —
-# far below what current hardware delivers — so it catches structural
-# regressions (a lost batching path, a reintroduced per-record lock
-# cycle), not machine-to-machine noise.  The batched_speedup baseline of
-# 2.5 makes the 80% floor exactly the 2x batched-vs-per-record
-# acceptance bar; likewise the codec baselines of 0.375 (wire bytes
-# saved) and 1.125 (lz4-vs-none decode throughput) make the floors
-# exactly the >=30%-fewer-wire-bytes and >=90%-of-uncompressed-
-# throughput acceptance bars.
+# Suites (each emits BENCH_<suite>.json, schema {bench, metric, value,
+# unit, seed} per row, gated against bench/BENCH_<suite>.baseline.json):
+#
+#   datapath — shuffle data plane: batched FIFO vs per-record, codec
+#              pair, partial stores.  The batched_speedup baseline of
+#              2.5 makes the 80% floor exactly the 2x acceptance bar;
+#              likewise the codec baselines of 0.375 (wire bytes saved)
+#              and 1.125 (lz4-vs-none decode) pin their acceptance bars.
+#   service  — multi-tenant job service under saturation: sustained
+#              jobs/sec, per-tenant fairness, p99 latency (as inverse).
+#              The fair_share_min_fraction baseline of 0.5 makes the
+#              80% floor exactly 0.4 — the 50%±10% per-tenant bar.
+#
+# Every gated metric is higher-is-better; the gate fails if any metric
+# lands below 80% of its baseline value.  Baselines are deliberately
+# conservative — far below what current hardware delivers — so they
+# catch structural regressions (a lost batching path, a reintroduced
+# per-record lock cycle, a starved tenant), not machine-to-machine
+# noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 args=()
-for a in "$@"; do
-  case "$a" in
+suites=()
+while [ $# -gt 0 ]; do
+  case "$1" in
     --smoke) args+=(--smoke) ;;
-    *) echo "usage: scripts/bench.sh [--smoke]" >&2; exit 2 ;;
+    --suite)
+      shift
+      case "${1:-}" in
+        datapath|service) suites+=("$1") ;;
+        *) echo "usage: scripts/bench.sh [--smoke] [--suite datapath|service]" >&2; exit 2 ;;
+      esac
+      ;;
+    *) echo "usage: scripts/bench.sh [--smoke] [--suite datapath|service]" >&2; exit 2 ;;
   esac
+  shift
 done
+if [ ${#suites[@]} -eq 0 ]; then
+  suites=(datapath service)
+fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 cmake --preset default >/dev/null
-cmake --build build -j "${jobs}" --target bench_datapath >/dev/null
+for suite in "${suites[@]}"; do
+  cmake --build build -j "${jobs}" --target "bench_${suite}" >/dev/null
+done
 
-out=BENCH_datapath.json
-./build/bench/bench_datapath "${args[@]+"${args[@]}"}" --out "${out}"
-
-baseline=bench/BENCH_datapath.baseline.json
-echo "== regression gate: ${out} vs ${baseline} (floor: 80% of baseline) =="
-awk '
-  function parse(line) {
-    if (match(line, /"bench": "[^"]+"/) == 0) return 0
-    bench = substr(line, RSTART + 10, RLENGTH - 11)
-    if (match(line, /"metric": "[^"]+"/) == 0) return 0
-    metric = bench "/" substr(line, RSTART + 11, RLENGTH - 12)
-    if (match(line, /"value": [0-9.eE+-]+/) == 0) return 0
-    value = substr(line, RSTART + 9, RLENGTH - 9) + 0
-    return 1
-  }
-  FNR == 1 { file_idx++ }
-  file_idx == 1 { if (parse($0)) base[metric] = value }
-  file_idx == 2 { if (parse($0)) cur[metric] = value }
-  END {
-    failed = 0
-    for (m in base) {
-      if (!(m in cur)) {
-        printf "bench gate: FAIL: metric %s missing from current run\n", m
-        failed = 1
-        continue
-      }
-      floor = base[m] * 0.8
-      status = (cur[m] >= floor) ? "ok" : "FAIL"
-      if (cur[m] < floor) failed = 1
-      printf "bench gate: %-6s %-36s current %14.1f  floor %14.1f\n", \
-             status, m, cur[m], floor
+gate() {
+  local baseline="$1" out="$2"
+  echo "== regression gate: ${out} vs ${baseline} (floor: 80% of baseline) =="
+  awk '
+    function parse(line) {
+      if (match(line, /"bench": "[^"]+"/) == 0) return 0
+      bench = substr(line, RSTART + 10, RLENGTH - 11)
+      if (match(line, /"metric": "[^"]+"/) == 0) return 0
+      metric = bench "/" substr(line, RSTART + 11, RLENGTH - 12)
+      if (match(line, /"value": [0-9.eE+-]+/) == 0) return 0
+      value = substr(line, RSTART + 9, RLENGTH - 9) + 0
+      return 1
     }
-    exit failed
-  }
-' "${baseline}" "${out}"
-echo "== bench gate passed =="
+    FNR == 1 { file_idx++ }
+    file_idx == 1 { if (parse($0)) base[metric] = value }
+    file_idx == 2 { if (parse($0)) cur[metric] = value }
+    END {
+      failed = 0
+      for (m in base) {
+        if (!(m in cur)) {
+          printf "bench gate: FAIL: metric %s missing from current run\n", m
+          failed = 1
+          continue
+        }
+        floor = base[m] * 0.8
+        status = (cur[m] >= floor) ? "ok" : "FAIL"
+        if (cur[m] < floor) failed = 1
+        printf "bench gate: %-6s %-36s current %14.3f  floor %14.3f\n", \
+               status, m, cur[m], floor
+      }
+      exit failed
+    }
+  ' "${baseline}" "${out}"
+}
+
+for suite in "${suites[@]}"; do
+  out="BENCH_${suite}.json"
+  "./build/bench/bench_${suite}" "${args[@]+"${args[@]}"}" --out "${out}"
+  gate "bench/BENCH_${suite}.baseline.json" "${out}"
+done
+echo "== bench gate passed: ${suites[*]} =="

@@ -9,11 +9,14 @@
 #   scripts/check.sh ubsan        # decoder/store suites under UBSan
 #   scripts/check.sh chaos        # full chaos sweep (scripts/chaos.sh)
 #   scripts/check.sh bench        # smoke bench + BENCH_datapath.json gate
+#   scripts/check.sh service      # smoke bench + BENCH_service.json gate
+#                                 # (jobs/sec, per-tenant fairness, p99)
 #   scripts/check.sh obs          # traced wordcount + artifact validation
 #   scripts/check.sh tcp          # RPC-heavy suites over the TCP transport
 #   scripts/check.sh codec        # shuffle-heavy suites with shuffle.codec=lz4
 #   scripts/check.sh all          # analyze, lint, default, tcp, codec,
-#                                 # chaos, bench, obs, asan, tsan, ubsan
+#                                 # chaos, bench, service, obs, asan, tsan,
+#                                 # ubsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -29,7 +32,7 @@ if [ ${#presets[@]} -eq 0 ]; then
 elif [ "${presets[0]}" = "all" ]; then
   # analyze runs first: the static analyzer compiles in ~2s and fails
   # fast on invariant violations before any build or test time is spent.
-  presets=(analyze lint default tcp codec chaos bench obs asan tsan ubsan)
+  presets=(analyze lint default tcp codec chaos bench service obs asan tsan ubsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -69,7 +72,14 @@ for preset in "${presets[@]}"; do
   if [ "${preset}" = bench ]; then
     # Smoke-size bench run; fails if any BENCH_datapath.json metric
     # regresses more than 20% below the checked-in baseline.
-    scripts/bench.sh --smoke
+    scripts/bench.sh --smoke --suite datapath
+    continue
+  fi
+  if [ "${preset}" = service ]; then
+    # Multi-tenant job-service bench: sustained jobs/sec, per-tenant
+    # fair-share fraction (floor 0.4 = the 50%-10% bar), and p99 job
+    # latency (gated as its inverse), vs BENCH_service.baseline.json.
+    scripts/bench.sh --smoke --suite service
     continue
   fi
   if [ "${preset}" = tcp ]; then

@@ -12,21 +12,37 @@ EncodingPipeline::EncodingPipeline(Options options)
       pool_(std::make_unique<ThreadPool>(
           options.threads > 0 ? static_cast<size_t>(options.threads) : 1)) {}
 
-EncodingPipeline::~EncodingPipeline() { Drain(); }
+EncodingPipeline::~EncodingPipeline() {
+  // Open the window for producers parked in Submit, then wait for them
+  // to be admitted AND encoded.  Without this, Drain below would see
+  // pending_jobs_ == 0, return, and free the pool and this object
+  // under a Submit still blocked on window_open_.
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+  }
+  window_open_.NotifyAll();
+  Drain();
+}
 
 void EncodingPipeline::Submit(std::vector<std::string> segments, DoneFn done) {
   uint64_t raw_bytes = 0;
   for (const std::string& s : segments) raw_bytes += s.size();
   {
     MutexLock lock(mu_);
+    ++submitting_;
     // Admit when the window has room — or unconditionally when the
-    // pipeline is idle, so one oversized task cannot wedge forever.
-    while (pending_bytes_ != 0 &&
+    // pipeline is idle, so one oversized task cannot wedge forever —
+    // or at shutdown, when the window stops gating so this producer
+    // drains through (the overshoot is bounded by the producers
+    // already in flight).
+    while (!closed_ && pending_bytes_ != 0 &&
            pending_bytes_ + raw_bytes > options_.window_bytes) {
       window_open_.Wait(mu_);
     }
     pending_bytes_ += raw_bytes;
     ++pending_jobs_;
+    --submitting_;
   }
   // shared_ptr wrapper: std::function must stay copyable.
   auto task = std::make_shared<std::pair<std::vector<std::string>, DoneFn>>(
@@ -76,7 +92,11 @@ void EncodingPipeline::Encode(const std::vector<std::string>& segments,
 
 void EncodingPipeline::Drain() {
   MutexLock lock(mu_);
-  while (pending_jobs_ != 0) idle_.Wait(mu_);
+  // A producer inside Submit (counted by submitting_) bumps
+  // pending_jobs_ under mu_ before it drops out of the count, so this
+  // condition can never observe "nothing in flight" between admission
+  // and enqueue.
+  while (submitting_ != 0 || pending_jobs_ != 0) idle_.Wait(mu_);
 }
 
 SegmentEncodeStats EncodingPipeline::stats() const {

@@ -50,7 +50,12 @@ class EncodingPipeline {
   using DoneFn = std::function<void(Encoded encoded)>;
 
   explicit EncodingPipeline(Options options);
-  ~EncodingPipeline();  // drains
+  /// Drains: every Submit already in flight — including one currently
+  /// blocked on the window — is admitted (the window stops gating at
+  /// shutdown), encoded, and has its DoneFn run before the destructor
+  /// returns.  Callers must not start NEW Submits once destruction has
+  /// begun; in-flight ones are safe.
+  ~EncodingPipeline();
 
   EncodingPipeline(const EncodingPipeline&) = delete;
   EncodingPipeline& operator=(const EncodingPipeline&) = delete;
@@ -60,8 +65,8 @@ class EncodingPipeline {
   void Submit(std::vector<std::string> segments, DoneFn done)
       BMR_EXCLUDES(mu_);
 
-  /// Block until every submitted task has been encoded and its DoneFn
-  /// has returned.
+  /// Block until every Submit in flight has been admitted and every
+  /// admitted task has been encoded and its DoneFn has returned.
   void Drain() BMR_EXCLUDES(mu_);
 
   /// Aggregate encode stats of everything drained so far.
@@ -77,6 +82,13 @@ class EncodingPipeline {
   CondVar idle_;
   uint64_t pending_bytes_ BMR_GUARDED_BY(mu_) = 0;
   int pending_jobs_ BMR_GUARDED_BY(mu_) = 0;
+  // Submits between entry and admission; Drain must wait these out or
+  // the destructor frees the pool (and this object) under a producer
+  // still parked on window_open_.
+  int submitting_ BMR_GUARDED_BY(mu_) = 0;
+  // Destruction has begun: the window stops gating so parked producers
+  // drain through instead of blocking forever.
+  bool closed_ BMR_GUARDED_BY(mu_) = false;
   SegmentEncodeStats stats_ BMR_GUARDED_BY(mu_);
   // Last member: workers must stop before the state above dies.
   std::unique_ptr<ThreadPool> pool_;

@@ -50,6 +50,12 @@ TaskScheduler::Attempt TaskScheduler::Assign(int task, int exclude_node) {
   Attempt attempt;
   attempt.task = task;
   attempt.node = PickNodeLocked((*splits_)[task], exclude_node);
+  if (attempt.node < 0 && exclude_node >= 0) {
+    // Every slave was excluded (single-slave cluster relaunch).  The
+    // excluded node lost the task's output but is still alive, so
+    // rerun in place rather than planning an unassignable attempt.
+    attempt.node = PickNodeLocked((*splits_)[task], -1);
+  }
   attempt.id = static_cast<int>(tasks_[task].attempts.size());
   AttemptState state;
   state.node = attempt.node;
@@ -73,11 +79,17 @@ bool TaskScheduler::TryCommit(const Attempt& attempt) {
 void TaskScheduler::Finish(const Attempt& attempt, double now) {
   MutexLock lock(mu_);
   AttemptState& state = tasks_[attempt.task].attempts[attempt.id];
+  // Idempotent per attempt: only the first Finish records the end and
+  // gives the load slot back.  A second call (retry path reporting an
+  // attempt a relaunch already closed) is a no-op, so node_load_ can
+  // never be decremented twice for one slot — the old `> 0` clamp
+  // masked exactly that bug by silently eating the double-decrement
+  // and skewing placement toward recently-failed nodes.
+  if (state.released) return;
+  state.released = true;
   state.end = now;
   if (state.begin >= 0) completed_durations_.push_back(now - state.begin);
-  if (attempt.node >= 0 && node_load_[attempt.node] > 0) {
-    node_load_[attempt.node]--;
-  }
+  if (state.node >= 0) node_load_[state.node]--;
 }
 
 void TaskScheduler::ReopenTask(int task) {
@@ -104,15 +116,20 @@ std::vector<TaskScheduler::Attempt> TaskScheduler::PollSpeculation(
       continue;
     }
     // Only a lone running attempt can be a straggler: queued attempts
-    // are waiting on a slot, not slow.
-    bool straggling = false;
+    // are waiting on a slot, not slow, and a task that already has two
+    // attempts running (original + backup) must never spawn a
+    // backup-of-backup just because the newest attempt is also slow.
+    int running = 0;
     int running_node = -1;
+    double running_begin = -1;
     for (const AttemptState& a : task.attempts) {
       if (a.end >= 0 || a.begin < 0) continue;  // finished or queued
+      ++running;
       running_node = a.node;
-      straggling = (now - a.begin) > threshold;
+      running_begin = a.begin;
     }
-    if (!straggling) continue;
+    if (running != 1) continue;
+    if ((now - running_begin) <= threshold) continue;
     Attempt backup;
     backup.task = static_cast<int>(t);
     backup.node = PickNodeLocked((*splits_)[t], running_node);

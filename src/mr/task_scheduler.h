@@ -51,7 +51,10 @@ class TaskScheduler {
   void ReleaseNode(int node) BMR_EXCLUDES(mu_);
 
   /// Plan a new attempt of `task` on a node other than `exclude_node`
-  /// (pass the failed node for retries, -1 for first launches).
+  /// (pass the failed node for retries, -1 for first launches).  If
+  /// excluding leaves no candidate (single-slave cluster relaunch),
+  /// the exclusion is dropped and the task reruns in place: the node
+  /// lost the output but is still alive.
   Attempt Assign(int task, int exclude_node = -1) BMR_EXCLUDES(mu_);
 
   /// The attempt started running at `now` (call from the worker, not
@@ -63,6 +66,8 @@ class TaskScheduler {
   [[nodiscard]] bool TryCommit(const Attempt& attempt) BMR_EXCLUDES(mu_);
 
   /// The attempt stopped running (after winning, losing, or erroring).
+  /// Idempotent per attempt: the load slot taken at Assign time is
+  /// released exactly once no matter how many paths report the end.
   void Finish(const Attempt& attempt, double now) BMR_EXCLUDES(mu_);
 
   /// The task's committed output was lost (node death discovered by a
@@ -88,6 +93,10 @@ class TaskScheduler {
     double begin = -1;  // <0: queued, not yet running
     double end = -1;    // <0: still running or queued
     bool speculative = false;
+    // The attempt's load slot has been given back.  Guards Finish so
+    // mixed commit/lost/speculative flows release each slot exactly
+    // once, never twice.
+    bool released = false;
   };
   struct TaskState {
     std::vector<AttemptState> attempts;

@@ -44,6 +44,25 @@ void ResponseKeeper::Complete(uint64_t id, Frame response) {
   }
 }
 
+void ResponseKeeper::Abort(uint64_t id, const Status& error) {
+  MutexLock lock(mu_);
+  auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) return;
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.request_id = id;
+  frame.status_code = static_cast<uint8_t>(error.code());
+  frame.status_message = std::string(error.message());
+  it->second->response = std::move(frame);
+  it->second->done = true;
+  it->second->done_cv.NotifyAll();
+  in_flight_.erase(it);
+  ++aborts_;
+  // Deliberately not inserted into completed_: the id is unknown
+  // again, so the client's retry re-executes instead of replaying the
+  // error.
+}
+
 size_t ResponseKeeper::cached() const {
   MutexLock lock(mu_);
   return completed_.size();
@@ -52,6 +71,11 @@ size_t ResponseKeeper::cached() const {
 uint64_t ResponseKeeper::replays() const {
   MutexLock lock(mu_);
   return replays_;
+}
+
+uint64_t ResponseKeeper::aborts() const {
+  MutexLock lock(mu_);
+  return aborts_;
 }
 
 }  // namespace bmr::net

@@ -44,11 +44,22 @@ class ResponseKeeper {
   /// wakes blocked duplicates and makes the id replayable.
   void Complete(uint64_t id, Frame response) BMR_EXCLUDES(mu_);
 
+  /// The execution Begin handed to this caller died before producing a
+  /// response (handler crash, dispatch thread unwound).  Wakes every
+  /// duplicate blocked on the id with an error-status frame and
+  /// forgets the id WITHOUT caching, so a later retry re-executes the
+  /// handler instead of replaying the error forever.  No-op when the
+  /// id is not in flight (already completed or never begun).
+  void Abort(uint64_t id, const Status& error) BMR_EXCLUDES(mu_);
+
   /// Completed responses currently cached (test/introspection).
   size_t cached() const BMR_EXCLUDES(mu_);
 
   /// Duplicates served from cache or an in-flight execution so far.
   uint64_t replays() const BMR_EXCLUDES(mu_);
+
+  /// In-flight executions published as dead via Abort so far.
+  uint64_t aborts() const BMR_EXCLUDES(mu_);
 
  private:
   struct InFlight {
@@ -66,6 +77,7 @@ class ResponseKeeper {
   std::map<uint64_t, Frame> completed_ BMR_GUARDED_BY(mu_);
   std::deque<uint64_t> eviction_order_ BMR_GUARDED_BY(mu_);
   uint64_t replays_ BMR_GUARDED_BY(mu_) = 0;
+  uint64_t aborts_ BMR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bmr::net

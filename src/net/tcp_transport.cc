@@ -259,6 +259,22 @@ void TcpTransport::DispatchRequest(std::shared_ptr<Conn> conn, Frame frame) {
   handler_pool_->Submit([this, conn, frame] {
     Frame response;
     if (keeper_.Begin(frame.request_id, &response)) {
+      // Whatever happens to the handler below, duplicates blocked on
+      // this id inside Begin must be released: Complete publishes the
+      // real response, and if this scope unwinds without reaching it
+      // (handler crash), the guard publishes an error frame instead so
+      // waiters fail fast and the client's retry re-executes.
+      struct CompleteOrAbort {
+        ResponseKeeper* keeper;
+        uint64_t id;
+        bool completed = false;
+        ~CompleteOrAbort() {
+          if (!completed) {
+            keeper->Abort(
+                id, Status::Unavailable("request handler died mid-execution"));
+          }
+        }
+      } guard{&keeper_, frame.request_id};
       response.type = FrameType::kResponse;
       response.request_id = frame.request_id;
       response.src = frame.src;
@@ -273,6 +289,7 @@ void TcpTransport::DispatchRequest(std::shared_ptr<Conn> conn, Frame frame) {
       response.status_code = static_cast<uint8_t>(st.code());
       response.status_message = st.message();
       keeper_.Complete(frame.request_id, response);
+      guard.completed = true;
     }
     // Replays reach here too: every response frame written is one wire
     // send, so duplicate requests show up in response_bytes as well.

@@ -124,19 +124,31 @@ std::string PerfettoTraceJson(const TraceLog& log) {
 
 namespace {
 
+/// Splits a registered series name that may carry an embedded label
+/// set (`bmr_rpc_call_us{transport="tcp"}`) into the bare family name
+/// and the braced label block ("" when unlabeled).  TYPE lines must
+/// name the family, never a labeled child, or the exposition is
+/// malformed.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  *base = name;
+  labels->clear();
+  size_t brace = name.find('{');
+  if (brace != std::string::npos && name.back() == '}') {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace + 1, name.size() - brace - 2);
+  }
+}
+
 void AppendHistogram(std::string* out, const std::string& name,
                      const LogHistogram& h) {
   // A registered name may carry a label set (metric_names.h declares
   // e.g. bmr_rpc_call_us{transport="tcp"}); the labels re-attach to
   // every series of the family after the _bucket/_sum/_count suffix,
   // with `le` kept last as Prometheus convention expects.
-  std::string base = name;
+  std::string base;
   std::string labels;
-  size_t brace = name.find('{');
-  if (brace != std::string::npos && name.back() == '}') {
-    base = name.substr(0, brace);
-    labels = name.substr(brace + 1, name.size() - brace - 2);
-  }
+  SplitLabels(name, &base, &labels);
   const std::string plain = labels.empty() ? "" : "{" + labels + "}";
   const std::string le_open =
       labels.empty() ? "{le=\"" : "{" + labels + ",le=\"";
@@ -178,15 +190,39 @@ std::string PrometheusText(const MetricsSnapshot& snap) {
            name.substr(fault_prefix_len) + "\"} " + std::to_string(value) +
            "\n";
   }
+  // Counters already carrying the bmr_ prefix are full series names
+  // (possibly labeled, e.g. bmr_service_jobs_done_total{pool="a"}):
+  // they pass through verbatim with one TYPE line per family.  Bare
+  // engine counters get the historical bmr_job_<name>_total mapping.
+  std::set<std::string> counter_families;
   for (const auto& [name, value] : snap.counters) {
     if (name.rfind(kCtrFaultInjectedPrefix, 0) == 0) continue;
+    if (name.rfind("bmr_", 0) == 0) {
+      std::string base;
+      std::string labels;
+      SplitLabels(name, &base, &labels);
+      if (counter_families.insert(base).second) {
+        out += "# TYPE " + base + " counter\n";
+      }
+      out += name + " " + std::to_string(value) + "\n";
+      continue;
+    }
     std::string series = kPromJobCounterPrefix + name + "_total";
     out += "# TYPE " + series + " counter\n";
     out += series + " " + std::to_string(value) + "\n";
   }
 
+  // Same family/TYPE discipline for gauges: a labeled gauge used to
+  // emit its label block inside the TYPE line (malformed) and one TYPE
+  // line per child series.
+  std::set<std::string> gauge_families;
   for (const auto& [name, value] : snap.gauges) {
-    out += "# TYPE " + name + " gauge\n";
+    std::string base;
+    std::string labels;
+    SplitLabels(name, &base, &labels);
+    if (gauge_families.insert(base).second) {
+      out += "# TYPE " + base + " gauge\n";
+    }
     char buf[96];
     std::snprintf(buf, sizeof(buf), "%.6f", value);
     out += name + " " + buf + "\n";

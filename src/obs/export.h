@@ -32,10 +32,13 @@ std::string PerfettoTraceJson(const TraceLog& log);
 
 /// Serialize a MetricsSnapshot as Prometheus text exposition v0.0.4.
 /// Mapping policy: counter `fault_injected_<kind>` becomes the labeled
-/// family bmr_faults_injected_total{kind="<kind>"}; every other counter
-/// `<name>` becomes bmr_job_<name>_total; histograms emit
-/// _bucket{le=...}/_sum/_count on their own (already bmr_-prefixed)
-/// name; gauges pass through.
+/// family bmr_faults_injected_total{kind="<kind>"}; a counter already
+/// carrying the bmr_ prefix is a full series name (labels allowed) and
+/// passes through verbatim; every other counter `<name>` becomes
+/// bmr_job_<name>_total; histograms emit _bucket{le=...}/_sum/_count
+/// on their own (already bmr_-prefixed) name; gauges pass through.
+/// TYPE lines always name the bare family (labels stripped), once per
+/// family.
 std::string PrometheusText(const MetricsSnapshot& snap);
 
 /// Human-readable one-line-per-histogram summary (count, mean, p50,

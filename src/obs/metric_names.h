@@ -87,6 +87,40 @@ inline constexpr const char* kPromArenaBufferReuseTotal =
     "bmr_arena_buffer_reuse_total";
 inline constexpr const char* kPromArenaCachedBytes = "bmr_arena_cached_bytes";
 
+// ---- Multi-tenant job service (src/service/, GUIDE §14) --------------
+// Per-pool families: the service composes each series name with a
+// {pool="<name>"} label block before inserting it into its
+// MetricsSnapshot; the exporter passes bmr_-prefixed counters through
+// verbatim and strips the labels for the family TYPE line.
+/// Jobs admitted into a pool's queue.
+inline constexpr const char* kPromServiceJobsSubmitted =
+    "bmr_service_jobs_submitted_total";
+/// Jobs that ran to a successful completion.
+inline constexpr const char* kPromServiceJobsCompleted =
+    "bmr_service_jobs_completed_total";
+/// Jobs that ran and failed (engine status not ok).
+inline constexpr const char* kPromServiceJobsFailed =
+    "bmr_service_jobs_failed_total";
+/// Submissions bounced by admission control (pool queue full, service
+/// saturated, unknown pool, shutdown).
+inline constexpr const char* kPromServiceJobsRejected =
+    "bmr_service_jobs_rejected_total";
+/// Queued jobs evicted by fair-share preemption to make room for an
+/// under-share pool's submission.
+inline constexpr const char* kPromServiceJobsPreempted =
+    "bmr_service_jobs_preempted_total";
+/// Submit-to-completion latency, per pool (queue wait included).
+inline constexpr const char* kHServiceJobLatencyUs =
+    "bmr_service_job_latency_us";
+/// Submit-to-start queue wait, per pool.
+inline constexpr const char* kHServiceQueueWaitUs =
+    "bmr_service_queue_wait_us";
+/// Service-wide point-in-time occupancy gauges.
+inline constexpr const char* kPromServiceJobsRunning =
+    "bmr_service_jobs_running_total";
+inline constexpr const char* kPromServiceJobsQueued =
+    "bmr_service_jobs_queued_total";
+
 // ---- Span names ------------------------------------------------------
 // Spans are display labels, not series names, but keeping them here
 // keeps the taxonomy (GUIDE §10) in one place.

@@ -274,6 +274,61 @@ TEST(EngineRecoveryTest, ReopenedCommitAccountingStaysConsistent) {
             num_tasks + result.counters.Get(mr::kCtrMapTaskRetries));
 }
 
+TEST(EngineRecoveryTest, OneSlaveClusterRelaunchesLostOutputInPlace) {
+  // Regression: on a one-slave cluster, lost-map-output recovery used
+  // to plan the relaunch with the lost node excluded, leaving no
+  // candidate; Assign silently recorded node = -1 and the executor
+  // failed the job with "no node available for map task".  The slave
+  // is alive — only the output is gone — so the relaunch must rerun in
+  // place and the job must complete.
+  auto cluster = MakeTestCluster(1, /*block_bytes=*/8 << 10);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 4 << 10;  // one block => one map task
+  gen.num_files = 1;
+  gen.vocabulary = 100;
+  gen.seed = 7;
+  auto files = workload::GenerateZipfText(cluster.get(), "/in", gen);
+  ASSERT_TRUE(files.ok()) << files.status();
+
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.output_path = "/out";
+  options.num_reducers = 1;
+  options.barrierless = true;
+  mr::JobSpec spec = apps::MakeWordCountJob(options);
+  // One retry per fetch: two corrupted serves exhaust it, the tracker
+  // declares the attempt's output lost, and the engine relaunches.
+  spec.config.SetInt("shuffle.fetch.max_retries", 1);
+  spec.config.SetDouble("shuffle.fetch.backoff_ms", 0.2);
+  spec.config.SetDouble("shuffle.fetch.backoff_max_ms", 1.0);
+
+  FaultEvent corrupt;
+  corrupt.kind = FaultKind::kSegmentCorrupt;
+  corrupt.count = 2;  // original fetch + its one retry
+  FaultInjector injector(ScriptedPlan({corrupt}));
+  cluster->InstallFaultInjector(&injector);
+  mr::JobRunner runner(cluster.get());
+  mr::JobResult result = runner.Run(spec);
+  cluster->InstallFaultInjector(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(injector.injected(FaultKind::kSegmentCorrupt), 2u);
+  EXPECT_GE(result.counters.Get(mr::kCtrMapTaskRetries), 1u);
+
+  // The relaunched attempt ran somewhere real (the only slave), and
+  // its output matches a fault-free run bit for bit.
+  auto golden_cluster = MakeTestCluster(1, /*block_bytes=*/8 << 10);
+  auto golden_files = workload::GenerateZipfText(golden_cluster.get(), "/in",
+                                                 gen);
+  ASSERT_TRUE(golden_files.ok());
+  options.input_files = *golden_files;
+  auto golden = testutil::RunAndReadOutput(golden_cluster.get(),
+                                           apps::MakeWordCountJob(options));
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  auto actual = mr::JobRunner::ReadAllOutput(cluster->client(0), result);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(testutil::ExactSequence(*actual), testutil::ExactSequence(*golden));
+}
+
 TEST(EngineRecoveryTest, FetchTimeoutsAreRetriedNotFatal) {
   auto cluster = MakeTestCluster(3);
   auto files = MakeWordCountInput(cluster.get());

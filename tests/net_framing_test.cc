@@ -259,6 +259,65 @@ TEST(ResponseKeeperTest, ZeroCapacityNeverCaches) {
   EXPECT_TRUE(keeper.Begin(1, &response));  // nothing kept → re-execute
 }
 
+// Fault-injected executor death: the winner of Begin dies between
+// Begin and Complete.  Waiters used to block forever on done_cv; Abort
+// must wake them with an error frame, and — because the abort is not
+// cached — a later retry of the id must re-execute the handler.
+TEST(ResponseKeeperTest, AbortWakesBlockedDuplicatesWithErrorFrame) {
+  ResponseKeeper keeper(16);
+  Frame first;
+  ASSERT_TRUE(keeper.Begin(13, &first));  // this "execution" will die
+
+  std::atomic<bool> woken{false};
+  Frame replay;
+  std::thread dup([&] {
+    EXPECT_FALSE(keeper.Begin(13, &replay));
+    woken.store(true);
+  });
+  // The duplicate is parked inside Begin, waiting for a Complete that
+  // will never come.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woken.load());
+
+  // The executing caller dies: its dispatch scope unwinds and aborts.
+  keeper.Abort(13, Status::Unavailable("handler crashed"));
+  dup.join();
+  ASSERT_TRUE(woken.load());
+  EXPECT_EQ(replay.request_id, 13u);
+  EXPECT_EQ(static_cast<StatusCode>(replay.status_code),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(keeper.aborts(), 1u);
+  EXPECT_EQ(keeper.cached(), 0u);  // errors are never replayable
+
+  // The id is forgotten: the client's retry re-executes and can now
+  // complete normally, making the id replayable as usual.
+  Frame retry;
+  EXPECT_TRUE(keeper.Begin(13, &retry));
+  Frame done = ResponseFrame();
+  done.request_id = 13;
+  keeper.Complete(13, done);
+  Frame cached;
+  EXPECT_FALSE(keeper.Begin(13, &cached));
+  EXPECT_EQ(cached.payload, done.payload);
+}
+
+// Abort after Complete (or for an unknown id) is a no-op: the real
+// response stays cached and replayable.
+TEST(ResponseKeeperTest, AbortAfterCompleteIsNoOp) {
+  ResponseKeeper keeper(16);
+  Frame response;
+  ASSERT_TRUE(keeper.Begin(21, &response));
+  Frame done = ResponseFrame();
+  done.request_id = 21;
+  keeper.Complete(21, done);
+  keeper.Abort(21, Status::Unavailable("late abort"));
+  keeper.Abort(999, Status::Unavailable("never begun"));
+  EXPECT_EQ(keeper.aborts(), 0u);
+  Frame replay;
+  EXPECT_FALSE(keeper.Begin(21, &replay));
+  EXPECT_EQ(replay.payload, done.payload);
+}
+
 // Many threads racing the same id: exactly one wins execution, the
 // rest replay the winner's response once it completes.
 TEST(ResponseKeeperTest, ConcurrentDuplicatesGetExactlyOneExecution) {

@@ -132,6 +132,119 @@ TEST(TaskSchedulerTest, ReopenedTaskAdmitsExactlyOneNewCommit) {
   EXPECT_EQ(scheduler.attempts_started(0), 3);
 }
 
+TEST(TaskSchedulerTest, NodeLoadReturnsToZeroAfterMixedFlows) {
+  // Regression: Finish used to decrement node_load_ with only a `> 0`
+  // clamp, so any path that reported an attempt's end twice silently
+  // stole another attempt's load slot and skewed placement.  Release
+  // is now idempotent per attempt: after a mixed commit / lost-output
+  // relaunch / speculative-race flow — including redundant Finish
+  // calls — every node's load must be exactly zero.
+  TaskScheduler::Options options;
+  options.speculative = true;
+  options.max_attempts = 2;
+  std::vector<InputSplit> splits = {Split({1}), Split({2}), Split({3})};
+  TaskScheduler scheduler(FourSlaves(), &splits, options);
+
+  // Task 0: plain commit, then a redundant Finish (retry-path replay).
+  TaskScheduler::Attempt a0 = scheduler.Assign(0);
+  scheduler.Begin(a0, 0.0);
+  ASSERT_TRUE(scheduler.TryCommit(a0));
+  scheduler.Finish(a0, 0.1);
+  int load_after_first = scheduler.load(a0.node);
+  scheduler.Finish(a0, 0.2);  // must be a no-op
+  EXPECT_EQ(scheduler.load(a0.node), load_after_first);
+
+  // Task 1: commit, output lost, reopen, relaunch elsewhere, commit.
+  TaskScheduler::Attempt a1 = scheduler.Assign(1);
+  scheduler.Begin(a1, 0.0);
+  ASSERT_TRUE(scheduler.TryCommit(a1));
+  scheduler.Finish(a1, 0.1);
+  scheduler.ReopenTask(1);
+  TaskScheduler::Attempt r1 = scheduler.Assign(1, /*exclude_node=*/a1.node);
+  scheduler.Begin(r1, 0.2);
+  ASSERT_TRUE(scheduler.TryCommit(r1));
+  scheduler.Finish(r1, 0.3);
+  scheduler.Finish(a1, 0.3);  // stale replay of the lost original
+
+  // Task 2: speculative race — backup wins, loser finishes after.
+  TaskScheduler::Attempt a2 = scheduler.Assign(2);
+  scheduler.Begin(a2, 0.0);
+  std::vector<TaskScheduler::Attempt> backups = scheduler.PollSpeculation(1.0);
+  ASSERT_EQ(backups.size(), 1u);
+  scheduler.Begin(backups[0], 1.0);
+  ASSERT_TRUE(scheduler.TryCommit(backups[0]));
+  scheduler.Finish(backups[0], 1.1);
+  scheduler.Finish(a2, 1.2);  // loser discards and reports its end
+
+  EXPECT_TRUE(scheduler.AllCommitted());
+  for (int n = 0; n <= 4; ++n) {
+    EXPECT_EQ(scheduler.load(n), 0) << "node " << n;
+  }
+}
+
+TEST(TaskSchedulerTest, PollSpeculationSkipsTaskWithTwoRunningAttempts) {
+  // Regression: with original + backup both running and both over the
+  // straggler threshold, the scan used to take the *last* attempt's
+  // slowness and spawn a backup-of-backup until max_attempts.  A task
+  // with more than one running attempt is never a speculation
+  // candidate, whatever max_attempts allows.
+  TaskScheduler::Options options;
+  options.speculative = true;
+  options.max_attempts = 3;  // room for the buggy third attempt
+  options.slowness = 1.5;
+  options.min_runtime = 0.05;
+  std::vector<InputSplit> splits = {Split({1}), Split({2})};
+  TaskScheduler scheduler(FourSlaves(), &splits, options);
+
+  // Establish a median: task 0 completes in 0.1s => threshold 0.15.
+  TaskScheduler::Attempt fast = scheduler.Assign(0);
+  scheduler.Begin(fast, 0.0);
+  ASSERT_TRUE(scheduler.TryCommit(fast));
+  scheduler.Finish(fast, 0.1);
+
+  // Task 1 straggles and is legitimately backed up once.
+  TaskScheduler::Attempt slow = scheduler.Assign(1);
+  scheduler.Begin(slow, 0.0);
+  std::vector<TaskScheduler::Attempt> backups = scheduler.PollSpeculation(0.3);
+  ASSERT_EQ(backups.size(), 1u);
+  scheduler.Begin(backups[0], 0.3);
+
+  // Both attempts now run and both are far over the threshold: the
+  // task must be skipped, not backed up again.
+  EXPECT_TRUE(scheduler.PollSpeculation(5.0).empty());
+  EXPECT_EQ(scheduler.attempts_started(1), 2);
+
+  // Once one of the two finishes (losing the race), the survivor is a
+  // lone running attempt again and may be speculated normally.
+  ASSERT_TRUE(scheduler.TryCommit(backups[0]));
+  scheduler.Finish(backups[0], 5.0);
+  EXPECT_TRUE(scheduler.PollSpeculation(10.0).empty());  // committed
+}
+
+TEST(TaskSchedulerTest, AssignRetriesInPlaceWhenAllNodesExcluded) {
+  // Single-slave cluster relaunch: the only slave lost the task's
+  // output, so excluding it leaves no candidate.  Assign must drop the
+  // exclusion and rerun in place (the node is alive, only the output
+  // is gone) instead of silently recording node = -1 and failing the
+  // job with "no node available".
+  std::vector<InputSplit> splits = {Split({1})};
+  TaskScheduler scheduler(cluster::SmallCluster(1, 2, 2), &splits);
+
+  TaskScheduler::Attempt original = scheduler.Assign(0);
+  ASSERT_EQ(original.node, 1);
+  ASSERT_TRUE(scheduler.TryCommit(original));
+  scheduler.Finish(original, 0.1);
+
+  scheduler.ReopenTask(0);
+  TaskScheduler::Attempt retry = scheduler.Assign(0, /*exclude_node=*/1);
+  EXPECT_EQ(retry.node, 1);
+  EXPECT_EQ(retry.id, 1);
+  EXPECT_TRUE(scheduler.TryCommit(retry));
+  scheduler.Finish(retry, 0.2);
+  EXPECT_TRUE(scheduler.AllCommitted());
+  EXPECT_EQ(scheduler.load(1), 0);
+}
+
 TEST(TaskSchedulerTest, FirstAttemptToCommitWins) {
   std::vector<InputSplit> splits = {Split({1})};
   TaskScheduler scheduler(FourSlaves(), &splits);

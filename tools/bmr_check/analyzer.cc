@@ -664,6 +664,9 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"workload", {"workload", "common", "mr"}},
       {"simmr", {"simmr", "cluster", "common", "core", "mr", "sim"}},
       {"apps", {"apps", "common", "core", "mr"}},
+      {"service",
+       {"service", "common", "concurrency", "mr", "obs", "cluster", "core",
+        "dfs", "faults", "net"}},
   };
   return allowed;
 }
@@ -1077,7 +1080,7 @@ bool IsRegistryFile(const Pf& f) {
 const std::set<std::string>& MetricSubsystems() {
   static const std::set<std::string> subsystems = {
       "arena", "codec",  "faults", "job",     "net",  "output",
-      "reduce", "reducer", "rpc",  "shuffle", "store"};
+      "reduce", "reducer", "rpc",  "service", "shuffle", "store"};
   return subsystems;
 }
 

@@ -16,11 +16,13 @@
 
 #include "apps/knn.h"
 #include "apps/registry.h"
+#include "apps/wordcount.h"
 #include "mr/engine.h"
 #include "mr/obs_export.h"
 #include "mr/timeline.h"
 #include "obs/metric_names.h"
 #include "obs/validate.h"
+#include "service/job_service.h"
 #include "simmr/hadoop_sim.h"
 #include "simmr/profiles.h"
 #include "workload/generators.h"
@@ -239,6 +241,63 @@ int RunCheck(CliOptions cli) {
   st = obs::ValidatePrometheusText(
       obs::PrometheusText(mr::BuildMetricsSnapshot(sim)));
   if (!st.ok()) return fail("sim prometheus text: " + st.ToString());
+
+  // Multi-tenant job service: run a small two-pool workload and
+  // validate the per-pool bmr_service_* families through the same
+  // Prometheus exposition.
+  {
+    auto spec = cluster::SmallCluster(2, 2, 2);
+    spec.dfs_block_bytes = 64 << 10;
+    auto cluster = mr::ClusterContext::Create(std::move(spec));
+    workload::TextGenOptions gen;
+    gen.total_bytes = 8 << 10;
+    gen.num_files = 1;
+    gen.vocabulary = 100;
+    gen.seed = 3;
+    auto files = workload::GenerateZipfText(cluster.get(), "/svc/in", gen);
+    if (!files.ok()) return fail("service input: " + files.status().ToString());
+
+    service::JobService svc(cluster.get());
+    for (const char* pool : {"svc-a", "svc-b"}) {
+      service::PoolConfig config;
+      config.name = pool;
+      if (Status add = svc.AddPool(config); !add.ok()) {
+        return fail("service AddPool: " + add.ToString());
+      }
+    }
+    std::vector<service::JobTicket> tickets;
+    int run = 0;
+    for (const char* pool : {"svc-a", "svc-a", "svc-b"}) {
+      apps::AppOptions job;
+      job.input_files = *files;
+      job.num_reducers = 1;
+      job.output_path = "/svc/out-" + std::to_string(run++);
+      auto ticket = svc.Submit(pool, apps::MakeWordCountJob(job));
+      if (!ticket.ok()) {
+        return fail("service Submit: " + ticket.status().ToString());
+      }
+      tickets.push_back(*ticket);
+    }
+    for (const service::JobTicket& ticket : tickets) {
+      service::JobOutcome outcome = svc.Wait(ticket);
+      if (!outcome.status.ok()) {
+        return fail("service job: " + outcome.status.ToString());
+      }
+    }
+    const std::string service_prom = svc.PrometheusMetrics();
+    st = obs::ValidatePrometheusText(service_prom);
+    if (!st.ok()) return fail("service prometheus text: " + st.ToString());
+    for (const char* series :
+         {"bmr_service_jobs_completed_total{pool=\"svc-a\"} 2",
+          "bmr_service_jobs_completed_total{pool=\"svc-b\"} 1",
+          "bmr_service_jobs_submitted_total{pool=\"svc-a\"} 2",
+          "bmr_service_job_latency_us_count{pool=\"svc-a\"}",
+          "bmr_service_queue_wait_us_count{pool=\"svc-b\"}"}) {
+      if (service_prom.find(series) == std::string::npos) {
+        return fail(std::string("service series missing: ") + series);
+      }
+    }
+  }
 
   if (EmitArtifacts(*metrics, cli, "check") != 0) return 1;
   std::printf("bmr_trace --check OK (%zu spans, %zu histograms)\n",
