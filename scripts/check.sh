@@ -12,11 +12,13 @@
 #   scripts/check.sh service      # smoke bench + BENCH_service.json gate
 #                                 # (jobs/sec, per-tenant fairness, p99)
 #   scripts/check.sh obs          # traced wordcount + artifact validation
+#   scripts/check.sh introspect   # live HTTP endpoints scraped over TCP
+#                                 # transport + stitched-trace gate
 #   scripts/check.sh tcp          # RPC-heavy suites over the TCP transport
 #   scripts/check.sh codec        # shuffle-heavy suites with shuffle.codec=lz4
 #   scripts/check.sh all          # analyze, lint, default, tcp, codec,
-#                                 # chaos, bench, service, obs, asan, tsan,
-#                                 # ubsan
+#                                 # chaos, bench, service, obs, introspect,
+#                                 # asan, tsan, ubsan
 #   scripts/check.sh default tsan # any explicit list
 #
 # Sanitizer presets build into their own directories (build-asan,
@@ -32,7 +34,7 @@ if [ ${#presets[@]} -eq 0 ]; then
 elif [ "${presets[0]}" = "all" ]; then
   # analyze runs first: the static analyzer compiles in ~2s and fails
   # fast on invariant violations before any build or test time is spent.
-  presets=(analyze lint default tcp codec chaos bench service obs asan tsan ubsan)
+  presets=(analyze lint default tcp codec chaos bench service obs introspect asan tsan ubsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
@@ -125,6 +127,52 @@ for preset in "${presets[@]}"; do
     cmake --build build -j "${jobs}" --target bmr_trace >/dev/null
     ./build/tools/bmr_trace --check \
       --trace-out=build/obs_trace.json --prom-out=build/obs_metrics.prom
+    continue
+  fi
+  if [ "${preset}" = introspect ]; then
+    # Live-introspection leg (GUIDE §15): a job service over the TCP
+    # transport serves /metrics, /jobs, and /trace over HTTP while an
+    # external scraper (this script + curl) pulls and validates all
+    # three — then the stitched-trace acceptance gate runs over TCP.
+    cmake --preset default >/dev/null
+    cmake --build build -j "${jobs}" --target bmr_trace >/dev/null
+    serve_log=$(mktemp)
+    BMR_NET_TRANSPORT=tcp ./build/tools/bmr_trace --serve=30 \
+      >"${serve_log}" 2>&1 &
+    serve_pid=$!
+    trap 'kill "${serve_pid}" 2>/dev/null || true' EXIT
+    port=""
+    for _ in $(seq 1 100); do
+      port=$(sed -n 's/^INTROSPECT PORT=//p' "${serve_log}")
+      [ -n "${port}" ] && break
+      kill -0 "${serve_pid}" 2>/dev/null || {
+        echo "introspect: server died early:"; cat "${serve_log}"; exit 1; }
+      sleep 0.2
+    done
+    [ -n "${port}" ] || { echo "introspect: no port line"; cat "${serve_log}"; exit 1; }
+    # Let the traced jobs finish so the scrape sees completed pools.
+    for _ in $(seq 1 150); do
+      grep -q "SERVE JOBS DONE" "${serve_log}" && break
+      sleep 0.2
+    done
+    curl -sf "http://127.0.0.1:${port}/metrics" > build/introspect_metrics.prom
+    curl -sf "http://127.0.0.1:${port}/jobs" > build/introspect_jobs.json
+    curl -sf "http://127.0.0.1:${port}/trace?last=200" > build/introspect_trace.json
+    kill "${serve_pid}" 2>/dev/null || true
+    wait "${serve_pid}" 2>/dev/null || true
+    trap - EXIT
+    ./build/tools/bmr_trace --validate-prom=build/introspect_metrics.prom
+    ./build/tools/bmr_trace --validate-json=build/introspect_jobs.json
+    ./build/tools/bmr_trace --validate-trace=build/introspect_trace.json
+    grep -q 'bmr_service_jobs_completed_total' build/introspect_metrics.prom \
+      || { echo "introspect: service families missing from /metrics"; exit 1; }
+    grep -q '"pools"' build/introspect_jobs.json \
+      || { echo "introspect: pool tree missing from /jobs"; exit 1; }
+    # Acceptance gate: a traced TCP wordcount yields one stitched tree
+    # (rpc.handler spans under cross-node parents, zero orphans).
+    BMR_NET_TRANSPORT=tcp ./build/tools/bmr_trace --check \
+      --trace-out=build/introspect_check.json \
+      --prom-out=build/introspect_check.prom
     continue
   fi
   cmake --preset "${preset}"

@@ -17,6 +17,7 @@
 #include "mr/shuffle_service.h"
 #include "mr/task_executor.h"
 #include "mr/task_scheduler.h"
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 
@@ -89,6 +90,8 @@ class JobExecution {
   /// on a node other than the one that lost it.
   void Relaunch(int map_task, int lost_node) {
     metrics_.AddCounter(kCtrMapTaskRetries, 1);
+    obs::FlightRecorder::Global()->Note("map.relaunch", "recovery", map_task,
+                                        lost_node);
     scheduler_->ReopenTask(map_task);
     TaskScheduler::Attempt attempt = scheduler_->Assign(map_task, lost_node);
     map_pool_->Submit(
@@ -187,10 +190,11 @@ JobResult JobExecution::Run() {
   }
   shuffle_options.block_bytes = static_cast<size_t>(spec_.config.GetInt(
       "shuffle.block_bytes", static_cast<int64_t>(kDefaultShuffleBlockBytes)));
+  const uint64_t job_id = cluster_->AllocateJobId();
   shuffle_ = std::make_unique<ShuffleService>(
       cluster_->transport.get(),
-      static_cast<int>(cluster_->spec.nodes.size()), nmaps,
-      cluster_->AllocateJobId(), shuffle_options);
+      static_cast<int>(cluster_->spec.nodes.size()), nmaps, job_id,
+      shuffle_options);
   TaskScheduler::Options sched_options;
   sched_options.speculative = spec_.speculative_maps;
   sched_options.slowness = spec_.speculation_slowness;
@@ -211,6 +215,8 @@ JobResult JobExecution::Run() {
 
   // Launch.
   metrics_.RestartClock();
+  obs::FlightRecorder::Global()->Note("job.start", "job",
+                                      static_cast<int64_t>(job_id), -1);
   obs::SpanId root_span = 0;
   if (traced) {
     // The job span stays open for the whole run; task spans parent to
@@ -275,6 +281,15 @@ JobResult JobExecution::Run() {
           std::string(obs::kCtrFaultInjectedPrefix) +
               faults::FaultKindName(rec.kind),
           1);
+      obs::FlightRecorder::Global()->Note(
+          std::string("fault.") + faults::FaultKindName(rec.kind), "fault",
+          static_cast<int64_t>(rec.kind), rec.node);
+      if (rec.kind == faults::FaultKind::kNodeCrash) {
+        // An injected crash is always dump-worthy forensics, even when
+        // recovery saves the job.
+        obs::FlightRecorder::Global()->RequestDump(
+            "fault.node_crash node=" + std::to_string(rec.node), rec.node);
+      }
     }
     metrics_.MergeCounters(fault_counters);
     injector->SetClock(nullptr);
@@ -309,6 +324,37 @@ JobResult JobExecution::Run() {
   // Assemble the result from the metrics layer.
   JobMetrics metrics = metrics_.Snapshot();
   result.status = control_->status();
+
+  // Post-mortem flight dump (GUIDE §15): anything that requested one
+  // during the run — injected crash, tainted-reducer restart — plus a
+  // job failure here, produces one artifact per job run, written to
+  // the obs.flight_dir knob / BMR_FLIGHT_DIR env.  No directory
+  // configured = triggers are dropped (the ring keeps recording).
+  obs::FlightRecorder* recorder = obs::FlightRecorder::Global();
+  if (!result.status.ok()) {
+    recorder->RequestDump(
+        std::string("job.failure: ") + result.status.message(),
+        static_cast<int64_t>(job_id));
+  }
+  std::vector<std::string> dump_reasons = recorder->TakeDumpReasons();
+  if (!dump_reasons.empty()) {
+    std::string flight_dir = spec_.config.GetString("obs.flight_dir", "");
+    if (flight_dir.empty()) {
+      const char* env = std::getenv("BMR_FLIGHT_DIR");
+      if (env != nullptr) flight_dir = env;
+    }
+    if (!flight_dir.empty()) {
+      StatusOr<std::string> path = recorder->DumpToDir(flight_dir);
+      if (path.ok()) {
+        result.flight_dumps = 1;
+        BMR_INFO << "flight recorder dumped " << *path << " ("
+                 << dump_reasons.front() << ")";
+      } else {
+        BMR_WARN << "flight recorder dump failed: "
+                 << path.status().message();
+      }
+    }
+  }
   result.elapsed_seconds = metrics.elapsed_seconds;
   result.first_map_done = metrics.first_map_done;
   result.last_map_done = metrics.last_map_done;
@@ -321,6 +367,7 @@ JobResult JobExecution::Run() {
   result.trace_enabled = metrics.trace_enabled;
   result.trace = std::move(metrics.trace);
   result.histograms = std::move(metrics.histograms);
+  result.spans_dropped = metrics.spans_dropped;
   return result;
 }
 
@@ -340,6 +387,8 @@ JobMetrics JobResult::ToMetrics() const {
   m.trace_enabled = trace_enabled;
   m.trace = trace;
   m.histograms = histograms;
+  m.spans_dropped = spans_dropped;
+  m.flight_dumps = flight_dumps;
   return m;
 }
 

@@ -90,6 +90,10 @@ struct JobResult {
   bool trace_enabled = false;
   obs::TraceLog trace;
   std::map<std::string, LogHistogram> histograms;
+  /// Spans lost at the tracer's central-log cap (GUIDE §15).
+  uint64_t spans_dropped = 0;
+  /// Flight-recorder artifacts this run dumped (0 or 1).
+  uint64_t flight_dumps = 0;
 
   bool ok() const { return status.ok(); }
   /// True when the job died of partial-result heap overflow (Fig 5a).

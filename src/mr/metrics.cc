@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 
 namespace bmr::mr {
 
@@ -43,6 +44,11 @@ void MetricsRegistry::NoteOutputFile(std::string path) {
 void MetricsRegistry::RecordEvent(Phase phase, int task_id, int node,
                                   double start, double end) {
   timeline_.Record(phase, task_id, node, start, end);
+  // Mirror every task-phase event into the always-armed flight ring
+  // (GUIDE §15) so a post-mortem dump shows recent task history even
+  // for runs with obs.trace off.
+  obs::FlightRecorder::Global()->RecordSpan(PhaseName(phase), "task", task_id,
+                                            node, end - start);
 }
 
 JobMetrics MetricsRegistry::Snapshot() const {
@@ -53,6 +59,7 @@ JobMetrics MetricsRegistry::Snapshot() const {
     m.trace_enabled = true;
     m.trace = tracer_.CollectTrace();
     m.histograms = tracer_.SnapshotHistograms();
+    m.spans_dropped = tracer_.dropped_spans();
   }
   MutexLock lock(mu_);
   m.counters = counters_;

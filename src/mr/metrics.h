@@ -61,6 +61,11 @@ struct JobMetrics {
   bool trace_enabled = false;
   obs::TraceLog trace;
   std::map<std::string, LogHistogram> histograms;
+  /// Spans lost at the tracer's central-log cap (GUIDE §15); exported
+  /// as bmr_obs_spans_dropped_total so span loss is never silent.
+  uint64_t spans_dropped = 0;
+  /// Flight-recorder artifacts written at this job's end.
+  uint64_t flight_dumps = 0;
 };
 
 /// Render the headline numbers of a JobMetrics as an aligned text

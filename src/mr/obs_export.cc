@@ -74,6 +74,15 @@ obs::MetricsSnapshot BuildMetricsSnapshot(const JobMetrics& m) {
       static_cast<double>(dp.arena_buffer_reuses);
   snap.gauges[obs::kPromArenaCachedBytes] =
       static_cast<double>(dp.arena_cached_bytes);
+  // Observability self-metrics (GUIDE §15): traced runs always expose
+  // the span-loss counter — 0 is the interesting common case, nonzero
+  // means the trace is a sampled prefix.
+  if (m.trace_enabled) {
+    snap.counters[obs::kPromObsSpansDropped] = m.spans_dropped;
+  }
+  if (m.flight_dumps > 0) {
+    snap.counters[obs::kPromObsFlightDumps] = m.flight_dumps;
+  }
   return snap;
 }
 

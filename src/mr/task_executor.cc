@@ -6,6 +6,7 @@
 #include "core/barrierless_driver.h"
 #include "mr/map_output.h"
 #include "mr/textio.h"
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 
@@ -193,6 +194,12 @@ void ReduceTaskExecutor::Execute(int r, int node) {
     }
     if (attempt < max_restarts && IsRecoverable(st)) {
       metrics_->AddCounter(kCtrReduceTaskRestarts, 1);
+      // A restart means a tainted or failed reducer threw work away —
+      // post-mortem worthy even if the retry succeeds (GUIDE §15).
+      obs::FlightRecorder::Global()->RequestDump(
+          std::string("reduce.restart task=") + std::to_string(r) + ": " +
+              st.message(),
+          r);
       continue;
     }
     control_->Fail(st);

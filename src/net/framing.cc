@@ -24,6 +24,12 @@ void EncodeFrame(const Frame& frame, ByteBuffer* out) {
   enc.PutU8(frame.status_code);
   enc.PutString(frame.status_message);
   enc.PutString(frame.payload);
+  if (frame.trace.valid()) {
+    enc.PutU8(kTraceContextTag);
+    enc.PutFixed64(frame.trace.trace_id);
+    enc.PutFixed32(frame.trace.parent_span);
+    enc.PutU8(frame.trace.flags);
+  }
   enc.PutFixed64(Fnv1a64(body.AsSlice()));
 
   Encoder prefix(out);
@@ -81,8 +87,24 @@ DecodeResult DecodeFrame(Slice in, Frame* frame, size_t* consumed,
     *error = Malformed("truncated or malformed body fields");
     return DecodeResult::kError;
   }
+  // Optional trace-context block (absent = pre-§15 frame, decodes with
+  // an invalid context).  Anything trailing that is not exactly one
+  // well-formed block desyncs the stream.
+  obs::TraceContext trace;
   if (!dec.empty()) {
-    *error = Malformed("trailing bytes after payload");
+    uint8_t tag, flags;
+    uint32_t parent_span;
+    if (!dec.GetU8(&tag) || tag != kTraceContextTag ||
+        !dec.GetFixed64(&trace.trace_id) || !dec.GetFixed32(&parent_span) ||
+        !dec.GetU8(&flags) || trace.trace_id == 0) {
+      *error = Malformed("bad trace-context block");
+      return DecodeResult::kError;
+    }
+    trace.parent_span = parent_span;
+    trace.flags = flags;
+  }
+  if (!dec.empty()) {
+    *error = Malformed("trailing bytes after trace context");
     return DecodeResult::kError;
   }
 
@@ -94,6 +116,7 @@ DecodeResult DecodeFrame(Slice in, Frame* frame, size_t* consumed,
   frame->status_code = status_code;
   frame->status_message = std::move(status_message);
   frame->payload = std::move(payload);
+  frame->trace = trace;
   *consumed = 4u + body_len;
   return DecodeResult::kFrame;
 }

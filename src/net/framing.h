@@ -18,13 +18,23 @@
 //   u8       status_code  (responses only; StatusCode as int)
 //   string   status_msg   (responses only)
 //   string   payload      request bytes, or response bytes
+//   [trace-context block]  OPTIONAL (GUIDE §15): present iff the
+//                          sender had a tracer installed —
+//                            u8       tag       0x54 ('T')
+//                            fixed64  trace_id  nonzero tracer id
+//                            fixed32  parent    sender's open span
+//                            u8       flags     bit 0 = sampled
 //   fixed64  checksum     FNV-1a over body minus these 8 bytes
+//
+// Untraced frames carry no block and are byte-identical to the pre-§15
+// format, so old and new decoders interoperate in both directions; the
+// checksum covers the block, so corruption is caught before parsing.
 //
 // Decoding is defensive in the PR 4 discipline: truncated input asks
 // for more bytes, an oversized or malformed frame (bad magic, bad
-// type, overlong varint, length past the cap, checksum mismatch)
-// surfaces a Status error — never UB, so a corrupted or adversarial
-// peer cannot crash the event loop.
+// type, overlong varint, length past the cap, checksum mismatch, bad
+// trace-context block) surfaces a Status error — never UB, so a
+// corrupted or adversarial peer cannot crash the event loop.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +42,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/span.h"
 
 namespace bmr::net {
 
@@ -39,6 +50,8 @@ inline constexpr uint32_t kFrameMagic = 0x424d5246;  // "BMRF"
 /// Hard cap on one frame's body; above it the frame (and with it the
 /// connection) is rejected before any allocation of body size.
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+/// Leading byte of the optional trace-context block after the payload.
+inline constexpr uint8_t kTraceContextTag = 0x54;  // 'T'
 
 enum class FrameType : uint8_t {
   kRequest = 1,
@@ -56,6 +69,8 @@ struct Frame {
   uint8_t status_code = 0;   // responses: StatusCode as int
   std::string status_message;
   std::string payload;
+  /// Wire trace context; invalid (trace_id 0) = absent from the frame.
+  obs::TraceContext trace;
 };
 
 /// Appends the complete encoding (length prefix included) to `out`.

@@ -8,8 +8,8 @@ namespace bmr::net {
 
 Status InProcessTransport::Call(int src, int dst, const std::string& method,
                                 Slice request, ByteBuffer* response) {
-  obs::LatencyTimer timer(observer_.load(std::memory_order_acquire),
-                          obs::kHRpcCallInprocUs);
+  obs::Tracer* observer = observer_.load(std::memory_order_acquire);
+  obs::LatencyTimer timer(observer, obs::kHRpcCallInprocUs);
   // Fault hook first, before the handler lookup: a crash it triggers
   // removes dst's handlers, so this very call already observes the
   // node as dead; a drop fails the call without touching the handler.
@@ -27,12 +27,24 @@ Status InProcessTransport::Call(int src, int dst, const std::string& method,
   RpcHandler handler;
   BMR_RETURN_IF_ERROR(registry_.Lookup(dst, method, &handler));
   response->Clear();
-  Status st = handler(request, response);
-  // At-least-once delivery: rerun the handler, keeping the last
-  // response.  Plans schedule duplicates only on idempotent reads.
-  for (; duplicates > 0 && st.ok(); --duplicates) {
-    response->Clear();
+  Status st;
+  {
+    // Same wire semantics as the TCP path (GUIDE §15): build the trace
+    // context a frame would carry, open the handler span under its
+    // propagated parent.  The handler runs on the caller's thread here,
+    // so the context round-trips through the same API the decoder uses.
+    obs::TraceContext trace_ctx =
+        observer != nullptr ? observer->CurrentContext() : obs::TraceContext{};
+    obs::ScopedSpan handler_span(
+        observer, obs::kSpanRpcHandler, "rpc", dst,
+        observer != nullptr ? observer->PropagatedParent(trace_ctx) : 0);
     st = handler(request, response);
+    // At-least-once delivery: rerun the handler, keeping the last
+    // response.  Plans schedule duplicates only on idempotent reads.
+    for (; duplicates > 0 && st.ok(); --duplicates) {
+      response->Clear();
+      st = handler(request, response);
+    }
   }
   {
     MutexLock lock(mu_);

@@ -282,6 +282,13 @@ void TcpTransport::DispatchRequest(std::shared_ptr<Conn> conn, Frame frame) {
       RpcHandler handler;
       Status st = registry_.Lookup(frame.dst, frame.method, &handler);
       if (st.ok()) {
+        // Handler span under the frame's propagated trace context: the
+        // cross-node stitch.  Closes before the response is sent, so
+        // it nests inside the client's still-open calling span.
+        obs::Tracer* observer = observer_.load(std::memory_order_acquire);
+        obs::ScopedSpan handler_span(
+            observer, obs::kSpanRpcHandler, "rpc", frame.dst,
+            observer != nullptr ? observer->PropagatedParent(frame.trace) : 0);
         ByteBuffer out;
         st = handler(Slice(frame.payload), &out);
         response.payload = out.ToString();
@@ -447,8 +454,8 @@ bool TcpTransport::WaitDone(const std::shared_ptr<PendingCall>& call,
 
 Status TcpTransport::Call(int src, int dst, const std::string& method,
                           Slice request, ByteBuffer* response) {
-  obs::LatencyTimer timer(observer_.load(std::memory_order_acquire),
-                          obs::kHRpcCallTcpUs);
+  obs::Tracer* observer = observer_.load(std::memory_order_acquire);
+  obs::LatencyTimer timer(observer, obs::kHRpcCallTcpUs);
   if (dst < 0 || dst >= num_nodes_) {
     return Status::NotFound("no such node " + std::to_string(dst));
   }
@@ -478,6 +485,10 @@ Status TcpTransport::Call(int src, int dst, const std::string& method,
   req.dst = dst;
   req.method = method;
   req.payload = request.ToString();
+  // Stamp the caller's open span onto the wire so the serving node can
+  // stitch its handler span into this trace (GUIDE §15).  Untraced
+  // calls leave the context invalid and the frame format unchanged.
+  if (observer != nullptr) req.trace = observer->CurrentContext();
 
   auto call = std::make_shared<PendingCall>();
   {

@@ -1,0 +1,202 @@
+#include "obs/http_introspect.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace bmr::obs {
+namespace {
+
+// A scrape request is one short GET line plus a few headers.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+const char* StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK";
+    case 400:
+      return "HTTP/1.0 400 Bad Request";
+    default:
+      return "HTTP/1.0 404 Not Found";
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<HttpIntrospectServer>> HttpIntrospectServer::Create(
+    int port) {
+  std::unique_ptr<HttpIntrospectServer> server(new HttpIntrospectServer());
+  Status st = server->Start(port);
+  if (!st.ok()) return st;
+  return server;
+}
+
+Status HttpIntrospectServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  loop_ = std::make_unique<ThreadPool>(1);
+  loop_->Submit([this] { Loop(); });
+  return Status::Ok();
+}
+
+HttpIntrospectServer::~HttpIntrospectServer() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    (void)n;
+  }
+  loop_.reset();  // joins the loop thread
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void HttpIntrospectServer::Handle(const std::string& path,
+                                  const std::string& content_type,
+                                  Handler handler) {
+  MutexLock lock(mu_);
+  endpoints_[path] = Endpoint{content_type, std::move(handler)};
+}
+
+void HttpIntrospectServer::Loop() {
+  epoll_event events[16];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, 16, /*timeout_ms=*/250);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == listen_fd_) AcceptNew();
+      // wake_fd_ readability only matters as a wakeup; the stop_ check
+      // at the top of the loop does the rest.
+    }
+  }
+}
+
+void HttpIntrospectServer::AcceptNew() {
+  int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return;
+  // One short-lived connection at a time: read the request, write the
+  // response, close.  Serving blocks the loop briefly, which is fine
+  // for a scrape surface (and keeps the server to one thread).
+  ServeConn(fd);
+  ::close(fd);
+}
+
+void HttpIntrospectServer::ServeConn(int fd) {
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    if (request.size() > kMaxRequestBytes) {
+      Respond(fd, 400, "text/plain", "request too large\n");
+      return;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;  // peer closed or timed out mid-request
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t eol = request.find_first_of("\r\n");
+  std::string line = request.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    Respond(fd, 400, "text/plain", "malformed request line\n");
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    Respond(fd, 400, "text/plain", "only GET is supported\n");
+    return;
+  }
+  std::string path = target;
+  std::string query;
+  size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+
+  Endpoint endpoint;
+  bool found = false;
+  {
+    MutexLock lock(mu_);
+    auto it = endpoints_.find(path);
+    if (it != endpoints_.end()) {
+      endpoint = it->second;
+      found = true;
+    }
+  }
+  if (!found) {
+    Respond(fd, 404, "text/plain", "not found\n");
+    return;
+  }
+  Respond(fd, 200, endpoint.content_type, endpoint.handler(query));
+}
+
+void HttpIntrospectServer::Respond(int fd, int code,
+                                   const std::string& content_type,
+                                   const std::string& body) {
+  std::string response = std::string(StatusLine(code)) +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace bmr::obs

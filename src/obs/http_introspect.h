@@ -1,0 +1,75 @@
+// Live introspection endpoints (GUIDE §15): a minimal HTTP/1.0 scrape
+// server on its own 127.0.0.1 listener, riding a private epoll loop on
+// one pool thread.  It serves GET requests against registered paths —
+// /metrics (Prometheus exposition), /jobs (pool-tree JSON), /trace
+// (flight-recorder snapshot) — one response per connection, then
+// close.  This is deliberately not a web server: no keep-alive, no
+// chunking, bounded request size, loopback only; it is the first
+// externally reachable surface and the groundwork for the service
+// wire API (ROADMAP item 2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "concurrency/thread_pool.h"
+
+namespace bmr::obs {
+
+class HttpIntrospectServer {
+ public:
+  /// A handler receives the query string (text after '?', possibly
+  /// empty) and returns the response body.  Handlers run on the server
+  /// loop thread; they must not block on it re-entering.
+  using Handler = std::function<std::string(const std::string& query)>;
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and
+  /// start serving.
+  [[nodiscard]] static StatusOr<std::unique_ptr<HttpIntrospectServer>> Create(
+      int port);
+
+  ~HttpIntrospectServer();
+
+  HttpIntrospectServer(const HttpIntrospectServer&) = delete;
+  HttpIntrospectServer& operator=(const HttpIntrospectServer&) = delete;
+
+  /// Register GET `path` (exact match).  Unregistered paths get 404.
+  void Handle(const std::string& path, const std::string& content_type,
+              Handler handler) BMR_EXCLUDES(mu_);
+
+  /// The bound TCP port (resolved when created with port 0).
+  int port() const { return port_; }
+
+ private:
+  HttpIntrospectServer() = default;
+
+  [[nodiscard]] Status Start(int port);
+  void Loop();
+  void AcceptNew();
+  void ServeConn(int fd);
+  void Respond(int fd, int code, const std::string& content_type,
+               const std::string& body);
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: nudges the loop awake for shutdown
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<ThreadPool> loop_;
+
+  mutable Mutex mu_;
+  struct Endpoint {
+    std::string content_type;
+    Handler handler;
+  };
+  std::map<std::string, Endpoint> endpoints_ BMR_GUARDED_BY(mu_);
+};
+
+}  // namespace bmr::obs

@@ -87,6 +87,16 @@ inline constexpr const char* kPromArenaBufferReuseTotal =
     "bmr_arena_buffer_reuse_total";
 inline constexpr const char* kPromArenaCachedBytes = "bmr_arena_cached_bytes";
 
+// ---- Observability self-metrics (GUIDE §15) --------------------------
+/// Spans discarded at the tracer's central-log cap
+/// (TracerOptions::max_spans) — nonzero means the trace is a sampled
+/// prefix, not the whole run.
+inline constexpr const char* kPromObsSpansDropped =
+    "bmr_obs_spans_dropped_total";
+/// Flight-recorder post-mortem artifacts written at job end.
+inline constexpr const char* kPromObsFlightDumps =
+    "bmr_obs_flight_dumps_total";
+
 // ---- Multi-tenant job service (src/service/, GUIDE §14) --------------
 // Per-pool families: the service composes each series name with a
 // {pool="<name>"} label block before inserting it into its
@@ -132,5 +142,9 @@ inline constexpr const char* kSpanReduceBatch = "reduce.batch";
 inline constexpr const char* kSpanReduceSort = "reduce.sort";
 inline constexpr const char* kSpanStoreSpill = "store.spill";
 inline constexpr const char* kSpanOutputWrite = "task.output";
+/// Server-side execution of one RPC handler, opened under the wire
+/// trace context's propagated parent (GUIDE §15) — the cross-node
+/// stitch point.  arg = destination node.
+inline constexpr const char* kSpanRpcHandler = "rpc.handler";
 
 }  // namespace bmr::obs

@@ -14,6 +14,23 @@ namespace bmr::obs {
 /// Tracer-unique span identifier; 0 means "no span".
 using SpanId = uint32_t;
 
+/// The trace-context block carried on the wire (BMRF optional trailer,
+/// GUIDE §15): enough for a receiving node to open handler spans under
+/// the sender's open span, stitching one causal tree across address
+/// spaces.  `trace_id` identifies the recording tracer (0 = no context
+/// / untraced frame), `parent_span` is the sender's innermost open
+/// span, `flags` bit 0 = sampled.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  SpanId parent_span = 0;
+  uint8_t flags = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// TraceContext::flags bit 0: the sender was actively recording.
+inline constexpr uint8_t kTraceFlagSampled = 0x1;
+
 /// One completed span.  `name` and `category` must be static-lifetime
 /// strings (metric/span name constants), so recording a span never
 /// allocates.

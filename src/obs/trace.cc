@@ -31,7 +31,30 @@ Tracer::~Tracer() = default;
 
 void Tracer::Enable(const TracerOptions& options) {
   buffer_spans_ = options.buffer_spans > 0 ? options.buffer_spans : 1;
+  max_spans_ = options.max_spans > 0 ? options.max_spans : 1;
   enabled_.store(true, std::memory_order_release);
+}
+
+TraceContext Tracer::CurrentContext() const {
+  TraceContext ctx;
+#if !defined(BMR_OBS_COMPILED_OUT)
+  if (!enabled()) return ctx;
+  ctx.trace_id = generation_;
+  SpanId current = t_current_span;
+  ctx.parent_span = current != 0 ? current : root_span();
+  ctx.flags = kTraceFlagSampled;
+#endif
+  return ctx;
+}
+
+SpanId Tracer::PropagatedParent(const TraceContext& ctx) const {
+#if defined(BMR_OBS_COMPILED_OUT)
+  (void)ctx;
+  return 0;
+#else
+  if (!enabled() || !ctx.valid() || ctx.trace_id != generation_) return 0;
+  return ctx.parent_span;
+#endif
 }
 
 Tracer::ThreadBuffer* Tracer::LocalBuffer() {
@@ -72,10 +95,25 @@ void Tracer::EmitSpan(Span span) {
   if (!overflow.empty()) {
     // Central lock taken with the buffer lock already released — the
     // two never nest, so neither order edge exists.
-    MutexLock lock(central_mu_);
-    central_.insert(central_.end(), overflow.begin(), overflow.end());
+    FlushToCentral(&overflow);
   }
 #endif
+}
+
+void Tracer::FlushToCentral(std::vector<Span>* spans) {
+  size_t dropped = 0;
+  {
+    MutexLock lock(central_mu_);
+    size_t room =
+        central_.size() < max_spans_ ? max_spans_ - central_.size() : 0;
+    size_t take = spans->size() < room ? spans->size() : room;
+    central_.insert(central_.end(), spans->begin(), spans->begin() + take);
+    dropped = spans->size() - take;
+  }
+  if (dropped > 0) {
+    dropped_spans_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+  spans->clear();
 }
 
 void Tracer::RecordLatency(const char* name, uint64_t micros) {
@@ -122,8 +160,7 @@ TraceLog Tracer::CollectTrace() {
       drained.swap(buffer->ring);
     }
     if (!drained.empty()) {
-      MutexLock lock(central_mu_);
-      central_.insert(central_.end(), drained.begin(), drained.end());
+      FlushToCentral(&drained);
     }
   }
   {

@@ -33,6 +33,11 @@ struct TracerOptions {
   /// Per-thread ring capacity in spans; a full ring flushes to the
   /// central log (one extra lock per `buffer_spans` spans).
   size_t buffer_spans = 4096;
+  /// Cap on centrally retained spans; overflow is dropped and counted
+  /// (exported as bmr_obs_spans_dropped_total).  Generous by default —
+  /// the cap exists so a runaway traced job degrades to counted span
+  /// loss instead of unbounded memory.
+  size_t max_spans = 1 << 20;
 };
 
 class Tracer {
@@ -64,6 +69,27 @@ class Tracer {
   /// engine before tasks launch).
   void SetRootSpan(SpanId id) { root_span_.store(id, std::memory_order_relaxed); }
   SpanId root_span() const { return root_span_.load(std::memory_order_relaxed); }
+
+  /// Process-unique nonzero id naming this tracer on the wire (the
+  /// trace-context block's trace_id).  Stable for the tracer's life.
+  uint64_t trace_id() const { return generation_; }
+
+  /// The context an outgoing RPC should carry: this tracer's trace id
+  /// plus the calling thread's innermost open span (falling back to the
+  /// root span).  Invalid (trace_id 0) when disabled, so untraced runs
+  /// put nothing on the wire.
+  TraceContext CurrentContext() const;
+
+  /// Resolve a received wire context into an explicit span parent.
+  /// Returns 0 (let ScopedSpan fall back to thread-current/root) for
+  /// invalid contexts or frames stamped by a different tracer — a stale
+  /// frame from an earlier job must not graft onto this job's tree.
+  SpanId PropagatedParent(const TraceContext& ctx) const;
+
+  /// Spans discarded at the central-log cap (TracerOptions::max_spans).
+  uint64_t dropped_spans() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
 
   /// Record one completed span.  `span.tid` is overwritten with the
   /// calling thread's lane.  No-op when disabled.
@@ -104,10 +130,16 @@ class Tracer {
 
   const uint64_t generation_;
   Stopwatch clock_;
+  /// Append spans to the central log, dropping (and counting) past the
+  /// max_spans_ cap.  Consumes the input.
+  void FlushToCentral(std::vector<Span>* spans) BMR_EXCLUDES(central_mu_);
+
   std::atomic<bool> enabled_{false};
   std::atomic<SpanId> next_id_{0};
   std::atomic<SpanId> root_span_{0};
+  std::atomic<uint64_t> dropped_spans_{0};
   size_t buffer_spans_ = 4096;  // written by Enable, before recording
+  size_t max_spans_ = 1 << 20;  // written by Enable, before recording
 
   mutable Mutex registry_mu_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_

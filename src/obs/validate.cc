@@ -235,7 +235,8 @@ double NumberField(const JsonValue& obj, const std::string& key,
 
 }  // namespace
 
-Status ValidatePerfettoJson(const std::string& json, size_t min_spans) {
+Status ValidatePerfettoJson(const std::string& json, size_t min_spans,
+                            bool require_parents) {
   JsonValue root;
   Status s = JsonParser(json).Parse(&root);
   if (!s.ok()) return s;
@@ -296,7 +297,14 @@ Status ValidatePerfettoJson(const std::string& json, size_t min_spans) {
   constexpr double kEps = 0.002;  // µs
   for (const PendingEdge& e : edges) {
     auto it = by_span_id.find(e.parent);
-    if (it == by_span_id.end()) continue;  // parent flushed in another doc
+    if (it == by_span_id.end()) {
+      if (require_parents) {
+        return Status::InvalidArgument(
+            "orphan span " + std::to_string(e.span) + ": parent " +
+            std::to_string(e.parent) + " never appears in the document");
+      }
+      continue;  // parent flushed in another doc
+    }
     if (e.iv.ts + kEps < it->second.ts || e.iv.end > it->second.end + kEps) {
       std::ostringstream oss;
       oss << "span " << e.span << " [" << e.iv.ts << "," << e.iv.end
@@ -312,6 +320,11 @@ Status ValidatePerfettoJson(const std::string& json, size_t min_spans) {
                                    std::to_string(min_spans));
   }
   return Status::Ok();
+}
+
+Status ValidateJsonText(const std::string& json) {
+  JsonValue root;
+  return JsonParser(json).Parse(&root);
 }
 
 namespace {

@@ -17,9 +17,18 @@ namespace bmr::obs {
 ///   - every span whose args.parent names another span in the document
 ///     lies inside that parent's [ts, ts+dur] interval (small epsilon
 ///     for rounding);
-///   - at least `min_spans` "X" events when min_spans > 0.
+///   - at least `min_spans` "X" events when min_spans > 0;
+///   - with `require_parents`, every nonzero args.parent must name a
+///     span present in the document — an orphan is an error, not a
+///     skip.  With wire propagation (GUIDE §15) a complete single-job
+///     trace has no orphans; leave it off for partial snapshots.
 [[nodiscard]] Status ValidatePerfettoJson(const std::string& json,
-                                          size_t min_spans = 0);
+                                          size_t min_spans = 0,
+                                          bool require_parents = false);
+
+/// Validate that `json` parses as one complete JSON document (the
+/// /jobs introspection snapshot; no schema beyond well-formedness).
+[[nodiscard]] Status ValidateJsonText(const std::string& json);
 
 /// Validate a Prometheus text exposition:
 ///   - every line is a comment, blank, or `name{labels} value`;

@@ -1,7 +1,10 @@
 #include "service/job_service.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 
 namespace bmr::service {
@@ -13,6 +16,37 @@ namespace {
 /// strips the label block for the family TYPE line (obs/export.cc).
 std::string PoolSeries(const char* family, const std::string& pool) {
   return std::string(family) + "{pool=\"" + pool + "\"}";
+}
+
+/// Minimal JSON string escape for pool names in the /jobs snapshot.
+std::string JsonQuoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Parse `last=N` out of a /trace query string; 0 = everything.
+size_t ParseLastParam(const std::string& query) {
+  size_t pos = query.find("last=");
+  if (pos == std::string::npos) return 0;
+  return static_cast<size_t>(
+      std::strtoull(query.c_str() + pos + 5, nullptr, 10));
 }
 
 }  // namespace
@@ -224,6 +258,67 @@ std::string JobService::PrometheusMetrics() const {
 std::vector<std::string> JobService::CompletionOrder() const {
   MutexLock lock(mu_);
   return completion_order_;
+}
+
+std::string JobService::JobsJson() const {
+  std::vector<PoolTree::PoolSnapshot> pools;
+  std::map<std::string, PoolStats> stats;
+  size_t total_queued = 0;
+  int total_running = 0;
+  {
+    MutexLock lock(mu_);
+    pools = tree_.SnapshotPools();
+    stats = stats_;
+    total_queued = tree_.total_queued();
+    total_running = tree_.total_running();
+  }
+  std::string out = "{\"total_queued\":" + std::to_string(total_queued) +
+                    ",\"total_running\":" + std::to_string(total_running) +
+                    ",\"pools\":[";
+  bool first = true;
+  for (const PoolTree::PoolSnapshot& p : pools) {
+    if (!first) out += ",";
+    first = false;
+    const PoolStats& s = stats[p.config.name];
+    out += "{\"name\":" + JsonQuoted(p.config.name) +
+           ",\"parent\":" + JsonQuoted(p.config.parent) +
+           ",\"weight\":" + JsonNum(p.config.weight) +
+           ",\"min_share_slots\":" + std::to_string(p.config.min_share_slots) +
+           ",\"max_share_slots\":" + std::to_string(p.config.max_share_slots) +
+           ",\"queue_limit\":" + std::to_string(p.config.queue_limit) +
+           ",\"queued\":" + std::to_string(p.queued) +
+           ",\"running\":" + std::to_string(p.running) +
+           ",\"started\":" + std::to_string(p.started) +
+           ",\"submitted\":" + std::to_string(s.submitted) +
+           ",\"completed\":" + std::to_string(s.completed) +
+           ",\"failed\":" + std::to_string(s.failed) +
+           ",\"rejected\":" + std::to_string(s.rejected) +
+           ",\"preempted\":" + std::to_string(s.preempted) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status JobService::ServeIntrospection(int port) {
+  StatusOr<std::unique_ptr<obs::HttpIntrospectServer>> server =
+      obs::HttpIntrospectServer::Create(port);
+  if (!server.ok()) return server.status();
+  introspect_ = std::move(*server);
+  introspect_->Handle(
+      "/metrics", "text/plain; version=0.0.4",
+      [this](const std::string&) { return PrometheusMetrics(); });
+  introspect_->Handle("/jobs", "application/json",
+                      [this](const std::string&) { return JobsJson(); });
+  introspect_->Handle("/trace", "application/json",
+                      [](const std::string& query) {
+                        return obs::FlightRecorder::Global()->SnapshotJson(
+                            ParseLastParam(query));
+                      });
+  return Status::Ok();
+}
+
+int JobService::introspect_port() const {
+  return introspect_ != nullptr ? introspect_->port() : 0;
 }
 
 }  // namespace bmr::service

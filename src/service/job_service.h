@@ -33,6 +33,7 @@
 #include "concurrency/thread_pool.h"
 #include "mr/engine.h"
 #include "obs/export.h"
+#include "obs/http_introspect.h"
 #include "service/pool_tree.h"
 
 namespace bmr::service {
@@ -98,6 +99,18 @@ class JobService {
   /// Metrics() through the Prometheus text exposition.
   std::string PrometheusMetrics() const BMR_EXCLUDES(mu_);
 
+  /// JSON snapshot of the pool tree for the /jobs endpoint (GUIDE
+  /// §15): per-pool config (weight, shares, queue bound), occupancy
+  /// (queued/running/started), and lifetime outcome counters.
+  std::string JobsJson() const BMR_EXCLUDES(mu_);
+
+  /// Start the live introspection endpoints on 127.0.0.1:`port` (0 =
+  /// ephemeral): /metrics (Prometheus exposition), /jobs (pool-tree
+  /// JSON), /trace?last=N (flight-recorder snapshot).
+  [[nodiscard]] Status ServeIntrospection(int port) BMR_EXCLUDES(mu_);
+  /// The bound introspection port; 0 before ServeIntrospection.
+  int introspect_port() const;
+
   /// Pool name of every terminal job, in completion order (fairness
   /// assertions: the prefix of length N is the first N completions).
   std::vector<std::string> CompletionOrder() const BMR_EXCLUDES(mu_);
@@ -147,8 +160,11 @@ class JobService {
   uint64_t next_id_ BMR_GUARDED_BY(mu_) = 1;
   bool shutdown_ BMR_GUARDED_BY(mu_) = false;
 
-  // Last member: runner threads must stop before the state above dies.
+  // Last members, destroyed first: runner threads and the introspection
+  // listener (whose handlers lock mu_) must stop before the state above
+  // dies.
   std::unique_ptr<ThreadPool> runners_;
+  std::unique_ptr<obs::HttpIntrospectServer> introspect_;
 };
 
 }  // namespace bmr::service

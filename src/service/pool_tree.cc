@@ -208,4 +208,19 @@ std::vector<std::string> PoolTree::LeafPools() const {
   return leaves;
 }
 
+std::vector<PoolTree::PoolSnapshot> PoolTree::SnapshotPools() const {
+  std::vector<PoolSnapshot> snapshots;
+  for (const std::string& name : creation_order_) {
+    const Pool* p = Find(name);
+    if (p == nullptr || !p->children.empty()) continue;
+    PoolSnapshot snap;
+    snap.config = p->config;
+    snap.queued = p->queue.size();
+    snap.running = p->running;
+    snap.started = p->started;
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
+}
+
 }  // namespace bmr::service

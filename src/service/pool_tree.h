@@ -92,6 +92,15 @@ class PoolTree {
   bool PickPreemptionVictim(const std::string& for_pool,
                             std::string* victim_pool, uint64_t* victim_job);
 
+  /// Point-in-time view of one leaf pool (the /jobs endpoint and
+  /// service metrics; GUIDE §15).
+  struct PoolSnapshot {
+    PoolConfig config;
+    size_t queued = 0;
+    int running = 0;
+    uint64_t started = 0;
+  };
+
   // Introspection (service metrics, tests).
   [[nodiscard]] bool HasPool(const std::string& pool) const;
   size_t queued(const std::string& pool) const;
@@ -100,6 +109,8 @@ class PoolTree {
   int total_running() const;
   /// Leaf pools, in creation order.
   std::vector<std::string> LeafPools() const;
+  /// Snapshots of every leaf pool, in creation order.
+  std::vector<PoolSnapshot> SnapshotPools() const;
 
  private:
   struct Pool {

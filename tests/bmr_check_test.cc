@@ -391,6 +391,42 @@ inline constexpr const char* kPromJobCounterPrefix = "bmr_job_";
   EXPECT_TRUE(fs.empty()) << FormatFindings(fs);
 }
 
+TEST(MetricRegistry, ObsSelfMetricFamilyIsValid) {
+  // The §15 observability self-metrics ride the obs subsystem.
+  std::vector<FileContent> files = {
+      {"src/obs/metric_names.h",
+       "#pragma once\n"
+       "inline constexpr const char* kPromObsSpansDropped =\n"
+       "    \"bmr_obs_spans_dropped_total\";\n"},
+      {"src/mr/rec.cc",
+       "void F(M* m) { m->AddCounter(kPromObsSpansDropped, 1); }\n"},
+  };
+  auto fs = Of(RunCheck(files, "metric-registry"), "metric-registry");
+  EXPECT_TRUE(fs.empty()) << FormatFindings(fs);
+}
+
+TEST(Layering, ObsMayUseConcurrencyButNotNet) {
+  // §15 added obs -> concurrency (the introspection server's loop
+  // thread).  The reverse direction net -> obs was already legal; obs
+  // reaching into net stays a violation.
+  std::vector<FileContent> files = {{"src/obs/ok.h", R"cc(
+#pragma once
+#include "concurrency/thread_pool.h"
+namespace bmr::obs {
+class Loop { ThreadPool pool_{1}; };
+}  // namespace bmr::obs
+)cc"}};
+  EXPECT_TRUE(Of(RunCheck(files, "layering"), "layering").empty());
+
+  std::vector<FileContent> bad = {{"src/obs/bad.h", R"cc(
+#pragma once
+#include "net/transport.h"
+)cc"}};
+  auto fs = Of(RunCheck(bad, "layering"), "layering");
+  ASSERT_EQ(fs.size(), 1u) << FormatFindings(fs);
+  EXPECT_NE(fs[0].message.find("net/transport.h"), std::string::npos);
+}
+
 // ---- suppression ---------------------------------------------------
 
 TEST(Suppression, AllowWithReasonSilencesFinding) {

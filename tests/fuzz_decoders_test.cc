@@ -221,7 +221,10 @@ bool FramingDriver(const std::string& input, uint8_t* outcome) {
              again.method == frame.method &&
              again.status_code == frame.status_code &&
              again.status_message == frame.status_message &&
-             again.payload == frame.payload;
+             again.payload == frame.payload &&
+             again.trace.trace_id == frame.trace.trace_id &&
+             again.trace.parent_span == frame.trace.parent_span &&
+             again.trace.flags == frame.trace.flags;
     }
   }
   return false;

@@ -11,9 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/serde.h"
 #include "net/framing.h"
 #include "net/response_keeper.h"
+#include "obs/span.h"
 
 namespace bmr::net {
 namespace {
@@ -41,10 +43,55 @@ Frame ResponseFrame() {
   return f;
 }
 
+Frame TracedRequestFrame() {
+  Frame f = RequestFrame();
+  f.trace.trace_id = 0x1122334455667788ull;
+  f.trace.parent_span = 913;
+  f.trace.flags = obs::kTraceFlagSampled;
+  return f;
+}
+
 std::string Encoded(const Frame& f) {
   ByteBuffer buf;
   EncodeFrame(f, &buf);
   return buf.ToString();
+}
+
+/// Hand-encode the pre-§15 wire format (no trace-context block) for
+/// the given frame — the byte string an old peer would have produced.
+std::string LegacyEncoded(const Frame& f) {
+  ByteBuffer body;
+  Encoder enc(&body);
+  enc.PutFixed32(kFrameMagic);
+  enc.PutU8(static_cast<uint8_t>(f.type));
+  enc.PutFixed64(f.request_id);
+  enc.PutVarint64(static_cast<uint64_t>(f.src));
+  enc.PutVarint64(static_cast<uint64_t>(f.dst));
+  enc.PutString(f.method);
+  enc.PutU8(f.status_code);
+  enc.PutString(f.status_message);
+  enc.PutString(f.payload);
+  enc.PutFixed64(Fnv1a64(body.AsSlice()));
+  ByteBuffer wire;
+  Encoder prefix(&wire);
+  prefix.PutFixed32(static_cast<uint32_t>(body.size()));
+  wire.Append(body.AsSlice());
+  return wire.ToString();
+}
+
+/// Re-frame an arbitrary body (length prefix + trailing checksum):
+/// builds structurally "valid" frames whose inner trace block is wrong
+/// in controlled ways, past the checksum gate.
+std::string FrameBody(const std::string& fields) {
+  ByteBuffer body;
+  body.Append(Slice(fields));
+  Encoder enc(&body);
+  enc.PutFixed64(Fnv1a64(Slice(fields)));
+  ByteBuffer wire;
+  Encoder prefix(&wire);
+  prefix.PutFixed32(static_cast<uint32_t>(body.size()));
+  wire.Append(body.AsSlice());
+  return wire.ToString();
 }
 
 TEST(FramingTest, RequestRoundTrips) {
@@ -158,6 +205,126 @@ TEST(FramingTest, EverySingleBitFlipIsRejected) {
       EXPECT_EQ(error.code(), StatusCode::kDataLoss);
     }
   }
+}
+
+// ------------------------------------------------------------------
+// Trace-context block (GUIDE §15): optional trailer, compat in both
+// directions with the pre-§15 format.
+// ------------------------------------------------------------------
+
+TEST(FramingTest, TraceContextRoundTrips) {
+  std::string wire = Encoded(TracedRequestFrame());
+  Frame out;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(Slice(wire), &out, &consumed, &error),
+            DecodeResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_TRUE(out.trace.valid());
+  EXPECT_EQ(out.trace.trace_id, 0x1122334455667788ull);
+  EXPECT_EQ(out.trace.parent_span, 913u);
+  EXPECT_EQ(out.trace.flags, obs::kTraceFlagSampled);
+  EXPECT_EQ(out.method, "shuffle.fetch");  // base fields unaffected
+  EXPECT_EQ(out.payload, "some request bytes");
+}
+
+// Forward compat: a new sender with no tracer installed emits bytes a
+// pre-§15 decoder accepts — i.e. exactly the legacy encoding.
+TEST(FramingTest, UntracedFrameIsByteIdenticalToLegacyEncoding) {
+  EXPECT_EQ(Encoded(RequestFrame()), LegacyEncoded(RequestFrame()));
+  EXPECT_EQ(Encoded(ResponseFrame()), LegacyEncoded(ResponseFrame()));
+}
+
+// Backward compat: frames from an old peer (no trace block) decode
+// fine and carry an invalid (all-zero) context.
+TEST(FramingTest, LegacyFrameDecodesWithInvalidTraceContext) {
+  std::string wire = LegacyEncoded(ResponseFrame());
+  Frame out;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(Slice(wire), &out, &consumed, &error),
+            DecodeResult::kFrame);
+  EXPECT_FALSE(out.trace.valid());
+  EXPECT_EQ(out.trace.trace_id, 0u);
+  EXPECT_EQ(out.trace.parent_span, 0u);
+  EXPECT_EQ(out.status_message, "segment not resident");
+}
+
+// The traced frame gets the same every-single-bit-flip guarantee as
+// the base format: the checksum covers the trace block too.
+TEST(FramingTest, EverySingleBitFlipOnTracedFrameIsRejected) {
+  std::string wire = Encoded(TracedRequestFrame());
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = wire;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      Frame out;
+      size_t consumed = 0;
+      Status error;
+      DecodeResult result =
+          DecodeFrame(Slice(corrupt), &out, &consumed, &error);
+      if (result == DecodeResult::kNeedMore) {
+        EXPECT_LT(byte, 4u) << "byte " << byte << " bit " << bit;
+        continue;
+      }
+      EXPECT_EQ(result, DecodeResult::kError)
+          << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(error.code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+// Structurally wrong trace blocks behind a VALID checksum (a buggy or
+// hostile peer, not line noise) are still rejected: wrong tag, zero
+// trace id, truncated block, and trailing bytes after the block.
+TEST(FramingTest, MalformedTraceBlocksBehindValidChecksumAreRejected) {
+  // Re-derive the base fields (everything before the trace block) from
+  // a legacy encoding: strip the 4-byte prefix and 8-byte checksum.
+  std::string legacy = LegacyEncoded(RequestFrame());
+  std::string fields = legacy.substr(4, legacy.size() - 4 - 8);
+
+  auto traced_fields = [&](uint8_t tag, uint64_t trace_id) {
+    ByteBuffer buf;
+    buf.Append(Slice(fields));
+    Encoder enc(&buf);
+    enc.PutU8(tag);
+    enc.PutFixed64(trace_id);
+    enc.PutFixed32(913);
+    enc.PutU8(obs::kTraceFlagSampled);
+    return buf.ToString();
+  };
+
+  struct Case {
+    const char* what;
+    std::string body;
+  };
+  const Case cases[] = {
+      {"wrong tag", traced_fields(0x55, 7)},
+      {"zero trace id", traced_fields(kTraceContextTag, 0)},
+      {"truncated block",
+       traced_fields(kTraceContextTag, 7)
+           .substr(0, fields.size() + 5)},  // tag + half the trace id
+      {"trailing bytes", traced_fields(kTraceContextTag, 7) + "x"},
+  };
+  for (const Case& c : cases) {
+    std::string wire = FrameBody(c.body);
+    Frame out;
+    size_t consumed = 0;
+    Status error;
+    EXPECT_EQ(DecodeFrame(Slice(wire), &out, &consumed, &error),
+              DecodeResult::kError)
+        << c.what;
+    EXPECT_EQ(error.code(), StatusCode::kDataLoss) << c.what;
+  }
+
+  // Control: the same construction with a well-formed block decodes.
+  std::string wire = FrameBody(traced_fields(kTraceContextTag, 7));
+  Frame out;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(Slice(wire), &out, &consumed, &error),
+            DecodeResult::kFrame);
+  EXPECT_EQ(out.trace.trace_id, 7u);
 }
 
 // Garbage that happens to carry a plausible length prefix must not

@@ -5,7 +5,16 @@
 // exposition, and golden text for the human-facing reports.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
@@ -19,6 +28,8 @@
 #include "mr/obs_export.h"
 #include "mr/timeline.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_introspect.h"
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
@@ -153,6 +164,91 @@ TEST(Tracer, LatencyHistogramsAccumulateAndMerge) {
   EXPECT_EQ(h.max(), 100u);
 }
 
+// Wire trace-context (GUIDE §15): what an outgoing RPC carries, and
+// what the receiving side accepts as a cross-node parent.
+TEST(Tracer, CurrentContextAndPropagatedParent) {
+  obs::Tracer tracer;
+  // Disabled: nothing goes on the wire.
+  EXPECT_FALSE(tracer.CurrentContext().valid());
+
+  tracer.Enable();
+  tracer.RestartClock();
+  obs::SpanId root = tracer.NextSpanId();
+  tracer.SetRootSpan(root);
+
+  // No open span: context falls back to the job root.
+  obs::TraceContext at_root = tracer.CurrentContext();
+  EXPECT_TRUE(at_root.valid());
+  EXPECT_EQ(at_root.trace_id, tracer.trace_id());
+  EXPECT_EQ(at_root.parent_span, root);
+  EXPECT_EQ(at_root.flags & obs::kTraceFlagSampled, obs::kTraceFlagSampled);
+
+  obs::TraceContext inside;
+  obs::SpanId span_id;
+  {
+    obs::ScopedSpan span(&tracer, "caller", "test");
+    span_id = span.id();
+    inside = tracer.CurrentContext();
+  }
+  EXPECT_EQ(inside.parent_span, span_id);
+
+  // Accepting side: same generation stitches, anything else falls
+  // back to 0 (ScopedSpan then parents locally — never an orphan).
+  EXPECT_EQ(tracer.PropagatedParent(inside), span_id);
+  EXPECT_EQ(tracer.PropagatedParent(obs::TraceContext{}), 0u);
+  obs::TraceContext foreign = inside;
+  foreign.trace_id = inside.trace_id + 1;  // a different tracer's id
+  EXPECT_EQ(tracer.PropagatedParent(foreign), 0u);
+
+  obs::Tracer disabled;
+  EXPECT_EQ(disabled.PropagatedParent(inside), 0u);
+}
+
+// Two tracers in one process never share a trace id — a stale context
+// from job A cannot stitch into job B's tree.
+TEST(Tracer, TraceIdsAreProcessUnique) {
+  obs::Tracer a, b;
+  EXPECT_NE(a.trace_id(), 0u);
+  EXPECT_NE(b.trace_id(), 0u);
+  EXPECT_NE(a.trace_id(), b.trace_id());
+}
+
+// The central log is bounded: overflow is dropped and counted, never
+// an allocation runaway and never silent.
+TEST(Tracer, CentralCapDropsAndCountsSpans) {
+  obs::Tracer tracer;
+  tracer.Enable(obs::TracerOptions{/*buffer_spans=*/2, /*max_spans=*/10});
+  tracer.RestartClock();
+  for (int i = 0; i < 50; ++i) {
+    obs::ScopedSpan span(&tracer, "burst", "test", i);
+  }
+  obs::TraceLog log = tracer.CollectTrace();
+  EXPECT_LE(log.spans.size(), 10u);
+  EXPECT_EQ(tracer.dropped_spans() + log.spans.size(), 50u);
+  EXPECT_GT(tracer.dropped_spans(), 0u);
+}
+
+// The drop counter reaches the exposition as
+// bmr_obs_spans_dropped_total whenever tracing was on (a zero is a
+// healthy signal, not noise).
+TEST(Tracer, DroppedSpansReachTheExposition) {
+  mr::JobMetrics m;
+  m.trace_enabled = true;
+  m.spans_dropped = 7;
+  std::string prom = obs::PrometheusText(mr::BuildMetricsSnapshot(m));
+  EXPECT_NE(prom.find(std::string(obs::kPromObsSpansDropped) + " 7"),
+            std::string::npos);
+  ASSERT_TRUE(obs::ValidatePrometheusText(prom).ok());
+
+  m.spans_dropped = 0;
+  prom = obs::PrometheusText(mr::BuildMetricsSnapshot(m));
+  EXPECT_NE(prom.find(obs::kPromObsSpansDropped), std::string::npos);
+
+  m.trace_enabled = false;
+  prom = obs::PrometheusText(mr::BuildMetricsSnapshot(m));
+  EXPECT_EQ(prom.find(obs::kPromObsSpansDropped), std::string::npos);
+}
+
 // ---- Exporters and validators -----------------------------------------
 
 obs::TraceLog MakeSyntheticTrace() {
@@ -202,6 +298,34 @@ TEST(Exporters, ValidatorRejectsMalformedTraces) {
       obs::ValidatePerfettoJson(obs::PerfettoTraceJson(MakeSyntheticTrace()),
                                 /*min_spans=*/100)
           .ok());
+}
+
+// Orphan detection (satellite of GUIDE §15): a span naming a parent
+// that never appears is tolerated by default (partial snapshots) but
+// an error under require_parents — the mode `bmr_trace --check` uses
+// on complete single-job traces.
+TEST(Exporters, ValidatorFlagsOrphanSpansWhenStrict) {
+  obs::TraceLog log = MakeSyntheticTrace();
+  log.spans.push_back({/*id=*/9, /*parent=*/777, "task.reduce", "task", 1, 1,
+                       0, 0.5, 0.6});  // parent 777 exists nowhere
+  const std::string json = obs::PerfettoTraceJson(log);
+  EXPECT_TRUE(obs::ValidatePerfettoJson(json).ok());
+  Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/0,
+                                        /*require_parents=*/true);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("orphan"), std::string::npos) << st;
+  // A fully stitched tree passes strict validation.
+  EXPECT_TRUE(obs::ValidatePerfettoJson(
+                  obs::PerfettoTraceJson(MakeSyntheticTrace()),
+                  /*min_spans=*/0, /*require_parents=*/true)
+                  .ok());
+}
+
+TEST(Exporters, JsonTextValidatorAcceptsDocumentsRejectsGarbage) {
+  EXPECT_TRUE(obs::ValidateJsonText("{\"pools\":[{\"queued\":0}]}").ok());
+  EXPECT_TRUE(obs::ValidateJsonText("[]").ok());
+  EXPECT_FALSE(obs::ValidateJsonText("{\"pools\":[").ok());
+  EXPECT_FALSE(obs::ValidateJsonText("").ok());
 }
 
 TEST(Exporters, PrometheusTextExposesAllFamilies) {
@@ -278,6 +402,160 @@ TEST(Exporters, PrometheusValidatorEnforcesNamingAndCoherence) {
                    .ok());
 }
 
+// ---- Flight recorder ---------------------------------------------------
+
+TEST(FlightRecorder, RecordsAndSnapshotsValidPerfettoJson) {
+  obs::FlightRecorder recorder(64);
+  recorder.RecordSpan("task.map", "task", /*arg=*/3, /*node=*/1, 0.002);
+  recorder.Note("map.relaunch", "recovery", 3, 2);
+  recorder.RecordCounter("inflight", 5);
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.overwritten(), 0u);
+
+  const std::string json = recorder.SnapshotJson(0);
+  Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/2);
+  EXPECT_TRUE(st.ok()) << st << "\n" << json;
+  EXPECT_NE(json.find("task.map"), std::string::npos);
+  EXPECT_NE(json.find("map.relaunch"), std::string::npos);
+  EXPECT_NE(json.find("inflight"), std::string::npos);
+}
+
+TEST(FlightRecorder, RingBoundOverwritesOldestAndCounts) {
+  obs::FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Note("event." + std::to_string(i), "test", i, -1);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.overwritten(), 6u);
+  const std::string json = recorder.SnapshotJson(0);
+  // The retained window is the most recent events.
+  EXPECT_EQ(json.find("event.5"), std::string::npos);
+  EXPECT_NE(json.find("event.6"), std::string::npos);
+  EXPECT_NE(json.find("event.9"), std::string::npos);
+  // last_n trims further from the recent end.
+  const std::string last = recorder.SnapshotJson(2);
+  EXPECT_EQ(last.find("event.7"), std::string::npos);
+  EXPECT_NE(last.find("event.8"), std::string::npos);
+  EXPECT_NE(last.find("event.9"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpTriggerIsStickyUntilTaken) {
+  obs::FlightRecorder recorder(16);
+  EXPECT_FALSE(recorder.dump_pending());
+  recorder.RequestDump("job.failure: reducer 2 tainted", /*arg=*/2);
+  recorder.RequestDump("fault.node_crash node=1", /*arg=*/1);
+  EXPECT_TRUE(recorder.dump_pending());
+  // The triggers are themselves events in the ring, under the category
+  // the chaos harness greps for.
+  EXPECT_NE(recorder.SnapshotJson(0).find(obs::kFlightTriggerCategory),
+            std::string::npos);
+  std::vector<std::string> reasons = recorder.TakeDumpReasons();
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], "job.failure: reducer 2 tainted");
+  EXPECT_FALSE(recorder.dump_pending());
+  EXPECT_TRUE(recorder.TakeDumpReasons().empty());
+}
+
+TEST(FlightRecorder, DumpToDirWritesValidatableArtifact) {
+  char tmpl[] = "/tmp/bmr_flight_test_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  obs::FlightRecorder recorder(16);
+  recorder.RecordSpan("task.reduce", "task", 2, 1, 0.001);
+  recorder.RequestDump("reduce.restart task=2: tainted", 2);
+  StatusOr<std::string> path = recorder.DumpToDir(tmpl);
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_NE(path->find("flight_"), std::string::npos);
+
+  std::ifstream in(*path);
+  ASSERT_TRUE(in.is_open());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(obs::ValidatePerfettoJson(json, /*min_spans=*/1).ok());
+  EXPECT_NE(json.find(obs::kFlightTriggerCategory), std::string::npos);
+  EXPECT_NE(json.find("reduce.restart task=2"), std::string::npos);
+
+  // Unwritable target surfaces a Status, not a silent no-op.
+  EXPECT_FALSE(recorder.DumpToDir("/nonexistent/dir").ok());
+  std::remove(path->c_str());
+  rmdir(tmpl);
+}
+
+TEST(FlightRecorder, GlobalIsAlwaysArmed) {
+  obs::FlightRecorder* global = obs::FlightRecorder::Global();
+  ASSERT_NE(global, nullptr);
+  EXPECT_EQ(global, obs::FlightRecorder::Global());
+  global->Note("test.global", "test", -1, -1);
+  EXPECT_GE(global->size(), 1u);
+}
+
+// ---- Live introspection HTTP server ------------------------------------
+
+/// Blocking one-shot HTTP/1.0 client against 127.0.0.1:`port`.
+std::string HttpGet(int port, const std::string& target) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) response.append(buf, n);
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpIntrospect, ServesRegisteredPathsAndQueryStrings) {
+  auto server = obs::HttpIntrospectServer::Create(0);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ASSERT_GT((*server)->port(), 0);
+  (*server)->Handle("/ping", "text/plain",
+                    [](const std::string& query) { return "pong:" + query; });
+
+  std::string response = HttpGet((*server)->port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("pong:"), std::string::npos);
+
+  // The query string (text after '?') reaches the handler.
+  response = HttpGet((*server)->port(), "/ping?last=25");
+  EXPECT_NE(response.find("pong:last=25"), std::string::npos) << response;
+
+  // Unregistered path and non-GET method are rejected, not crashed.
+  EXPECT_NE(HttpGet((*server)->port(), "/nope").find("404"),
+            std::string::npos);
+}
+
+TEST(HttpIntrospect, SequentialScrapesAndCleanShutdown) {
+  int port = 0;
+  {
+    auto server = obs::HttpIntrospectServer::Create(0);
+    ASSERT_TRUE(server.ok()) << server.status();
+    port = (*server)->port();
+    (*server)->Handle("/n", "text/plain",
+                      [](const std::string&) { return "ok"; });
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_NE(HttpGet(port, "/n").find("ok"), std::string::npos);
+    }
+  }
+  // After destruction the port no longer accepts connections.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_NE(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(fd);
+}
+
 // ---- Engine integration ------------------------------------------------
 
 mr::JobResult RunWordCount(mr::ClusterContext* cluster, bool traced,
@@ -351,6 +629,95 @@ TEST(EngineTracing, TracedRunProducesNestedSpansAndHistograms) {
   Status st = mr::WriteTraceArtifacts(metrics, dir + "/obs_trace.json",
                                       dir + "/obs_metrics.prom");
   EXPECT_TRUE(st.ok()) << st;
+}
+
+// Tentpole assertion at the engine level: every rpc.handler span in a
+// traced run stitches under a present parent — the propagated trace
+// context, not an orphan and not a local guess.
+TEST(EngineTracing, HandlerSpansStitchUnderPropagatedParents) {
+  auto cluster = MakeTestCluster(/*slaves=*/3, /*block_bytes=*/8 << 10);
+  mr::JobResult result = RunWordCount(cluster.get(), /*traced=*/true, "/out");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.spans_dropped, 0u);
+
+  std::set<obs::SpanId> ids;
+  for (const obs::Span& s : result.trace.spans) ids.insert(s.id);
+  size_t handlers = 0;
+  for (const obs::Span& s : result.trace.spans) {
+    if (std::strcmp(s.name, obs::kSpanRpcHandler) != 0) continue;
+    ++handlers;
+    ASSERT_NE(s.parent, 0u) << "handler span without propagated context";
+    EXPECT_EQ(ids.count(s.parent), 1u) << "orphan handler span";
+  }
+  EXPECT_GT(handlers, 0u);
+
+  // The stitched tree passes the strict (orphan-rejecting) validator.
+  mr::JobMetrics metrics = result.ToMetrics();
+  const std::string json =
+      obs::PerfettoTraceJson(mr::BuildTraceLog(metrics));
+  Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/10,
+                                        /*require_parents=*/true);
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+// Crash flight recorder, end to end: a node-crash fault mid-job marks
+// the global recorder, and the engine dumps a validatable post-mortem
+// artifact into obs.flight_dir at the job boundary.
+TEST(EngineTracing, NodeCrashLeavesValidatedFlightArtifact) {
+  char tmpl[] = "/tmp/bmr_flight_engine_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+
+  auto cluster = MakeTestCluster(/*slaves=*/4, /*block_bytes=*/8 << 10);
+  workload::TextGenOptions gen;
+  gen.total_bytes = 48 << 10;
+  gen.vocabulary = 200;
+  gen.seed = 77;
+  auto files = workload::GenerateZipfText(cluster.get(), "/flight-in", gen);
+  ASSERT_TRUE(files.ok()) << files.status();
+
+  faults::FaultEvent crash;
+  crash.kind = faults::FaultKind::kNodeCrash;
+  crash.node = 2;
+  crash.after_calls = 30;
+  faults::FaultPlan plan;
+  plan.events = {crash};
+  faults::FaultInjector injector(plan);
+  cluster->InstallFaultInjector(&injector);
+
+  apps::AppOptions options;
+  options.input_files = *files;
+  options.output_path = "/flight-out";
+  options.num_reducers = 2;
+  options.barrierless = true;
+  options.extra.Set("obs.flight_dir", tmpl);
+  mr::JobRunner runner(cluster.get());
+  mr::JobResult result =
+      runner.Run(apps::FindApp("wordcount")->make_job(options));
+  cluster->InstallFaultInjector(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status;  // recovery still succeeds
+  ASSERT_EQ(injector.injected(faults::FaultKind::kNodeCrash), 1u);
+  EXPECT_EQ(result.flight_dumps, 1u);
+
+  // Exactly the artifact the chaos harness validates: Perfetto JSON
+  // carrying the trigger event that names the crash.
+  DIR* d = opendir(tmpl);
+  ASSERT_NE(d, nullptr);
+  size_t artifacts = 0;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.find("flight_") != 0) continue;
+    ++artifacts;
+    std::ifstream in(std::string(tmpl) + "/" + name);
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_TRUE(obs::ValidatePerfettoJson(json, /*min_spans=*/1).ok());
+    EXPECT_NE(json.find(obs::kFlightTriggerCategory), std::string::npos);
+    EXPECT_NE(json.find("fault.node_crash"), std::string::npos);
+    std::remove((std::string(tmpl) + "/" + name).c_str());
+  }
+  closedir(d);
+  EXPECT_EQ(artifacts, 1u);
+  rmdir(tmpl);
 }
 
 TEST(EngineTracing, UntracedRunCarriesNoTraceState) {

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/serde.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "mr/map_output.h"
@@ -40,6 +43,61 @@ TEST_P(TransportTest, CallInvokesHandler) {
   ByteBuffer resp;
   ASSERT_TRUE(transport->Call(0, 1, "echo", "hello", &resp).ok());
   EXPECT_EQ(resp.ToString(), "hello");
+}
+
+// Tentpole (GUIDE §15): with a tracer installed, a Call carries its
+// trace context on the wire and the serving side opens an rpc.handler
+// span under the CALLER's open span — one stitched tree, same shape on
+// both transports even though TCP crosses real sockets to get there.
+TEST_P(TransportTest, HandlerSpanStitchesUnderCallerSpan) {
+  auto transport = Make(3);
+  transport->Register(2, "echo", [](Slice req, ByteBuffer* resp) {
+    resp->Append(req);
+    return Status::Ok();
+  });
+
+  obs::Tracer tracer;
+  tracer.Enable();
+  tracer.RestartClock();
+  transport->SetObserver(&tracer);
+  obs::SpanId caller_id;
+  {
+    obs::ScopedSpan caller(&tracer, "caller", "test");
+    caller_id = caller.id();
+    ByteBuffer resp;
+    ASSERT_TRUE(transport->Call(0, 2, "echo", "ping", &resp).ok());
+  }
+  transport->SetObserver(nullptr);
+
+  obs::TraceLog log = tracer.CollectTrace();
+  size_t handlers = 0;
+  for (const obs::Span& s : log.spans) {
+    if (std::strcmp(s.name, obs::kSpanRpcHandler) != 0) continue;
+    ++handlers;
+    EXPECT_EQ(s.parent, caller_id) << "handler must stitch under the caller";
+    EXPECT_STREQ(s.category, "rpc");
+    EXPECT_EQ(s.arg, 2) << "arg is the serving node";
+  }
+  EXPECT_EQ(handlers, 1u);
+}
+
+// Without an observer no trace context goes on the wire and no handler
+// spans appear — the traced and untraced wire formats interoperate.
+TEST_P(TransportTest, UntracedCallsRecordNoHandlerSpans) {
+  auto transport = Make(2);
+  transport->Register(1, "echo", [](Slice req, ByteBuffer* resp) {
+    resp->Append(req);
+    return Status::Ok();
+  });
+  ByteBuffer resp;
+  ASSERT_TRUE(transport->Call(0, 1, "echo", "x", &resp).ok());
+
+  // Installing the observer AFTER untraced calls yields a clean slate.
+  obs::Tracer tracer;
+  tracer.Enable();
+  transport->SetObserver(&tracer);
+  transport->SetObserver(nullptr);
+  EXPECT_TRUE(tracer.CollectTrace().spans.empty());
 }
 
 TEST_P(TransportTest, UnknownMethodIsNotFound) {

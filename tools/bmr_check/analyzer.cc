@@ -651,7 +651,7 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
   static const std::map<std::string, std::set<std::string>> allowed = {
       {"common", {"common"}},
       {"concurrency", {"concurrency", "common"}},
-      {"obs", {"obs", "common"}},
+      {"obs", {"obs", "common", "concurrency"}},
       {"net", {"net", "common", "concurrency", "faults", "obs"}},
       {"sim", {"sim"}},
       {"cluster", {"cluster", "common"}},
@@ -1079,8 +1079,9 @@ bool IsRegistryFile(const Pf& f) {
 /// subsystem here — a name outside the list is a taxonomy typo.
 const std::set<std::string>& MetricSubsystems() {
   static const std::set<std::string> subsystems = {
-      "arena", "codec",  "faults", "job",     "net",  "output",
-      "reduce", "reducer", "rpc",  "service", "shuffle", "store"};
+      "arena", "codec",  "faults",  "job", "net",     "obs",
+      "output", "reduce", "reducer", "rpc", "service", "shuffle",
+      "store"};
   return subsystems;
 }
 

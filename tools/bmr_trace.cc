@@ -6,12 +6,26 @@
 //             --trace-out=trace.json --prom-out=metrics.prom --report
 //   bmr_trace --sim --sim-gb=1 --trace-out=sim.json --prom-out=sim.prom
 //   bmr_trace --check        # self-test: the `check.sh obs` leg
+//   bmr_trace --stragglers   # per-task skew + wire/handler RTT split
+//   bmr_trace --serve=20     # job service + live introspection HTTP
+//   bmr_trace --validate-trace=F / --validate-prom=F / --validate-json=F
+//   bmr_trace --validate-flight=DIR   # flight-recorder artifacts
 //
 // Open the JSON at https://ui.perfetto.dev (or chrome://tracing); see
-// docs/GUIDE.md §10 for the span taxonomy and histogram reading guide.
+// docs/GUIDE.md §10 for the span taxonomy and §15 for the distributed
+// tracing / introspection / flight-recorder model.
+#include <dirent.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/knn.h"
@@ -20,6 +34,7 @@
 #include "mr/engine.h"
 #include "mr/obs_export.h"
 #include "mr/timeline.h"
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 #include "obs/validate.h"
 #include "service/job_service.h"
@@ -42,6 +57,12 @@ struct CliOptions {
   double sim_gb = 0.5;
   bool report = false;
   bool check = false;
+  bool stragglers = false;
+  int serve_seconds = 0;          // > 0 = --serve mode
+  std::string validate_trace;     // file paths; non-empty = validate mode
+  std::string validate_prom;
+  std::string validate_json;
+  std::string validate_flight;    // directory of flight artifacts
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -57,7 +78,10 @@ int Usage() {
       "usage: bmr_trace [--app=NAME] [--mode=barrierless|barrier]\n"
       "                 [--store=mem|spill|kv] [--reducers=N]\n"
       "                 [--input-kb=N] [--trace-out=F] [--prom-out=F]\n"
-      "                 [--sim] [--sim-gb=G] [--report] [--check]\n");
+      "                 [--sim] [--sim-gb=G] [--report] [--check]\n"
+      "                 [--stragglers] [--serve=SECONDS]\n"
+      "                 [--validate-trace=F] [--validate-prom=F]\n"
+      "                 [--validate-json=F] [--validate-flight=DIR]\n");
   return 2;
 }
 
@@ -156,6 +180,75 @@ mr::JobMetrics RunSim(const CliOptions& cli) {
   return simmr::ToJobMetrics(result);
 }
 
+/// --stragglers: per-task skew from the stitched span tree — task
+/// durations grouped by span arg (task id), flagging tasks beyond
+/// 1.5x the phase median — plus the wire-vs-handler split of the
+/// shuffle fetch RTT, which only exists once rpc.handler spans stitch
+/// under shuffle.fetch parents (GUIDE §15).
+void PrintStragglerReport(const mr::JobMetrics& metrics) {
+  for (const char* phase : {obs::kSpanMapTask, obs::kSpanReduceTask}) {
+    // One duration per task id: tasks can have several attempts
+    // (speculation, restarts); keep the longest, which is what skew
+    // hunting cares about.
+    std::map<int64_t, double> by_task;
+    for (const obs::Span& s : metrics.trace.spans) {
+      if (std::strcmp(s.name, phase) != 0 || s.arg < 0) continue;
+      double dur = (s.end_s - s.start_s) * 1e3;
+      if (dur > by_task[s.arg]) by_task[s.arg] = dur;
+    }
+    if (by_task.empty()) {
+      std::printf("[stragglers] %s: no spans\n", phase);
+      continue;
+    }
+    std::vector<double> durs;
+    for (const auto& [task, dur] : by_task) durs.push_back(dur);
+    std::sort(durs.begin(), durs.end());
+    double median = durs[durs.size() / 2];
+    double max = durs.back();
+    std::printf("[stragglers] %s: %zu tasks, median %.2f ms, max %.2f ms "
+                "(skew %.2fx)\n",
+                phase, by_task.size(), median, max,
+                median > 0 ? max / median : 0.0);
+    for (const auto& [task, dur] : by_task) {
+      if (median > 0 && dur > 1.5 * median) {
+        std::printf("[stragglers]   task %lld: %.2f ms (%.2fx median)\n",
+                    static_cast<long long>(task), dur, dur / median);
+      }
+    }
+  }
+
+  // Wire vs handler share of the fetch RTT: handler spans propagated
+  // across the transport parent directly under their shuffle.fetch
+  // client span, so RTT - handler time = wire + queueing.
+  std::set<obs::SpanId> fetch_ids;
+  double fetch_total_s = 0;
+  size_t fetches = 0;
+  for (const obs::Span& s : metrics.trace.spans) {
+    if (std::strcmp(s.name, obs::kSpanShuffleFetch) != 0) continue;
+    fetch_ids.insert(s.id);
+    fetch_total_s += s.end_s - s.start_s;
+    ++fetches;
+  }
+  double handler_total_s = 0;
+  size_t handlers = 0;
+  for (const obs::Span& s : metrics.trace.spans) {
+    if (std::strcmp(s.name, obs::kSpanRpcHandler) != 0) continue;
+    if (fetch_ids.count(s.parent) == 0) continue;
+    handler_total_s += s.end_s - s.start_s;
+    ++handlers;
+  }
+  if (fetches > 0 && handlers > 0) {
+    double wire_share = 1.0 - handler_total_s / fetch_total_s;
+    std::printf(
+        "[stragglers] fetch RTT split: %zu fetches (mean %.1f us), "
+        "%zu handler spans (mean %.1f us), wire+queue share %.0f%%\n",
+        fetches, fetch_total_s * 1e6 / fetches, handlers,
+        handler_total_s * 1e6 / handlers, wire_share * 100.0);
+  } else {
+    std::printf("[stragglers] fetch RTT split: no stitched handler spans\n");
+  }
+}
+
 int EmitArtifacts(const mr::JobMetrics& metrics, const CliOptions& cli,
                   const char* label) {
   Status st =
@@ -172,7 +265,12 @@ int EmitArtifacts(const mr::JobMetrics& metrics, const CliOptions& cli,
     std::fputs(mr::Timeline::RenderActivity(metrics.events, /*step=*/0.01)
                    .c_str(),
                stdout);
+    if (metrics.trace_enabled) {
+      std::printf("[%s] spans dropped at central cap: %llu\n", label,
+                  static_cast<unsigned long long>(metrics.spans_dropped));
+    }
   }
+  if (cli.stragglers) PrintStragglerReport(metrics);
   return 0;
 }
 
@@ -222,8 +320,34 @@ int RunCheck(CliOptions cli) {
   }
   if (!rpc_seen) return fail("missing/empty bmr_rpc_call_us family");
 
+  // Wire propagation (GUIDE §15): the run must contain handler spans,
+  // and every one of them must stitch under a present parent — on the
+  // TCP transport that parent crossed address spaces on the wire.
+  {
+    std::set<obs::SpanId> ids;
+    for (const obs::Span& s : metrics->trace.spans) ids.insert(s.id);
+    size_t handler_spans = 0;
+    for (const obs::Span& s : metrics->trace.spans) {
+      if (std::strcmp(s.name, obs::kSpanRpcHandler) != 0) continue;
+      ++handler_spans;
+      if (s.parent == 0) {
+        return fail("rpc.handler span " + std::to_string(s.id) +
+                    " has no parent (trace context not propagated)");
+      }
+      if (ids.count(s.parent) == 0) {
+        return fail("rpc.handler span " + std::to_string(s.id) +
+                    " is an orphan: parent " + std::to_string(s.parent) +
+                    " never recorded");
+      }
+    }
+    if (handler_spans == 0) return fail("no rpc.handler spans in the trace");
+  }
+
   const std::string json = obs::PerfettoTraceJson(mr::BuildTraceLog(*metrics));
-  Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/10);
+  // require_parents: a span whose parent id never appears is a bug,
+  // not a vacuous pass, now that contexts propagate across the wire.
+  Status st = obs::ValidatePerfettoJson(json, /*min_spans=*/10,
+                                        /*require_parents=*/true);
   if (!st.ok()) return fail("trace json: " + st.ToString());
   const std::string prom =
       obs::PrometheusText(mr::BuildMetricsSnapshot(*metrics));
@@ -231,6 +355,29 @@ int RunCheck(CliOptions cli) {
   if (!st.ok()) return fail("prometheus text: " + st.ToString());
   if (prom.find(obs::kHShuffleFetchRttUs) == std::string::npos) {
     return fail("fetch RTT histogram missing from exposition");
+  }
+  if (prom.find(obs::kPromObsSpansDropped) == std::string::npos) {
+    return fail("span-loss counter missing from exposition");
+  }
+  if (metrics->spans_dropped != 0) {
+    return fail("tracer dropped " + std::to_string(metrics->spans_dropped) +
+                " spans on a small run");
+  }
+
+  // Flight recorder: the run above recorded task-phase events into the
+  // always-armed ring; a requested dump must validate and carry the
+  // trigger event.
+  {
+    obs::FlightRecorder* recorder = obs::FlightRecorder::Global();
+    if (recorder->size() == 0) return fail("flight ring empty after a run");
+    recorder->RequestDump("check.synthetic_trigger", /*arg=*/-1);
+    const std::string flight_json = recorder->SnapshotJson(0);
+    st = obs::ValidatePerfettoJson(flight_json, /*min_spans=*/1);
+    if (!st.ok()) return fail("flight snapshot: " + st.ToString());
+    if (flight_json.find(obs::kFlightTriggerCategory) == std::string::npos) {
+      return fail("flight snapshot lost the trigger event");
+    }
+    (void)recorder->TakeDumpReasons();  // leave no sticky trigger behind
   }
 
   // Same pipeline on a simulated run (no tracer — task-event lanes).
@@ -305,6 +452,155 @@ int RunCheck(CliOptions cli) {
   return 0;
 }
 
+/// --serve=N: stand up a job service with live introspection, run a
+/// couple of traced jobs through it, and keep the HTTP endpoints up for
+/// N seconds so an external scraper (the check.sh introspect leg) can
+/// curl /metrics, /jobs, and /trace.
+int RunServe(const CliOptions& cli) {
+  auto spec = cluster::SmallCluster(2, 2, 2);
+  spec.dfs_block_bytes = 16 << 10;
+  auto cluster = mr::ClusterContext::Create(std::move(spec));
+
+  workload::TextGenOptions gen;
+  gen.total_bytes = static_cast<uint64_t>(cli.input_kb) << 10;
+  gen.vocabulary = 200;
+  gen.seed = 7;
+  auto files = workload::GenerateZipfText(cluster.get(), "/serve/in", gen);
+  if (!files.ok()) {
+    std::fprintf(stderr, "bmr_trace --serve: input: %s\n",
+                 files.status().ToString().c_str());
+    return 1;
+  }
+
+  service::JobService svc(cluster.get());
+  for (const char* pool : {"svc-a", "svc-b"}) {
+    service::PoolConfig config;
+    config.name = pool;
+    if (Status st = svc.AddPool(config); !st.ok()) {
+      std::fprintf(stderr, "bmr_trace --serve: AddPool: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status st = svc.ServeIntrospection(0); !st.ok()) {
+    std::fprintf(stderr, "bmr_trace --serve: introspection: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  // The scraper greps this exact line to find the ephemeral port.
+  std::printf("INTROSPECT PORT=%d\n", svc.introspect_port());
+  std::fflush(stdout);
+
+  std::vector<service::JobTicket> tickets;
+  int run = 0;
+  for (const char* pool : {"svc-a", "svc-a", "svc-b"}) {
+    apps::AppOptions job;
+    job.input_files = *files;
+    job.num_reducers = cli.reducers;
+    job.output_path = "/serve/out-" + std::to_string(run++);
+    job.extra.SetBool("obs.trace", true);
+    auto ticket = svc.Submit(pool, apps::MakeWordCountJob(job));
+    if (!ticket.ok()) {
+      std::fprintf(stderr, "bmr_trace --serve: Submit: %s\n",
+                   ticket.status().ToString().c_str());
+      return 1;
+    }
+    tickets.push_back(*ticket);
+  }
+  for (const service::JobTicket& ticket : tickets) {
+    service::JobOutcome outcome = svc.Wait(ticket);
+    if (!outcome.status.ok()) {
+      std::fprintf(stderr, "bmr_trace --serve: job: %s\n",
+                   outcome.status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("SERVE JOBS DONE\n");
+  std::fflush(stdout);
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(cli.serve_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return 0;
+}
+
+StatusOr<std::string> ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// File-based validation modes: re-run the structural validators over
+/// artifacts scraped off a live server or dumped by the flight
+/// recorder, from a separate process (check.sh / chaos.sh).
+int RunValidateFile(const std::string& path, const char* kind) {
+  StatusOr<std::string> text = ReadFileText(path);
+  Status st = text.status();
+  if (st.ok()) {
+    if (std::strcmp(kind, "trace") == 0) {
+      st = obs::ValidatePerfettoJson(*text, /*min_spans=*/1);
+    } else if (std::strcmp(kind, "prom") == 0) {
+      st = obs::ValidatePrometheusText(*text);
+    } else {
+      st = obs::ValidateJsonText(*text);
+    }
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "bmr_trace --validate-%s FAILED: %s: %s\n", kind,
+                 path.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::printf("bmr_trace --validate-%s OK: %s\n", kind, path.c_str());
+  return 0;
+}
+
+/// --validate-flight=DIR: every flight_*.json artifact in DIR must be
+/// a valid Perfetto document carrying its dump-trigger event, and
+/// there must be at least one (a faulted run that dumped nothing is a
+/// flight-recorder regression, not a pass).
+int RunValidateFlight(const std::string& dir) {
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "bmr_trace --validate-flight FAILED: %s\n",
+                 what.c_str());
+    return 1;
+  };
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return fail("cannot open directory " + dir);
+  size_t artifacts = 0;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() < 5 || name.compare(name.size() - 5, 5, ".json") != 0) {
+      continue;
+    }
+    const std::string path = dir + "/" + name;
+    StatusOr<std::string> text = ReadFileText(path);
+    if (!text.ok()) {
+      closedir(d);
+      return fail(text.status().ToString());
+    }
+    Status st = obs::ValidatePerfettoJson(*text, /*min_spans=*/1);
+    if (!st.ok()) {
+      closedir(d);
+      return fail(path + ": " + st.ToString());
+    }
+    if (text->find(obs::kFlightTriggerCategory) == std::string::npos) {
+      closedir(d);
+      return fail(path + ": no " + std::string(obs::kFlightTriggerCategory) +
+                  " event (dump without a recorded trigger)");
+    }
+    ++artifacts;
+  }
+  closedir(d);
+  if (artifacts == 0) return fail("no flight artifacts in " + dir);
+  std::printf("bmr_trace --validate-flight OK: %zu artifact%s in %s\n",
+              artifacts, artifacts == 1 ? "" : "s", dir.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   CliOptions cli;
   for (int i = 1; i < argc; ++i) {
@@ -322,16 +618,37 @@ int Main(int argc, char** argv) {
       cli.input_kb = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "sim-gb", &value)) {
       cli.sim_gb = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "serve", &value)) {
+      cli.serve_seconds = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "validate-trace", &cli.validate_trace) ||
+               ParseFlag(argv[i], "validate-prom", &cli.validate_prom) ||
+               ParseFlag(argv[i], "validate-json", &cli.validate_json) ||
+               ParseFlag(argv[i], "validate-flight", &cli.validate_flight)) {
+      continue;
     } else if (std::strcmp(argv[i], "--sim") == 0) {
       cli.sim = true;
     } else if (std::strcmp(argv[i], "--report") == 0) {
       cli.report = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       cli.check = true;
+    } else if (std::strcmp(argv[i], "--stragglers") == 0) {
+      cli.stragglers = true;
     } else {
       return Usage();
     }
   }
+  // Validation modes need no cluster; they run against files on disk.
+  if (!cli.validate_trace.empty()) {
+    return RunValidateFile(cli.validate_trace, "trace");
+  }
+  if (!cli.validate_prom.empty()) {
+    return RunValidateFile(cli.validate_prom, "prom");
+  }
+  if (!cli.validate_json.empty()) {
+    return RunValidateFile(cli.validate_json, "json");
+  }
+  if (!cli.validate_flight.empty()) return RunValidateFlight(cli.validate_flight);
+  if (cli.serve_seconds > 0) return RunServe(cli);
   if (cli.check) return RunCheck(cli);
   if (cli.sim) return EmitArtifacts(RunSim(cli), cli, "sim");
 
